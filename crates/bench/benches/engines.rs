@@ -1,0 +1,72 @@
+//! Criterion benchmarks comparing the per-transaction cost of the four
+//! engines on single-worker streams (no contention — the contended,
+//! multi-worker comparisons are what the `fig*` experiment binaries measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doppel_bench::engines::{build_engine, EngineKind, EngineParams};
+use doppel_common::{Key, ProcedureFn, Value};
+use std::sync::Arc;
+
+fn bench_single_worker_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/uncontended_increment");
+    for kind in EngineKind::ALL {
+        let params = EngineParams { workers: 1, ..EngineParams::default() };
+        let engine = build_engine(*kind, &params);
+        for k in 0..10_000u64 {
+            engine.load(Key::raw(k), Value::Int(0));
+        }
+        let mut handle = engine.handle(0);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                i = (i + 1) % 10_000;
+                let key = Key::raw(i);
+                let proc = Arc::new(ProcedureFn::new("incr", move |tx| tx.add(key, 1)));
+                assert!(handle.execute(proc).is_committed());
+            })
+        });
+        drop(handle);
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_multi_key_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/five_key_transaction");
+    for kind in EngineKind::TRANSACTIONAL {
+        let params = EngineParams { workers: 1, ..EngineParams::default() };
+        let engine = build_engine(*kind, &params);
+        for k in 0..10_000u64 {
+            engine.load(Key::raw(k), Value::Int(0));
+        }
+        let mut handle = engine.handle(0);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                i += 1;
+                let base = (i * 5) % 9_000;
+                let proc = Arc::new(ProcedureFn::new("multi", move |tx| {
+                    for j in 0..4 {
+                        tx.add(Key::raw(base + j), 1)?;
+                    }
+                    let total = tx.get_int(Key::raw(base))?;
+                    tx.put(Key::raw(base + 4), Value::Int(total))
+                }));
+                assert!(handle.execute(proc).is_committed());
+            })
+        });
+        drop(handle);
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_worker_increment, bench_multi_key_transaction
+);
+criterion_main!(benches);

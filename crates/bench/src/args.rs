@@ -1,0 +1,108 @@
+//! Minimal `--flag value` command-line parsing for the experiment binaries.
+//!
+//! The binaries take a handful of numeric flags (`--cores`, `--seconds`,
+//! `--keys`, `--alpha`, …) plus boolean switches (`--full`, `--json`). A full
+//! argument-parsing dependency is not justified for this, so this module
+//! implements the little that is needed.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (everything after the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        values.insert(name.to_string(), iter.next().expect("peeked"));
+                    }
+                    _ => flags.push(name.to_string()),
+                }
+            } else {
+                // Bare positional arguments are ignored.
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// True if the boolean switch `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name) || self.values.contains_key(name)
+    }
+
+    /// String value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// `--name` parsed as `u64`, or `default`.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer"))).unwrap_or(default)
+    }
+
+    /// `--name` parsed as `usize`, or `default`.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get_u64(name, default as u64) as usize
+    }
+
+    /// `--name` parsed as `f64`, or `default`.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number"))).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--cores 8 --alpha 1.4 --full --seconds 0.5");
+        assert_eq!(a.get_u64("cores", 1), 8);
+        assert_eq!(a.get_usize("cores", 1), 8);
+        assert!((a.get_f64("alpha", 0.0) - 1.4).abs() < 1e-12);
+        assert!((a.get_f64("seconds", 1.0) - 0.5).abs() < 1e-12);
+        assert!(a.flag("full"));
+        assert!(!a.flag("json"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = args("--full");
+        assert_eq!(a.get_u64("cores", 4), 4);
+        assert_eq!(a.get_f64("alpha", 1.4), 1.4);
+        assert_eq!(a.get("cores"), None);
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = args("--rating -3");
+        assert_eq!(a.get_f64("rating", 0.0), -3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args("--cores banana");
+        let _ = a.get_u64("cores", 1);
+    }
+}

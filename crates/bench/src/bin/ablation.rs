@@ -1,0 +1,76 @@
+//! Ablation: how much of Doppel's behaviour comes from splitting itself?
+//!
+//! Runs the INCR1 hot-key workload on three configurations:
+//!
+//! * **Doppel** — full phase reconciliation;
+//! * **Doppel (no split)** — identical engine with `enable_splitting = false`,
+//!   i.e. the phase machinery runs but nothing is ever split, which degrades
+//!   to plain OCC plus coordination overhead;
+//! * **OCC** — the baseline without any phase machinery.
+//!
+//! The difference between the first two isolates the benefit of splitting;
+//! the difference between the last two isolates the cost of the phase
+//! machinery when it is not needed.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin ablation [--full]
+//! [--cores N] [--seconds S] [--keys N] [--hot F] [--out DIR]`
+
+use doppel_bench::engines::EngineParams;
+use doppel_bench::{build_engine, emit, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::driver::Driver;
+use doppel_workloads::incr::Incr1Workload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let hot_fractions: Vec<f64> = if args.flag("full") {
+        vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+    } else {
+        vec![0.0, 0.5, 1.0]
+    };
+    let configurations: &[(&str, EngineKind, bool)] = &[
+        ("Doppel", EngineKind::Doppel, false),
+        ("Doppel(no-split)", EngineKind::Doppel, true),
+        ("OCC", EngineKind::Occ, false),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Ablation: INCR1 throughput with and without splitting ({} cores, {} keys, {:.1}s \
+             per point)",
+            config.cores, config.keys, config.seconds
+        ),
+        &["hot%", "Doppel", "Doppel(no-split)", "OCC", "split benefit", "phase overhead"],
+    );
+
+    for hot in &hot_fractions {
+        let workload = Incr1Workload::new(config.keys, *hot);
+        let mut throughputs = Vec::new();
+        for (label, kind, disable_splitting) in configurations {
+            let params = EngineParams {
+                workers: config.cores,
+                shards: config.shards,
+                phase_len: config.phase_len,
+                disable_splitting: *disable_splitting,
+            };
+            let engine = build_engine(*kind, &params);
+            let result = Driver::run(engine.as_ref(), &workload, &config.bench_options());
+            engine.shutdown();
+            eprintln!("  hot={:.0}% {label}: {:.0} txns/sec", hot * 100.0, result.throughput);
+            throughputs.push(result.throughput);
+        }
+        let split_benefit = if throughputs[1] > 0.0 { throughputs[0] / throughputs[1] } else { 0.0 };
+        let phase_overhead = if throughputs[2] > 0.0 { throughputs[1] / throughputs[2] } else { 0.0 };
+        table.push_row(vec![
+            Cell::Int((hot * 100.0) as i64),
+            Cell::Mtps(throughputs[0]),
+            Cell::Mtps(throughputs[1]),
+            Cell::Mtps(throughputs[2]),
+            Cell::Float(split_benefit),
+            Cell::Float(phase_overhead),
+        ]);
+    }
+
+    emit(&table, "ablation", &args);
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment binary in sequence with shared settings.
+//!
+//! This is the one-command reproduction of the paper's evaluation section:
+//! each child binary prints its table and, when `--out DIR` is given, writes
+//! `DIR/<experiment>.{txt,json}`.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin all_experiments
+//! [--full] [--cores N] [--seconds S] [--keys N] [--out DIR]`
+
+use std::process::Command;
+
+/// The experiments, in the order they appear in the paper.
+const EXPERIMENTS: &[&str] = &[
+    "fig8", "fig9", "fig10", "fig11", "table1", "table2", "fig12", "table3", "fig13", "fig14",
+    "table4", "fig15", "ablation",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let current = std::env::current_exe().expect("cannot locate current executable");
+    let bin_dir = current.parent().expect("executable has a parent directory").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=============================================================");
+        println!("== Running {name}");
+        println!("=============================================================");
+        let path = bin_dir.join(name);
+        let status = Command::new(&path).args(&forwarded).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("experiment {name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {} ({e}); build the binaries first with \
+                     `cargo build --release -p doppel-bench --bins`",
+                    path.display()
+                );
+                failures.push(*name);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

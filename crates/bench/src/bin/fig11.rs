@@ -1,0 +1,41 @@
+//! Figure 11: total INCRZ throughput as a function of the Zipfian skew
+//! parameter α, for Doppel, OCC, 2PL and Atomic.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig11 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::incr::IncrZWorkload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let alphas: Vec<f64> = if args.flag("full") {
+        (0..=10).map(|i| i as f64 * 0.2).collect()
+    } else {
+        vec![0.0, 0.6, 1.0, 1.4, 1.8, 2.0]
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Figure 11: INCRZ throughput (txns/sec) vs Zipf alpha ({} cores, {} keys, {:.1}s \
+             per point)",
+            config.cores, config.keys, config.seconds
+        ),
+        &["alpha", "Doppel", "OCC", "2PL", "Atomic"],
+    );
+
+    for alpha in &alphas {
+        let workload = IncrZWorkload::new(config.keys, *alpha);
+        let mut row: Vec<Cell> = vec![Cell::Float(*alpha)];
+        for kind in EngineKind::ALL {
+            let result = run_point(*kind, &workload, &config);
+            eprintln!("  alpha={alpha:.1} {}: {:.0} txns/sec", kind.label(), result.throughput);
+            row.push(Cell::Mtps(result.throughput));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "fig11", &args);
+}

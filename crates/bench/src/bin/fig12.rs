@@ -1,0 +1,52 @@
+//! Figure 12: LIKE benchmark throughput as a function of the fraction of
+//! transactions that write, with Zipfian page popularity (α = 1.4), for
+//! Doppel, OCC and 2PL.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig12 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--alpha A] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::like::LikeWorkload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let alpha = args.get_f64("alpha", 1.4);
+    let write_percentages: Vec<u64> = if args.flag("full") {
+        vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    } else {
+        vec![0, 20, 50, 80, 100]
+    };
+    // The paper's LIKE database has 1M users and 1M pages; reuse --keys for
+    // both table sizes.
+    let users = config.keys;
+    let pages = config.keys;
+
+    let mut table = Table::new(
+        format!(
+            "Figure 12: LIKE throughput (txns/sec) vs % write transactions (alpha={alpha}, {} \
+             cores, {} users/pages, {:.1}s per point)",
+            config.cores, users, config.seconds
+        ),
+        &["write%", "Doppel", "OCC", "2PL"],
+    );
+
+    for write_pct in &write_percentages {
+        let workload = LikeWorkload::new(users, pages, *write_pct as f64 / 100.0, alpha);
+        let mut row: Vec<Cell> = vec![Cell::Int(*write_pct as i64)];
+        for kind in EngineKind::TRANSACTIONAL {
+            let result = run_point(*kind, &workload, &config);
+            eprintln!(
+                "  writes={write_pct}% {}: {:.0} txns/sec ({} stashed)",
+                kind.label(),
+                result.throughput,
+                result.stashed
+            );
+            row.push(Cell::Mtps(result.throughput));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "fig12", &args);
+}

@@ -1,0 +1,56 @@
+//! Figure 14: Doppel throughput as a function of the phase length, for the
+//! same three LIKE workloads as Figure 13. Very short phases lose throughput
+//! to phase-change overhead; long phases amortise it.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig14 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::driver::Workload;
+use doppel_workloads::like::LikeWorkload;
+use doppel_workloads::report::{Cell, Table};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = ExperimentConfig::from_args(&args);
+    let phase_lengths_ms: Vec<u64> = if args.flag("full") {
+        vec![1, 2, 5, 10, 20, 40, 60, 80, 100]
+    } else {
+        vec![2, 5, 10, 20, 40]
+    };
+    let users = config.keys;
+    let pages = config.keys;
+
+    let mut table = Table::new(
+        format!(
+            "Figure 14: Doppel throughput (txns/sec) vs phase length ({} cores, {} users/pages, \
+             {:.1}s per point)",
+            config.cores, users, config.seconds
+        ),
+        &["phase (ms)", "Uniform", "Contentious", "Contentious Write Heavy"],
+    );
+
+    let workloads = [
+        LikeWorkload::uniform(users, pages),
+        LikeWorkload::skewed(users, pages),
+        LikeWorkload::skewed_write_heavy(users, pages),
+    ];
+
+    for ms in &phase_lengths_ms {
+        config.phase_len = Duration::from_millis(*ms);
+        let mut row: Vec<Cell> = vec![Cell::Int(*ms as i64)];
+        for workload in &workloads {
+            let result = run_point(EngineKind::Doppel, workload, &config);
+            eprintln!(
+                "  phase={ms}ms {}: {:.0} txns/sec",
+                workload.name(),
+                result.throughput
+            );
+            row.push(Cell::Mtps(result.throughput));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "fig14", &args);
+}

@@ -1,0 +1,58 @@
+//! Figure 15: RUBiS-C throughput as a function of the Zipfian item-popularity
+//! parameter α, for Doppel, OCC and 2PL. Doppel matches OCC at low skew and
+//! pulls ahead once popular auctions make StoreBid contended.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig15 [--full] [--cores N]
+//! [--seconds S] [--users N] [--items N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_rubis::{RubisScale, RubisWorkload, TxnStyle};
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let alphas: Vec<f64> = if args.flag("full") {
+        (0..=10).map(|i| i as f64 * 0.2).collect()
+    } else {
+        vec![0.0, 0.8, 1.2, 1.6, 1.8, 2.0]
+    };
+    let scale = rubis_scale(&args);
+
+    let mut table = Table::new(
+        format!(
+            "Figure 15: RUBiS-C throughput (txns/sec) vs Zipf alpha ({} cores, {} users, {} \
+             items, {:.1}s per point)",
+            config.cores, scale.users, scale.items, config.seconds
+        ),
+        &["alpha", "Doppel", "OCC", "2PL"],
+    );
+
+    for alpha in &alphas {
+        let workload = RubisWorkload::contended(scale, *alpha, TxnStyle::Doppel);
+        let mut row: Vec<Cell> = vec![Cell::Float(*alpha)];
+        for kind in EngineKind::TRANSACTIONAL {
+            let result = run_point(*kind, &workload, &config);
+            eprintln!("  alpha={alpha:.1} {}: {:.0} txns/sec", kind.label(), result.throughput);
+            row.push(Cell::Mtps(result.throughput));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "fig15", &args);
+}
+
+/// RUBiS table sizes: paper scale with `--full`, scaled down otherwise, with
+/// `--users` / `--items` overrides.
+fn rubis_scale(args: &Args) -> RubisScale {
+    let base = if args.flag("full") {
+        RubisScale::paper()
+    } else {
+        RubisScale { users: 20_000, items: 1_000, categories: 20, regions: 62 }
+    };
+    RubisScale {
+        users: args.get_u64("users", base.users),
+        items: args.get_u64("items", base.items),
+        ..base
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 8: total INCR1 throughput as a function of the percentage of
+//! transactions that increment the single hot key, for Doppel, OCC, 2PL and
+//! Atomic.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig8 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::incr::Incr1Workload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    // The paper sweeps 0–100%; the quick configuration uses fewer points.
+    let hot_percentages: Vec<u64> = if args.flag("full") {
+        vec![0, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    } else {
+        vec![0, 10, 20, 50, 80, 100]
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Figure 8: INCR1 throughput (txns/sec) vs % transactions writing the hot key \
+             ({} cores, {} keys, {:.1}s per point)",
+            config.cores, config.keys, config.seconds
+        ),
+        &["hot%", "Doppel", "OCC", "2PL", "Atomic", "Doppel/OCC"],
+    );
+
+    for hot in &hot_percentages {
+        let workload = Incr1Workload::new(config.keys, *hot as f64 / 100.0);
+        let mut row: Vec<Cell> = vec![Cell::Int(*hot as i64)];
+        let mut doppel_tput = 0.0;
+        let mut occ_tput = 0.0;
+        for kind in EngineKind::ALL {
+            let result = run_point(*kind, &workload, &config);
+            eprintln!(
+                "  hot={hot}% {}: {:.0} txns/sec ({} commits, {} aborts)",
+                kind.label(),
+                result.throughput,
+                result.committed,
+                result.aborts
+            );
+            match kind {
+                EngineKind::Doppel => doppel_tput = result.throughput,
+                EngineKind::Occ => occ_tput = result.throughput,
+                _ => {}
+            }
+            row.push(Cell::Mtps(result.throughput));
+        }
+        row.push(Cell::Float(if occ_tput > 0.0 { doppel_tput / occ_tput } else { 0.0 }));
+        table.push_row(row);
+    }
+
+    emit(&table, "fig8", &args);
+}

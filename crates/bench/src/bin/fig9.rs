@@ -1,0 +1,54 @@
+//! Figure 9: per-core INCR1 throughput when every transaction increments the
+//! same single key, as the number of cores grows. Perfect scalability would
+//! be a horizontal line; serialized schemes decay as 1/x.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin fig9 [--full]
+//! [--max-cores N] [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::incr::Incr1Workload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = ExperimentConfig::from_args(&args);
+    let max_cores = args.get_usize("max-cores", if args.flag("full") { 80 } else { 8 });
+    let core_counts: Vec<usize> = {
+        let mut counts = vec![1usize, 2, 4];
+        let mut c = 8;
+        while c <= max_cores {
+            counts.push(c);
+            c *= 2;
+        }
+        counts.retain(|c| *c <= max_cores);
+        counts.dedup();
+        counts
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Figure 9: per-core throughput (txns/sec/core) for INCR1 with 100% hot-key writes \
+             ({} keys, {:.1}s per point)",
+            config.keys, config.seconds
+        ),
+        &["cores", "Doppel", "OCC", "2PL", "Atomic"],
+    );
+
+    let workload = Incr1Workload::new(config.keys, 1.0);
+    for cores in core_counts {
+        config.cores = cores;
+        let mut row: Vec<Cell> = vec![Cell::Int(cores as i64)];
+        for kind in EngineKind::ALL {
+            let result = run_point(*kind, &workload, &config);
+            eprintln!(
+                "  cores={cores} {}: {:.0} txns/sec/core",
+                kind.label(),
+                result.per_core_throughput()
+            );
+            row.push(Cell::Mtps(result.per_core_throughput()));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "fig9", &args);
+}

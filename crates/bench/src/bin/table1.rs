@@ -1,0 +1,35 @@
+//! Table 1: the percentage of writes that go to the 1st, 2nd, 10th and 100th
+//! most popular keys in Zipfian distributions with 1 M keys, for various α.
+//!
+//! This is an analytical property of the Zipf sampler, not a measurement; it
+//! validates that the workload generator used by INCRZ, LIKE and RUBiS-C
+//! reproduces exactly the distributions the paper evaluated.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin table1 [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, Args};
+use doppel_workloads::report::{Cell, Table};
+use doppel_workloads::zipf::ZipfSampler;
+
+fn main() {
+    let args = Args::from_env();
+    let keys = args.get_u64("keys", 1_000_000);
+    let alphas = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0];
+    let ranks = [0u64, 1, 9, 99];
+
+    let mut table = Table::new(
+        format!("Table 1: % of writes to the Nth most popular key ({keys} keys)"),
+        &["alpha", "1st", "2nd", "10th", "100th"],
+    );
+
+    for alpha in alphas {
+        let sampler = ZipfSampler::new(keys, alpha);
+        let mut row: Vec<Cell> = vec![Cell::Float(alpha)];
+        for rank in ranks {
+            row.push(Cell::Text(format!("{:.4}%", sampler.probability(rank) * 100.0)));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "table1", &args);
+}

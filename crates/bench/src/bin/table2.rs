@@ -1,0 +1,64 @@
+//! Table 2: the number of keys Doppel decides to split for different Zipf α
+//! in the INCRZ benchmark, and the percentage of requests those keys cover.
+//!
+//! The split decision is sampled while the run is in progress (split keys are
+//! a property of Doppel's classifier state, which adapts every phase).
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin table2 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, sample_during_run, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::incr::IncrZWorkload;
+use doppel_workloads::report::{Cell, Table};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let alphas: Vec<f64> = if args.flag("full") {
+        vec![0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0]
+    } else {
+        vec![0.6, 1.0, 1.4, 2.0]
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Table 2: keys Doppel moves to split data for INCRZ ({} cores, {} keys, {:.1}s per \
+             point)",
+            config.cores, config.keys, config.seconds
+        ),
+        &["alpha", "# moved", "% reqs covered", "throughput"],
+    );
+
+    for alpha in &alphas {
+        let workload = IncrZWorkload::new(config.keys, *alpha);
+        let sampled = sample_during_run(
+            EngineKind::Doppel,
+            &workload,
+            &config,
+            Duration::from_millis(25),
+        );
+        // The largest split set observed during the run; keys are popularity
+        // ranks, so the covered request fraction is the sum of their Zipf
+        // probabilities.
+        let moved = sampled.max_split_keys.len();
+        let covered: f64 = sampled
+            .max_split_keys
+            .iter()
+            .map(|k| workload.sampler().probability(k.id()))
+            .sum();
+        eprintln!(
+            "  alpha={alpha:.1}: {moved} keys split, {:.1}% of requests, {:.0} txns/sec",
+            covered * 100.0,
+            sampled.result.throughput
+        );
+        table.push_row(vec![
+            Cell::Float(*alpha),
+            Cell::Int(moved as i64),
+            Cell::Text(format!("{:.1}%", covered * 100.0)),
+            Cell::Mtps(sampled.result.throughput),
+        ]);
+    }
+
+    emit(&table, "table2", &args);
+}

@@ -1,0 +1,68 @@
+//! Table 3: mean and 99th-percentile read/write latencies plus throughput for
+//! Doppel, OCC and 2PL on two LIKE workloads — uniform page popularity and
+//! skewed popularity (α = 1.4) — with a 50% read / 50% write mix.
+//!
+//! Doppel's read latency on the skewed workload is expected to be much higher
+//! than the others (reads of split data wait for the next joined phase), in
+//! exchange for the highest throughput: that trade-off is the point of the
+//! table.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin table3 [--full] [--cores N]
+//! [--seconds S] [--keys N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::like::LikeWorkload;
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let users = config.keys;
+    let pages = config.keys;
+
+    let mut table = Table::new(
+        format!(
+            "Table 3: LIKE latency and throughput, 50% reads / 50% writes ({} cores, {} \
+             users/pages, {:.1}s per point)",
+            config.cores, users, config.seconds
+        ),
+        &[
+            "workload",
+            "engine",
+            "mean R",
+            "mean W",
+            "99% R",
+            "99% W",
+            "txns/sec",
+        ],
+    );
+
+    let workloads = [
+        ("uniform", LikeWorkload::uniform(users, pages)),
+        ("skewed a=1.4", LikeWorkload::skewed(users, pages)),
+    ];
+
+    for (label, workload) in &workloads {
+        for kind in EngineKind::TRANSACTIONAL {
+            let result = run_point(*kind, workload, &config);
+            eprintln!(
+                "  {label} {}: {:.0} txns/sec, mean read {:.0}us, mean write {:.0}us",
+                kind.label(),
+                result.throughput,
+                result.read_latency.mean_us,
+                result.write_latency.mean_us
+            );
+            table.push_row(vec![
+                Cell::Text(label.to_string()),
+                Cell::Text(kind.label().to_string()),
+                Cell::Micros(result.read_latency.mean_us),
+                Cell::Micros(result.write_latency.mean_us),
+                Cell::Micros(result.read_latency.p99_us),
+                Cell::Micros(result.write_latency.p99_us),
+                Cell::Mtps(result.throughput),
+            ]);
+        }
+    }
+
+    emit(&table, "table3", &args);
+}

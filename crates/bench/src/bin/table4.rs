@@ -1,0 +1,63 @@
+//! Table 4: RUBiS-B (uniform bidding mix) and RUBiS-C (50% bids with Zipfian
+//! item popularity, α = 1.8) throughput for Doppel, OCC and 2PL.
+//!
+//! Usage: `cargo run --release -p doppel-bench --bin table4 [--full] [--cores N]
+//! [--seconds S] [--alpha A] [--users N] [--items N] [--out DIR]`
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_rubis::{RubisScale, RubisWorkload, TxnStyle};
+use doppel_workloads::report::{Cell, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::from_args(&args);
+    let alpha = args.get_f64("alpha", 1.8);
+    let scale = rubis_scale(&args);
+
+    let mut table = Table::new(
+        format!(
+            "Table 4: RUBiS throughput (txns/sec), RUBiS-C alpha={alpha} ({} cores, {} users, \
+             {} items, {:.1}s per point)",
+            config.cores, scale.users, scale.items, config.seconds
+        ),
+        &["engine", "RUBiS-B", "RUBiS-C", "C stashed", "C aborts"],
+    );
+
+    let rubis_b = RubisWorkload::bidding(scale, TxnStyle::Doppel);
+    let rubis_c = RubisWorkload::contended(scale, alpha, TxnStyle::Doppel);
+
+    for kind in EngineKind::TRANSACTIONAL {
+        let b = run_point(*kind, &rubis_b, &config);
+        let c = run_point(*kind, &rubis_c, &config);
+        eprintln!(
+            "  {}: RUBiS-B {:.0} txns/sec, RUBiS-C {:.0} txns/sec",
+            kind.label(),
+            b.throughput,
+            c.throughput
+        );
+        table.push_row(vec![
+            Cell::Text(kind.label().to_string()),
+            Cell::Mtps(b.throughput),
+            Cell::Mtps(c.throughput),
+            Cell::Int(c.stashed as i64),
+            Cell::Int(c.aborts as i64),
+        ]);
+    }
+
+    emit(&table, "table4", &args);
+}
+
+/// RUBiS table sizes: paper scale with `--full`, scaled down otherwise, with
+/// `--users` / `--items` overrides.
+fn rubis_scale(args: &Args) -> RubisScale {
+    let base = if args.flag("full") {
+        RubisScale::paper()
+    } else {
+        RubisScale { users: 20_000, items: 1_000, categories: 20, regions: 62 }
+    };
+    RubisScale {
+        users: args.get_u64("users", base.users),
+        items: args.get_u64("items", base.items),
+        ..base
+    }
+}

@@ -1,0 +1,132 @@
+//! Engine construction for the experiment binaries.
+
+use doppel_atomic::AtomicEngine;
+use doppel_common::{DoppelConfig, Engine};
+use doppel_db::DoppelDb;
+use doppel_occ::OccEngine;
+use doppel_twopl::TwoplEngine;
+use std::time::Duration;
+
+/// The four concurrency-control schemes compared throughout §8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Phase reconciliation (this paper's system).
+    Doppel,
+    /// Silo-style optimistic concurrency control.
+    Occ,
+    /// Two-phase locking.
+    Twopl,
+    /// Atomic hardware operations, no concurrency control (upper bound for
+    /// locking on single-record increments).
+    Atomic,
+}
+
+impl EngineKind {
+    /// Engine name as printed in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Doppel => "Doppel",
+            EngineKind::Occ => "OCC",
+            EngineKind::Twopl => "2PL",
+            EngineKind::Atomic => "Atomic",
+        }
+    }
+
+    /// The three transactional engines (used by experiments where Atomic does
+    /// not apply, e.g. LIKE and RUBiS).
+    pub const TRANSACTIONAL: &'static [EngineKind] =
+        &[EngineKind::Doppel, EngineKind::Occ, EngineKind::Twopl];
+
+    /// All four engines (INCR microbenchmarks).
+    pub const ALL: &'static [EngineKind] =
+        &[EngineKind::Doppel, EngineKind::Occ, EngineKind::Twopl, EngineKind::Atomic];
+
+    /// Parses an engine name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "doppel" => Some(EngineKind::Doppel),
+            "occ" => Some(EngineKind::Occ),
+            "2pl" | "twopl" => Some(EngineKind::Twopl),
+            "atomic" => Some(EngineKind::Atomic),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters for engine construction.
+#[derive(Clone, Debug)]
+pub struct EngineParams {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Store shards.
+    pub shards: usize,
+    /// Doppel phase length.
+    pub phase_len: Duration,
+    /// Disable splitting (Doppel ablation).
+    pub disable_splitting: bool,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            workers: 4,
+            shards: 1024,
+            phase_len: Duration::from_millis(20),
+            disable_splitting: false,
+        }
+    }
+}
+
+/// Builds an engine of the given kind. Doppel is started with its automatic
+/// coordinator running.
+pub fn build_engine(kind: EngineKind, params: &EngineParams) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::Doppel => {
+            let config = DoppelConfig {
+                workers: params.workers,
+                store_shards: params.shards,
+                phase_len: params.phase_len,
+                enable_splitting: !params.disable_splitting,
+                ..DoppelConfig::default()
+            };
+            Box::new(DoppelDb::start(config))
+        }
+        EngineKind::Occ => Box::new(OccEngine::new(params.workers, params.shards)),
+        EngineKind::Twopl => Box::new(TwoplEngine::new(params.workers, params.shards)),
+        EngineKind::Atomic => Box::new(AtomicEngine::new(params.workers)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{Key, ProcedureFn, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn labels_and_parsing() {
+        assert_eq!(EngineKind::Doppel.label(), "Doppel");
+        assert_eq!(EngineKind::from_name("doppel"), Some(EngineKind::Doppel));
+        assert_eq!(EngineKind::from_name("OCC"), Some(EngineKind::Occ));
+        assert_eq!(EngineKind::from_name("2pl"), Some(EngineKind::Twopl));
+        assert_eq!(EngineKind::from_name("atomic"), Some(EngineKind::Atomic));
+        assert_eq!(EngineKind::from_name("mystery"), None);
+        assert_eq!(EngineKind::ALL.len(), 4);
+        assert_eq!(EngineKind::TRANSACTIONAL.len(), 3);
+    }
+
+    #[test]
+    fn every_engine_builds_and_commits() {
+        let params = EngineParams { workers: 1, ..Default::default() };
+        for kind in EngineKind::ALL {
+            let engine = build_engine(*kind, &params);
+            engine.load(Key::raw(1), Value::Int(0));
+            let mut h = engine.handle(0);
+            let proc = Arc::new(ProcedureFn::new("incr", |tx| tx.add(Key::raw(1), 1)));
+            assert!(h.execute(proc).is_committed(), "{:?} failed to commit", kind);
+            assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(1)));
+            assert_eq!(engine.name(), kind.label());
+            engine.shutdown();
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Helpers for running experiment points.
+
+use crate::engines::{build_engine, EngineKind, EngineParams};
+use doppel_common::Engine;
+use doppel_db::DoppelDb;
+use doppel_workloads::driver::{BenchOptions, BenchResult, Driver, Workload};
+use std::time::{Duration, Instant};
+
+/// Parameters common to all experiment binaries, resolved from command-line
+/// arguments by each binary.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Worker threads per engine ("cores" in the paper; 20 for most paper
+    /// figures).
+    pub cores: usize,
+    /// Measurement seconds per data point (20 s in the paper).
+    pub seconds: f64,
+    /// Number of keys for the microbenchmarks (1 M in the paper).
+    pub keys: u64,
+    /// Doppel phase length.
+    pub phase_len: Duration,
+    /// Store shards.
+    pub shards: usize,
+}
+
+impl ExperimentConfig {
+    /// Laptop-scale defaults so every experiment completes in seconds. The
+    /// `--full` flag of each binary switches to the paper-scale parameters.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            cores: 4,
+            seconds: 0.4,
+            keys: 100_000,
+            phase_len: Duration::from_millis(20),
+            shards: 1024,
+        }
+    }
+
+    /// Paper-scale parameters (§8.1): 20 cores, 20-second runs, 1 M keys.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            cores: 20,
+            seconds: 20.0,
+            keys: 1_000_000,
+            phase_len: Duration::from_millis(20),
+            shards: 4096,
+        }
+    }
+
+    /// Resolves the configuration from parsed arguments: `--full` selects the
+    /// paper scale, and individual flags override single values.
+    pub fn from_args(args: &crate::args::Args) -> Self {
+        let base = if args.flag("full") { Self::paper() } else { Self::quick() };
+        ExperimentConfig {
+            cores: args.get_usize("cores", base.cores),
+            seconds: args.get_f64("seconds", base.seconds),
+            keys: args.get_u64("keys", base.keys),
+            phase_len: Duration::from_secs_f64(
+                args.get_f64("phase-ms", base.phase_len.as_secs_f64() * 1e3) / 1e3,
+            ),
+            shards: args.get_usize("shards", base.shards),
+        }
+    }
+
+    /// Engine construction parameters derived from this configuration.
+    pub fn engine_params(&self) -> EngineParams {
+        EngineParams {
+            workers: self.cores,
+            shards: self.shards,
+            phase_len: self.phase_len,
+            disable_splitting: false,
+        }
+    }
+
+    /// The benchmark options derived from this configuration.
+    pub fn bench_options(&self) -> BenchOptions {
+        BenchOptions::new(self.cores, Duration::from_secs_f64(self.seconds))
+    }
+}
+
+/// Runs one `(engine kind, workload)` point: builds a fresh engine, loads the
+/// workload, measures, shuts the engine down and returns the result.
+pub fn run_point(kind: EngineKind, workload: &dyn Workload, config: &ExperimentConfig) -> BenchResult {
+    let engine = build_engine(kind, &config.engine_params());
+    let result = Driver::run(engine.as_ref(), workload, &config.bench_options());
+    engine.shutdown();
+    result
+}
+
+/// A run with time-series samples collected while it was executing, used by
+/// the Figure 10 (throughput over time) and Table 2 (how many keys Doppel
+/// splits) experiments.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// The aggregate result.
+    pub result: BenchResult,
+    /// `(elapsed seconds, committed transactions so far)` samples.
+    pub commit_samples: Vec<(f64, u64)>,
+    /// `(elapsed seconds, number of split records)` samples (Doppel only;
+    /// empty for other engines).
+    pub split_samples: Vec<(f64, usize)>,
+    /// The largest set of split keys observed at any sample point (Doppel
+    /// only).
+    pub max_split_keys: Vec<doppel_common::Key>,
+}
+
+/// Runs a Doppel (or other) engine point while sampling commit counts and
+/// split-key state every `sample_every`.
+///
+/// When `kind` is [`EngineKind::Doppel`] the engine is built concretely so
+/// the sampler can also read the classifier's current split keys; other
+/// engines only produce commit-count samples.
+pub fn sample_during_run(
+    kind: EngineKind,
+    workload: &dyn Workload,
+    config: &ExperimentConfig,
+    sample_every: Duration,
+) -> SampledRun {
+    match kind {
+        EngineKind::Doppel => {
+            let db = DoppelDb::start(doppel_common::DoppelConfig {
+                workers: config.cores,
+                store_shards: config.shards,
+                phase_len: config.phase_len,
+                ..Default::default()
+            });
+            let run = sample_impl(&db, Some(&db), workload, config, sample_every);
+            db.shutdown();
+            run
+        }
+        other => {
+            let engine = build_engine(other, &config.engine_params());
+            let run = sample_impl(engine.as_ref(), None, workload, config, sample_every);
+            engine.shutdown();
+            run
+        }
+    }
+}
+
+fn sample_impl(
+    engine: &dyn Engine,
+    doppel: Option<&DoppelDb>,
+    workload: &dyn Workload,
+    config: &ExperimentConfig,
+    sample_every: Duration,
+) -> SampledRun {
+    let mut commit_samples = Vec::new();
+    let mut split_samples = Vec::new();
+    let mut max_split_keys: Vec<doppel_common::Key> = Vec::new();
+    let started = Instant::now();
+
+    let result = std::thread::scope(|scope| {
+        let options = config.bench_options();
+        let runner = scope.spawn(move || Driver::run(engine, workload, &options));
+        // Sample until the measurement thread finishes.
+        loop {
+            std::thread::sleep(sample_every);
+            let elapsed = started.elapsed().as_secs_f64();
+            commit_samples.push((elapsed, engine.stats().commits));
+            if let Some(db) = doppel {
+                let keys = db.split_keys();
+                split_samples.push((elapsed, keys.len()));
+                if keys.len() > max_split_keys.len() {
+                    max_split_keys = keys.into_iter().map(|(k, _)| k).collect();
+                }
+            }
+            if runner.is_finished() {
+                break;
+            }
+        }
+        runner.join().expect("measurement thread panicked")
+    });
+    SampledRun { result, commit_samples, split_samples, max_split_keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use doppel_workloads::incr::Incr1Workload;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            cores: 2,
+            seconds: 0.08,
+            keys: 64,
+            phase_len: Duration::from_millis(5),
+            shards: 64,
+        }
+    }
+
+    #[test]
+    fn config_from_args() {
+        let quick = ExperimentConfig::from_args(&Args::parse(Vec::<String>::new()));
+        assert_eq!(quick.cores, ExperimentConfig::quick().cores);
+        let full = ExperimentConfig::from_args(&Args::parse(
+            ["--full".to_string(), "--cores".into(), "8".into()].into_iter().collect::<Vec<_>>(),
+        ));
+        assert_eq!(full.cores, 8);
+        assert_eq!(full.keys, ExperimentConfig::paper().keys);
+        let custom = ExperimentConfig::from_args(&Args::parse(
+            ["--phase-ms".to_string(), "5".into()].into_iter().collect::<Vec<_>>(),
+        ));
+        assert_eq!(custom.phase_len, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn run_point_works_for_all_engines() {
+        let config = tiny_config();
+        let workload = Incr1Workload::new(config.keys, 0.5);
+        for kind in EngineKind::ALL {
+            let result = run_point(*kind, &workload, &config);
+            assert!(result.committed > 0, "{kind:?} committed nothing");
+            assert_eq!(result.workers, 2);
+        }
+    }
+
+    #[test]
+    fn sampled_run_collects_time_series() {
+        let config = tiny_config();
+        let workload = Incr1Workload::new(config.keys, 1.0);
+        let sampled =
+            sample_during_run(EngineKind::Occ, &workload, &config, Duration::from_millis(20));
+        assert!(sampled.result.committed > 0);
+        assert!(!sampled.commit_samples.is_empty());
+        // Commit samples are monotonically non-decreasing.
+        for pair in sampled.commit_samples.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§8). They share:
+//!
+//! * [`args::Args`] — a small `--flag value` command-line parser (the paper's
+//!   full-scale parameters are requested with `--full`; the defaults are
+//!   laptop-scale so every experiment finishes in seconds);
+//! * [`engines`] — construction of the four engines (Doppel, OCC, 2PL,
+//!   Atomic) behind the common [`doppel_common::Engine`] interface;
+//! * [`experiment`] — helpers to run one `(engine, workload)` point through
+//!   the [`doppel_workloads::Driver`] and to sample Doppel's split-key state
+//!   while a run is in progress (needed by Table 2 and Figure 10).
+
+pub mod args;
+pub mod engines;
+pub mod experiment;
+pub mod output;
+
+pub use args::Args;
+pub use engines::{build_engine, EngineKind};
+pub use experiment::{run_point, sample_during_run, ExperimentConfig, SampledRun};
+pub use output::emit;

@@ -1,0 +1,53 @@
+//! Output handling shared by the experiment binaries.
+
+use crate::args::Args;
+use doppel_workloads::report::Table;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints the table to stdout and, when `--out <dir>` was given, also writes
+/// `<dir>/<slug>.json` and `<dir>/<slug>.txt`.
+pub fn emit(table: &Table, slug: &str, args: &Args) {
+    println!("{table}");
+    if let Some(dir) = args.get("out") {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create output directory {}: {e}", dir.display());
+            return;
+        }
+        let json_path = dir.join(format!("{slug}.json"));
+        let txt_path = dir.join(format!("{slug}.txt"));
+        if let Err(e) = fs::write(&json_path, table.to_json()) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
+        }
+        if let Err(e) = fs::write(&txt_path, table.render()) {
+            eprintln!("warning: could not write {}: {e}", txt_path.display());
+        }
+        eprintln!("wrote {} and {}", json_path.display(), txt_path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_workloads::report::Cell;
+
+    #[test]
+    fn emit_writes_files_when_out_given() {
+        let dir = std::env::temp_dir().join(format!("doppel-bench-test-{}", std::process::id()));
+        let mut table = Table::new("t", &["a"]);
+        table.push_row(vec![Cell::Int(1)]);
+        let args = Args::parse(vec!["--out".to_string(), dir.display().to_string()]);
+        emit(&table, "unit", &args);
+        assert!(dir.join("unit.json").exists());
+        assert!(dir.join("unit.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_without_out_only_prints() {
+        let mut table = Table::new("t", &["a"]);
+        table.push_row(vec![Cell::Int(1)]);
+        emit(&table, "unit", &Args::default());
+    }
+}

@@ -1,0 +1,196 @@
+//! Configuration of the Doppel engine.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Feedback-loop parameters for the phase coordinator (§5.4).
+///
+/// The coordinator "usually starts a phase change every 20 milliseconds, but
+/// feedback mechanisms allow it to flexibly adjust to the workload":
+/// it delays split phases when nothing is contended and hurries the next
+/// joined phase when split-phase workers stash too many transactions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseFeedback {
+    /// If during a joined phase no record accumulates enough conflicts to be
+    /// split, the coordinator delays the next split phase and re-examines the
+    /// counters after another phase length.
+    pub delay_split_when_uncontended: bool,
+    /// If the fraction of split-phase transactions that had to be stashed
+    /// exceeds this threshold, the coordinator ends the split phase early
+    /// ("hurries the next joined phase").
+    pub hurry_joined_stash_fraction: f64,
+    /// Minimum time the coordinator lets a split phase run before the
+    /// stash-fraction feedback may cut it short.
+    pub min_split_fraction: f64,
+}
+
+impl Default for PhaseFeedback {
+    fn default() -> Self {
+        PhaseFeedback {
+            delay_split_when_uncontended: true,
+            hurry_joined_stash_fraction: 0.5,
+            min_split_fraction: 0.25,
+        }
+    }
+}
+
+/// Tunable parameters of a Doppel database instance.
+///
+/// The defaults reproduce the values used throughout the paper's evaluation:
+/// a 20 ms phase length (§5.4, §8.1) and automatic contention-based
+/// classification (§5.5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DoppelConfig {
+    /// Number of worker threads ("cores"). Each worker owns a set of
+    /// per-core slices for split records.
+    pub workers: usize,
+    /// Nominal phase length. The coordinator starts a joined→split transition
+    /// this long after the previous joined phase began, and a split→joined
+    /// transition this long after the split phase began (subject to
+    /// feedback).
+    pub phase_len: Duration,
+    /// Number of store shards (power of two recommended).
+    pub store_shards: usize,
+    /// A record is marked split for an operation kind when, during one joined
+    /// phase, it causes at least this many sampled conflicts…
+    pub split_min_conflicts: u64,
+    /// …and those conflicts amount to at least this fraction of the phase's
+    /// committed transactions. Both conditions must hold.
+    pub split_conflict_fraction: f64,
+    /// A split record whose split-phase write count falls below this fraction
+    /// of the phase's committed transactions is moved back to reconciled
+    /// state at the next transition.
+    pub unsplit_write_fraction: f64,
+    /// A split record is also moved back when stashes attributable to it
+    /// exceed its split-phase writes by this factor (reads dominate writes,
+    /// so splitting no longer pays off).
+    pub unsplit_stash_ratio: f64,
+    /// Sampling probability for conflict accounting in joined phases
+    /// (1.0 = count every conflict; the paper samples to keep overhead low).
+    pub conflict_sample_rate: f64,
+    /// Maximum number of records split simultaneously (a safety valve; the
+    /// paper's workloads split at most a few tens of records).
+    pub max_split_records: usize,
+    /// When `false`, the engine never splits anything and degenerates to
+    /// plain OCC — used as an ablation and in tests.
+    pub enable_splitting: bool,
+    /// Coordinator feedback parameters.
+    pub feedback: PhaseFeedback,
+    /// Capacity used when `TopKInsert` creates a missing top-K record.
+    pub default_topk_capacity: usize,
+}
+
+impl Default for DoppelConfig {
+    fn default() -> Self {
+        DoppelConfig {
+            workers: 4,
+            phase_len: Duration::from_millis(20),
+            store_shards: 256,
+            split_min_conflicts: 12,
+            split_conflict_fraction: 0.02,
+            unsplit_write_fraction: 0.005,
+            unsplit_stash_ratio: 8.0,
+            conflict_sample_rate: 1.0,
+            max_split_records: 1024,
+            enable_splitting: true,
+            feedback: PhaseFeedback::default(),
+            default_topk_capacity: 32,
+        }
+    }
+}
+
+impl DoppelConfig {
+    /// Convenience constructor: default configuration with `workers` workers.
+    pub fn with_workers(workers: usize) -> Self {
+        DoppelConfig { workers, ..Default::default() }
+    }
+
+    /// Sets the phase length, returning `self` for chaining.
+    pub fn phase_len(mut self, d: Duration) -> Self {
+        self.phase_len = d;
+        self
+    }
+
+    /// Disables splitting (ablation: Doppel degenerates to OCC).
+    pub fn without_splitting(mut self) -> Self {
+        self.enable_splitting = false;
+        self
+    }
+
+    /// Validates the configuration, returning a human-readable error when a
+    /// parameter is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.workers >= crate::tid::MAX_CORES {
+            return Err(format!("workers must be < {}", crate::tid::MAX_CORES));
+        }
+        if self.store_shards == 0 {
+            return Err("store_shards must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.conflict_sample_rate) {
+            return Err("conflict_sample_rate must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.split_conflict_fraction) {
+            return Err("split_conflict_fraction must be in [0, 1]".into());
+        }
+        if self.phase_len.is_zero() {
+            return Err("phase_len must be non-zero".into());
+        }
+        if self.default_topk_capacity == 0 {
+            return Err("default_topk_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DoppelConfig::default();
+        assert_eq!(c.phase_len, Duration::from_millis(20));
+        assert!(c.enable_splitting);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = DoppelConfig::with_workers(8)
+            .phase_len(Duration::from_millis(5))
+            .without_splitting();
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.phase_len, Duration::from_millis(5));
+        assert!(!c.enable_splitting);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(DoppelConfig { workers: 0, ..Default::default() }.validate().is_err());
+        assert!(DoppelConfig { store_shards: 0, ..Default::default() }.validate().is_err());
+        assert!(
+            DoppelConfig { conflict_sample_rate: 1.5, ..Default::default() }.validate().is_err()
+        );
+        assert!(DoppelConfig { split_conflict_fraction: -0.1, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(DoppelConfig { phase_len: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(DoppelConfig { default_topk_capacity: 0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(DoppelConfig { workers: 5000, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DoppelConfig::with_workers(3);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: DoppelConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

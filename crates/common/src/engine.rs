@@ -1,0 +1,366 @@
+//! Engine-agnostic execution interface.
+//!
+//! The paper compares Doppel against OCC, 2PL and an "Atomic" baseline, all
+//! "implemented in the same framework" (§8.1). This module is that framework:
+//!
+//! * a [`Procedure`] is a one-shot transaction (§3) — a closed description of
+//!   the work, submitted to a worker and rerunnable (Doppel may stash it and
+//!   re-execute it in the next joined phase);
+//! * a [`Tx`] is the operation interface a procedure uses while it runs;
+//! * a [`TxHandle`] is a per-worker execution handle (one per core);
+//! * an [`Engine`] creates handles and exposes statistics.
+
+use crate::error::TxError;
+use crate::key::Key;
+use crate::ops::{Op, OpKind, OrderKey};
+use crate::stats::StatsSnapshot;
+use crate::tid::Tid;
+use crate::value::Value;
+use crate::CoreId;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Operation interface available to a running transaction.
+///
+/// Write operations are buffered in the transaction's write set and applied
+/// at commit, so their effects are not visible through [`Tx::get`] until the
+/// transaction commits — with the exception of `Put`, whose buffered value is
+/// returned by a subsequent `get` of the same key (read-your-writes), because
+/// several RUBiS transactions rely on reading a row they just created.
+pub trait Tx {
+    /// The core / worker this transaction runs on.
+    fn core(&self) -> CoreId;
+
+    /// Reads a record, returning `None` when it does not exist.
+    fn get(&mut self, k: Key) -> Result<Option<Value>, TxError>;
+
+    /// Buffers a write operation against a record.
+    fn write_op(&mut self, k: Key, op: Op) -> Result<(), TxError>;
+
+    /// Overwrites a record with a new value.
+    fn put(&mut self, k: Key, v: Value) -> Result<(), TxError> {
+        self.write_op(k, Op::Put(v))
+    }
+
+    /// `v[k] ← max(v[k], n)` (splittable).
+    fn max(&mut self, k: Key, n: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::Max(n))
+    }
+
+    /// `v[k] ← min(v[k], n)` (splittable).
+    fn min(&mut self, k: Key, n: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::Min(n))
+    }
+
+    /// `v[k] ← v[k] + n` (splittable).
+    fn add(&mut self, k: Key, n: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::Add(n))
+    }
+
+    /// `v[k] ← v[k] * n` (splittable).
+    fn mult(&mut self, k: Key, n: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::Mult(n))
+    }
+
+    /// Ordered put: replaces the tuple at `k` when `(order, core)` is larger
+    /// than the stored tuple's (splittable). The core id is filled in
+    /// automatically from [`Tx::core`].
+    fn oput(&mut self, k: Key, order: OrderKey, payload: Bytes) -> Result<(), TxError> {
+        let core = self.core();
+        self.write_op(k, Op::OPut { order, core, payload })
+    }
+
+    /// Inserts `(order, core, payload)` into the top-K set at `k`
+    /// (splittable). `k_cap` bounds the set if the record is created by this
+    /// operation.
+    fn topk_insert(
+        &mut self,
+        k: Key,
+        order: OrderKey,
+        payload: Bytes,
+        k_cap: usize,
+    ) -> Result<(), TxError> {
+        let core = self.core();
+        self.write_op(k, Op::TopKInsert { order, core, payload, k: k_cap })
+    }
+
+    /// Reads an integer record, treating a missing record as 0.
+    fn get_int(&mut self, k: Key) -> Result<i64, TxError> {
+        match self.get(k)? {
+            None => Ok(0),
+            Some(Value::Int(n)) => Ok(n),
+            Some(v) => Err(TxError::type_mismatch(OpKind::Get, v.kind())),
+        }
+    }
+}
+
+/// A one-shot transaction procedure (§3: "clients submit transactions in the
+/// form of procedures").
+///
+/// Procedures must be deterministic functions of the database state they
+/// read: Doppel may abort and re-execute them (OCC retry) or stash and replay
+/// them in a later joined phase, and the serializability argument of §5.6
+/// relies on re-execution producing the same decisions when reads return the
+/// same values.
+pub trait Procedure: Send + Sync {
+    /// Executes the transaction body against `tx`.
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError>;
+
+    /// Short, static name used in statistics and latency breakdowns.
+    fn name(&self) -> &'static str {
+        "procedure"
+    }
+
+    /// True when the procedure issues no writes; used by the harness to
+    /// report read and write latencies separately (Table 3 of the paper).
+    fn is_read_only(&self) -> bool {
+        false
+    }
+}
+
+/// A [`Procedure`] built from a closure, convenient in examples and tests.
+///
+/// # Examples
+///
+/// ```
+/// use doppel_common::{Key, ProcedureFn, Procedure};
+///
+/// let incr = ProcedureFn::new("incr", |tx| tx.add(Key::raw(1), 1));
+/// assert_eq!(incr.name(), "incr");
+/// ```
+pub struct ProcedureFn<F> {
+    name: &'static str,
+    read_only: bool,
+    f: F,
+}
+
+impl<F> ProcedureFn<F>
+where
+    F: Fn(&mut dyn Tx) -> Result<(), TxError> + Send + Sync,
+{
+    /// Wraps a closure as a (read-write) procedure.
+    pub fn new(name: &'static str, f: F) -> Self {
+        ProcedureFn { name, read_only: false, f }
+    }
+
+    /// Wraps a closure as a read-only procedure.
+    pub fn read_only(name: &'static str, f: F) -> Self {
+        ProcedureFn { name, read_only: true, f }
+    }
+}
+
+impl<F> Procedure for ProcedureFn<F>
+where
+    F: Fn(&mut dyn Tx) -> Result<(), TxError> + Send + Sync,
+{
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        (self.f)(tx)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+}
+
+/// Identifier handed back when a Doppel worker stashes a transaction; the
+/// matching [`Completion`] carries the same ticket once the transaction
+/// finally commits or aborts in a later joined phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// Result of submitting a procedure to a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The transaction committed with the given TID.
+    Committed(Tid),
+    /// The transaction aborted; [`TxError::is_retryable`] tells the caller
+    /// whether resubmitting later makes sense.
+    Aborted(TxError),
+    /// The transaction touched split data incompatibly during a split phase;
+    /// the worker stashed it and will re-execute it in the next joined phase.
+    /// A [`Completion`] with the same ticket will be reported by
+    /// [`TxHandle::take_completions`].
+    Stashed(Ticket),
+}
+
+impl Outcome {
+    /// True if the transaction committed immediately.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, Outcome::Committed(_))
+    }
+
+    /// True if the transaction was stashed.
+    pub fn is_stashed(&self) -> bool {
+        matches!(self, Outcome::Stashed(_))
+    }
+
+    /// The commit TID, if committed.
+    pub fn tid(&self) -> Option<Tid> {
+        match self {
+            Outcome::Committed(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Deferred result of a stashed transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Ticket returned by the original [`Outcome::Stashed`].
+    pub ticket: Ticket,
+    /// Final result: commit TID or the abort that ended the transaction.
+    pub result: Result<Tid, TxError>,
+}
+
+/// Per-worker execution handle. Exactly one handle exists per core, and a
+/// handle must only be used from one thread at a time.
+pub trait TxHandle: Send {
+    /// The core this handle is bound to.
+    fn core(&self) -> CoreId;
+
+    /// Executes a procedure as one transaction.
+    ///
+    /// The call participates in phase changes: a Doppel worker first passes a
+    /// safepoint where it may acknowledge a pending phase transition, merge
+    /// its per-core slices (reconciliation), or drain its stash.
+    fn execute(&mut self, proc: Arc<dyn Procedure>) -> Outcome;
+
+    /// Passes a safepoint without executing anything. Idle workers should
+    /// call this periodically so that they do not hold up phase transitions.
+    fn safepoint(&mut self);
+
+    /// Returns completions of previously stashed transactions that have since
+    /// been re-executed.
+    fn take_completions(&mut self) -> Vec<Completion>;
+
+    /// Number of transactions currently stashed on this worker.
+    fn stash_len(&self) -> usize {
+        0
+    }
+}
+
+/// A transactional engine: creates per-core handles and exposes global state.
+pub trait Engine: Send + Sync {
+    /// Engine name used in benchmark output ("Doppel", "OCC", "2PL", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of workers the engine was configured with.
+    fn workers(&self) -> usize;
+
+    /// Creates the execution handle for `core`. Must be called at most once
+    /// per core id in `0..workers()`.
+    fn handle(&self, core: CoreId) -> Box<dyn TxHandle>;
+
+    /// Point-in-time statistics snapshot.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Reads a record directly from the global store, bypassing concurrency
+    /// control. Only meaningful when the engine is quiescent (no concurrent
+    /// transactions and, for Doppel, no split phase in progress); intended
+    /// for test assertions and benchmark validation.
+    fn global_get(&self, k: Key) -> Option<Value>;
+
+    /// Loads a record directly into the global store, bypassing concurrency
+    /// control. Intended for benchmark pre-population ("we pre-allocate all
+    /// the records", §8.1).
+    fn load(&self, k: Key, v: Value);
+
+    /// Signals the engine to stop background activity (e.g. Doppel's
+    /// coordinator thread). Engines without background threads ignore this.
+    fn shutdown(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NopTx(CoreId, Vec<(Key, Op)>);
+
+    impl Tx for NopTx {
+        fn core(&self) -> CoreId {
+            self.0
+        }
+        fn get(&mut self, _k: Key) -> Result<Option<Value>, TxError> {
+            Ok(Some(Value::Int(7)))
+        }
+        fn write_op(&mut self, k: Key, op: Op) -> Result<(), TxError> {
+            self.1.push((k, op));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tx_default_methods_build_ops() {
+        let mut tx = NopTx(3, vec![]);
+        tx.add(Key::raw(1), 5).unwrap();
+        tx.max(Key::raw(2), 9).unwrap();
+        tx.min(Key::raw(3), 9).unwrap();
+        tx.mult(Key::raw(4), 2).unwrap();
+        tx.put(Key::raw(5), Value::Int(1)).unwrap();
+        tx.oput(Key::raw(6), OrderKey::from(10), "x".into()).unwrap();
+        tx.topk_insert(Key::raw(7), OrderKey::from(10), "y".into(), 8).unwrap();
+        assert_eq!(tx.1.len(), 7);
+        assert_eq!(tx.1[0].1.kind(), OpKind::Add);
+        // The core id is threaded into OPut / TopKInsert automatically.
+        match &tx.1[5].1 {
+            Op::OPut { core, .. } => assert_eq!(*core, 3),
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &tx.1[6].1 {
+            Op::TopKInsert { core, k, .. } => {
+                assert_eq!(*core, 3);
+                assert_eq!(*k, 8);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_int_defaults_missing_to_zero() {
+        struct Missing;
+        impl Tx for Missing {
+            fn core(&self) -> CoreId {
+                0
+            }
+            fn get(&mut self, _k: Key) -> Result<Option<Value>, TxError> {
+                Ok(None)
+            }
+            fn write_op(&mut self, _k: Key, _op: Op) -> Result<(), TxError> {
+                Ok(())
+            }
+        }
+        assert_eq!(Missing.get_int(Key::raw(1)).unwrap(), 0);
+        let mut t = NopTx(0, vec![]);
+        assert_eq!(t.get_int(Key::raw(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn procedure_fn_metadata() {
+        let p = ProcedureFn::new("write", |tx| tx.add(Key::raw(1), 1));
+        assert_eq!(p.name(), "write");
+        assert!(!p.is_read_only());
+        let r = ProcedureFn::read_only("read", |tx| tx.get(Key::raw(1)).map(|_| ()));
+        assert!(r.is_read_only());
+        let mut tx = NopTx(0, vec![]);
+        p.run(&mut tx).unwrap();
+        r.run(&mut tx).unwrap();
+        assert_eq!(tx.1.len(), 1);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let c = Outcome::Committed(Tid::from_parts(1, 0));
+        assert!(c.is_committed());
+        assert!(!c.is_stashed());
+        assert!(c.tid().is_some());
+        let s = Outcome::Stashed(Ticket(9));
+        assert!(s.is_stashed());
+        assert_eq!(s.tid(), None);
+        let a = Outcome::Aborted(TxError::Shutdown);
+        assert!(!a.is_committed());
+    }
+}

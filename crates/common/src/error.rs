@@ -1,0 +1,126 @@
+//! Transaction abort reasons.
+
+use crate::key::Key;
+use crate::ops::OpKind;
+use crate::value::ValueKind;
+use std::fmt;
+
+/// Why a transaction could not commit.
+///
+/// The workload harness treats [`TxError::Conflict`] and
+/// [`TxError::LockBusy`] as retryable aborts (the paper's §8.1 retries them
+/// "at a later time, chosen with exponential backoff"), while
+/// [`TxError::Stash`] means the Doppel worker has taken ownership of the
+/// transaction and will re-execute it in the next joined phase (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// OCC validation failed: a record read by the transaction changed (or
+    /// was locked by another transaction) before commit.
+    Conflict {
+        /// The record whose validation failed.
+        key: Key,
+    },
+    /// A lock needed at commit (OCC) or access (2PL) time was held by another
+    /// transaction and the engine chose to abort rather than wait.
+    LockBusy {
+        /// The record whose lock was busy.
+        key: Key,
+    },
+    /// The transaction touched split data in a way that is not allowed during
+    /// the current split phase: it read a split record, or used an operation
+    /// other than the record's selected operation. The transaction is saved
+    /// and re-executed in the next joined phase.
+    Stash {
+        /// The split record that triggered the stash.
+        key: Key,
+        /// The operation the transaction attempted.
+        attempted: OpKind,
+    },
+    /// An operation was applied to a value of an incompatible type, e.g.
+    /// `Add` on a byte-string record.
+    TypeMismatch {
+        /// The operation that was attempted.
+        op: OpKind,
+        /// The type of the value the record actually holds.
+        found: ValueKind,
+    },
+    /// The transaction logic itself decided to abort (e.g. a business-rule
+    /// violation). The harness does not retry these.
+    UserAbort {
+        /// Reason given by the transaction code.
+        reason: &'static str,
+    },
+    /// The engine is shutting down; no further transactions are accepted.
+    Shutdown,
+}
+
+impl TxError {
+    /// Convenience constructor for [`TxError::TypeMismatch`].
+    pub fn type_mismatch(op: OpKind, found: ValueKind) -> Self {
+        TxError::TypeMismatch { op, found }
+    }
+
+    /// True if the harness should retry the transaction later (with backoff).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TxError::Conflict { .. } | TxError::LockBusy { .. })
+    }
+
+    /// True if a Doppel worker stashed the transaction for the next joined
+    /// phase.
+    pub fn is_stash(&self) -> bool {
+        matches!(self, TxError::Stash { .. })
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict { key } => write!(f, "conflict on {key}"),
+            TxError::LockBusy { key } => write!(f, "lock busy on {key}"),
+            TxError::Stash { key, attempted } => {
+                write!(f, "stashed: {attempted} on split record {key}")
+            }
+            TxError::TypeMismatch { op, found } => {
+                write!(f, "type mismatch: {op} applied to {found:?} value")
+            }
+            TxError::UserAbort { reason } => write!(f, "user abort: {reason}"),
+            TxError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    #[test]
+    fn retryability() {
+        assert!(TxError::Conflict { key: Key::raw(1) }.is_retryable());
+        assert!(TxError::LockBusy { key: Key::raw(1) }.is_retryable());
+        assert!(!TxError::Stash { key: Key::raw(1), attempted: OpKind::Get }.is_retryable());
+        assert!(!TxError::UserAbort { reason: "x" }.is_retryable());
+        assert!(!TxError::Shutdown.is_retryable());
+    }
+
+    #[test]
+    fn stash_detection() {
+        assert!(TxError::Stash { key: Key::raw(1), attempted: OpKind::Get }.is_stash());
+        assert!(!TxError::Conflict { key: Key::raw(1) }.is_stash());
+    }
+
+    #[test]
+    fn display_messages() {
+        let s = format!("{}", TxError::Conflict { key: Key::raw(2) });
+        assert!(s.contains("conflict"));
+        let s = format!("{}", TxError::Stash { key: Key::raw(2), attempted: OpKind::Get });
+        assert!(s.contains("stashed"));
+        let s = format!(
+            "{}",
+            TxError::TypeMismatch { op: OpKind::Add, found: ValueKind::Bytes }
+        );
+        assert!(s.contains("type mismatch"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Record keys.
+//!
+//! The paper's microbenchmarks use 16-byte keys over a flat key/value store,
+//! while the RUBiS port needs composite keys (table, primary id, qualifier)
+//! such as `MaxBidKey(item)` or `NumBidsKey(item)`. [`Key`] is a 16-byte
+//! `Copy` struct that covers both uses: a table tag, a 64-bit primary id and
+//! a 32-bit qualifier.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical table / namespace a key belongs to.
+///
+/// The flat microbenchmarks use [`Table::Raw`]; the applications (LIKE and
+/// RUBiS) use one tag per logical table or materialized aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum Table {
+    /// Flat key space used by the INCR microbenchmarks.
+    Raw = 0,
+    /// LIKE benchmark: per-user rows.
+    User = 1,
+    /// LIKE benchmark: per-page like counters.
+    Page = 2,
+    /// LIKE benchmark: individual "like" rows inserted by write transactions.
+    Like = 3,
+    /// RUBiS: users table.
+    RubisUser = 16,
+    /// RUBiS: items table.
+    RubisItem = 17,
+    /// RUBiS: categories table.
+    RubisCategory = 18,
+    /// RUBiS: regions table.
+    RubisRegion = 19,
+    /// RUBiS: bids table.
+    RubisBid = 20,
+    /// RUBiS: buy-now table.
+    RubisBuyNow = 21,
+    /// RUBiS: comments table.
+    RubisComment = 22,
+    /// RUBiS materialized aggregate: highest bid per item.
+    RubisMaxBid = 23,
+    /// RUBiS materialized aggregate: highest bidder per item.
+    RubisMaxBidder = 24,
+    /// RUBiS materialized aggregate: number of bids per item.
+    RubisNumBids = 25,
+    /// RUBiS materialized aggregate: rating per user.
+    RubisUserRating = 26,
+    /// RUBiS top-K index: items per category.
+    RubisItemsByCategory = 27,
+    /// RUBiS top-K index: items per region.
+    RubisItemsByRegion = 28,
+    /// RUBiS top-K index: bids per item.
+    RubisBidsPerItem = 29,
+    /// RUBiS: per-user list of comments received (AboutMe).
+    RubisCommentsByUser = 30,
+    /// RUBiS: sequence counters used to allocate fresh ids.
+    RubisSequence = 31,
+}
+
+impl Table {
+    /// All tables, useful for iteration in tests.
+    pub const ALL: &'static [Table] = &[
+        Table::Raw,
+        Table::User,
+        Table::Page,
+        Table::Like,
+        Table::RubisUser,
+        Table::RubisItem,
+        Table::RubisCategory,
+        Table::RubisRegion,
+        Table::RubisBid,
+        Table::RubisBuyNow,
+        Table::RubisComment,
+        Table::RubisMaxBid,
+        Table::RubisMaxBidder,
+        Table::RubisNumBids,
+        Table::RubisUserRating,
+        Table::RubisItemsByCategory,
+        Table::RubisItemsByRegion,
+        Table::RubisBidsPerItem,
+        Table::RubisCommentsByUser,
+        Table::RubisSequence,
+    ];
+}
+
+/// A 16-byte record key: `(table, id, sub)`.
+///
+/// Keys are `Copy`, hashable and totally ordered. The total order is used by
+/// the OCC commit protocol, which locks write sets "in a global order to
+/// prevent deadlock" (§5.1, Figure 2).
+///
+/// # Examples
+///
+/// ```
+/// use doppel_common::{Key, Table};
+///
+/// let k = Key::raw(42);
+/// assert_eq!(k.id(), 42);
+/// let max_bid = Key::new(Table::RubisMaxBid, 7, 0);
+/// assert!(max_bid > k); // ordered first by table, then id, then sub
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key {
+    table: Table,
+    id: u64,
+    sub: u32,
+}
+
+impl Key {
+    /// Creates a key in an explicit table.
+    #[inline]
+    pub const fn new(table: Table, id: u64, sub: u32) -> Self {
+        Key { table, id, sub }
+    }
+
+    /// Creates a key in the flat [`Table::Raw`] key space (microbenchmarks).
+    #[inline]
+    pub const fn raw(id: u64) -> Self {
+        Key { table: Table::Raw, id, sub: 0 }
+    }
+
+    /// The table this key belongs to.
+    #[inline]
+    pub const fn table(&self) -> Table {
+        self.table
+    }
+
+    /// The 64-bit primary id.
+    #[inline]
+    pub const fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The 32-bit qualifier (0 unless the caller needs a composite key).
+    #[inline]
+    pub const fn sub(&self) -> u32 {
+        self.sub
+    }
+
+    /// A stable 64-bit hash of the key, used for store sharding.
+    ///
+    /// This is a fixed mixing function (not `std`'s `RandomState`) so that
+    /// shard placement is deterministic across runs, which keeps the
+    /// benchmarks reproducible.
+    #[inline]
+    pub fn stable_hash(&self) -> u64 {
+        // SplitMix64-style mixing of the three fields.
+        let mut x = (self.table as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.id)
+            .wrapping_add((self.sub as u64) << 32);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sub == 0 {
+            write!(f, "{:?}/{}", self.table, self.id)
+        } else {
+            write!(f, "{:?}/{}.{}", self.table, self.id, self.sub)
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(id: u64) -> Self {
+        Key::raw(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn raw_key_roundtrip() {
+        let k = Key::raw(123);
+        assert_eq!(k.table(), Table::Raw);
+        assert_eq!(k.id(), 123);
+        assert_eq!(k.sub(), 0);
+    }
+
+    #[test]
+    fn key_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Key>(), 16);
+    }
+
+    #[test]
+    fn ordering_is_table_then_id_then_sub() {
+        let a = Key::new(Table::Raw, 5, 0);
+        let b = Key::new(Table::Raw, 6, 0);
+        let c = Key::new(Table::User, 0, 0);
+        let d = Key::new(Table::Raw, 5, 1);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < d);
+        assert!(d < b);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        let h1 = Key::raw(77).stable_hash();
+        let h2 = Key::raw(77).stable_hash();
+        assert_eq!(h1, h2);
+
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(Key::raw(i).stable_hash() % 1024);
+        }
+        // All 1024 shard buckets should be hit by 10k sequential keys.
+        assert_eq!(seen.len(), 1024);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Key::raw(3)), "Raw/3");
+        assert_eq!(format!("{}", Key::new(Table::RubisMaxBid, 9, 2)), "RubisMaxBid/9.2");
+    }
+
+    #[test]
+    fn from_u64() {
+        let k: Key = 9u64.into();
+        assert_eq!(k, Key::raw(9));
+    }
+}

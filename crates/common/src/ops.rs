@@ -1,0 +1,387 @@
+//! Database operations.
+//!
+//! Transactions interact with the database via calls to operations (§3). Each
+//! operation accesses exactly one record. `Get` and `Put` are the ordinary
+//! read/write operations; the remaining operations are the *splittable*
+//! commutative updates of §4:
+//!
+//! * they commute with themselves,
+//! * they return nothing,
+//! * one splittable operation is selected per split record per split phase,
+//! * the per-core slice they produce has size independent of how many
+//!   operations were applied.
+
+use crate::value::{OrderedTuple, Value};
+use crate::CoreId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexicographic order key used by `OPut` and `TopKInsert`.
+///
+/// The paper allows the order to be "a number (or several numbers in
+/// lexicographic order)" (§4). RUBiS uses `[bid_amount, timestamp]` so that
+/// the max-bidder record is determined by the highest bid, ties broken by
+/// time.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrderKey(Vec<i64>);
+
+impl OrderKey {
+    /// Creates an order key from its components (compared lexicographically).
+    pub fn new(components: Vec<i64>) -> Self {
+        assert!(!components.is_empty(), "order key must have at least one component");
+        OrderKey(components)
+    }
+
+    /// Creates a two-component order key.
+    pub fn pair(a: i64, b: i64) -> Self {
+        OrderKey(vec![a, b])
+    }
+
+    /// The first (most significant) component.
+    pub fn primary(&self) -> i64 {
+        self.0[0]
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl From<i64> for OrderKey {
+    fn from(n: i64) -> Self {
+        OrderKey(vec![n])
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+/// The kind of an operation, without its arguments.
+///
+/// `OpKind` is what Doppel's classifier tracks per record: a record is split
+/// *for a particular operation kind*, and during a split phase any operation
+/// of a different kind on that record causes the transaction to be stashed
+/// (§4 guideline 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read a record.
+    Get,
+    /// Overwrite a record (blind write); not splittable because it does not
+    /// commute.
+    Put,
+    /// Replace an integer with the max of itself and the argument.
+    Max,
+    /// Replace an integer with the min of itself and the argument.
+    Min,
+    /// Add the argument to an integer.
+    Add,
+    /// Multiply an integer by the argument (the "more operations could easily
+    /// be added (for instance, multiply)" extension from §4).
+    Mult,
+    /// Ordered put on ordered-tuple records.
+    OPut,
+    /// Insert into a bounded top-K set.
+    TopKInsert,
+}
+
+impl OpKind {
+    /// True if records may be split for this operation kind.
+    ///
+    /// Splittable operations commute with themselves and return nothing (§4).
+    pub fn splittable(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Max | OpKind::Min | OpKind::Add | OpKind::Mult | OpKind::OPut | OpKind::TopKInsert
+        )
+    }
+
+    /// True if the operation modifies the database.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, OpKind::Get)
+    }
+
+    /// All operation kinds (for tests and exhaustive tables).
+    pub const ALL: &'static [OpKind] = &[
+        OpKind::Get,
+        OpKind::Put,
+        OpKind::Max,
+        OpKind::Min,
+        OpKind::Add,
+        OpKind::Mult,
+        OpKind::OPut,
+        OpKind::TopKInsert,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A write operation with its arguments (the read operation `Get` is handled
+/// separately by the transaction interface because it returns a value).
+///
+/// `Op` values are buffered in transaction write sets and applied at commit
+/// time, or — for splittable operations on split records during a split
+/// phase — applied to the local core's slice.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Blind overwrite with a new value.
+    Put(Value),
+    /// `v[k] ← max(v[k], n)` on integer records.
+    Max(i64),
+    /// `v[k] ← min(v[k], n)` on integer records.
+    Min(i64),
+    /// `v[k] ← v[k] + n` on integer records.
+    Add(i64),
+    /// `v[k] ← v[k] * n` on integer records.
+    Mult(i64),
+    /// Ordered put: replace the tuple if `(order, core)` is larger.
+    OPut {
+        /// Order of the new tuple.
+        order: OrderKey,
+        /// Id of the writing core (commutativity tie-breaker).
+        core: CoreId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// Insert `(order, core, payload)` into a top-K set of capacity `k`.
+    TopKInsert {
+        /// Order of the inserted tuple.
+        order: OrderKey,
+        /// Id of the writing core (dedup tie-breaker).
+        core: CoreId,
+        /// Payload bytes.
+        payload: Bytes,
+        /// Capacity of the top-K set (used when the record is created lazily).
+        k: usize,
+    },
+}
+
+impl Op {
+    /// The kind of this operation.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Put(_) => OpKind::Put,
+            Op::Max(_) => OpKind::Max,
+            Op::Min(_) => OpKind::Min,
+            Op::Add(_) => OpKind::Add,
+            Op::Mult(_) => OpKind::Mult,
+            Op::OPut { .. } => OpKind::OPut,
+            Op::TopKInsert { .. } => OpKind::TopKInsert,
+        }
+    }
+
+    /// Applies this operation to a value in place, returning the new value.
+    ///
+    /// `current` is `None` when the record does not exist yet; each operation
+    /// defines its behaviour on absent records:
+    ///
+    /// * `Put` creates the record;
+    /// * `Max`/`Min`/`Add`/`Mult` treat the record as the integer identity of
+    ///   the operation (−∞ / +∞ / 0 / 1 respectively), i.e. the argument (or
+    ///   for `Mult`, the value 1 × n);
+    /// * `OPut` treats absent records as order −∞ (§4);
+    /// * `TopKInsert` creates an empty top-K set first.
+    ///
+    /// This is the *global-store* semantics used by the joined phase and by
+    /// the OCC / 2PL baselines; the split phase applies operations to
+    /// per-core slices instead and merges them later, with the same overall
+    /// effect (§4).
+    pub fn apply_to(&self, current: Option<&Value>) -> Result<Value, crate::TxError> {
+        use crate::TxError;
+        match self {
+            Op::Put(v) => Ok(v.clone()),
+            Op::Max(n) => match current {
+                None => Ok(Value::Int(*n)),
+                Some(Value::Int(cur)) => Ok(Value::Int((*cur).max(*n))),
+                Some(v) => Err(TxError::type_mismatch(OpKind::Max, v.kind())),
+            },
+            Op::Min(n) => match current {
+                None => Ok(Value::Int(*n)),
+                Some(Value::Int(cur)) => Ok(Value::Int((*cur).min(*n))),
+                Some(v) => Err(TxError::type_mismatch(OpKind::Min, v.kind())),
+            },
+            Op::Add(n) => match current {
+                None => Ok(Value::Int(*n)),
+                Some(Value::Int(cur)) => Ok(Value::Int(cur.wrapping_add(*n))),
+                Some(v) => Err(TxError::type_mismatch(OpKind::Add, v.kind())),
+            },
+            Op::Mult(n) => match current {
+                None => Ok(Value::Int(*n)),
+                Some(Value::Int(cur)) => Ok(Value::Int(cur.wrapping_mul(*n))),
+                Some(v) => Err(TxError::type_mismatch(OpKind::Mult, v.kind())),
+            },
+            Op::OPut { order, core, payload } => {
+                let new = OrderedTuple::new(order.clone(), *core, payload.clone());
+                match current {
+                    None => Ok(Value::Tuple(new)),
+                    Some(Value::Tuple(cur)) => {
+                        if new.supersedes(cur) {
+                            Ok(Value::Tuple(new))
+                        } else {
+                            Ok(Value::Tuple(cur.clone()))
+                        }
+                    }
+                    Some(v) => Err(TxError::type_mismatch(OpKind::OPut, v.kind())),
+                }
+            }
+            Op::TopKInsert { order, core, payload, k } => {
+                let mut set = match current {
+                    None => crate::TopKSet::new(*k),
+                    Some(Value::TopK(cur)) => cur.clone(),
+                    Some(v) => return Err(TxError::type_mismatch(OpKind::TopKInsert, v.kind())),
+                };
+                set.insert(order.clone(), *core, payload.clone());
+                Ok(Value::TopK(set))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Put(v) => write!(f, "Put({v})"),
+            Op::Max(n) => write!(f, "Max({n})"),
+            Op::Min(n) => write!(f, "Min({n})"),
+            Op::Add(n) => write!(f, "Add({n})"),
+            Op::Mult(n) => write!(f, "Mult({n})"),
+            Op::OPut { order, core, .. } => write!(f, "OPut(order={order}, core={core})"),
+            Op::TopKInsert { order, core, k, .. } => {
+                write!(f, "TopKInsert(order={order}, core={core}, k={k})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxError;
+
+    #[test]
+    fn order_key_lexicographic() {
+        assert!(OrderKey::pair(1, 9) < OrderKey::pair(2, 0));
+        assert!(OrderKey::pair(2, 1) < OrderKey::pair(2, 3));
+        assert_eq!(OrderKey::from(5).primary(), 5);
+        assert_eq!(OrderKey::pair(5, 6).components(), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_order_key_panics() {
+        let _ = OrderKey::new(vec![]);
+    }
+
+    #[test]
+    fn splittability_matches_paper() {
+        assert!(!OpKind::Get.splittable());
+        assert!(!OpKind::Put.splittable());
+        for k in [OpKind::Max, OpKind::Min, OpKind::Add, OpKind::Mult, OpKind::OPut, OpKind::TopKInsert] {
+            assert!(k.splittable(), "{k} must be splittable");
+        }
+    }
+
+    #[test]
+    fn writes_vs_reads() {
+        assert!(!OpKind::Get.is_write());
+        assert!(OpKind::Put.is_write());
+        assert!(OpKind::Add.is_write());
+    }
+
+    #[test]
+    fn apply_max_min_add_mult() {
+        assert_eq!(Op::Max(5).apply_to(Some(&Value::Int(3))).unwrap(), Value::Int(5));
+        assert_eq!(Op::Max(5).apply_to(Some(&Value::Int(9))).unwrap(), Value::Int(9));
+        assert_eq!(Op::Max(5).apply_to(None).unwrap(), Value::Int(5));
+        assert_eq!(Op::Min(5).apply_to(Some(&Value::Int(9))).unwrap(), Value::Int(5));
+        assert_eq!(Op::Min(5).apply_to(None).unwrap(), Value::Int(5));
+        assert_eq!(Op::Add(5).apply_to(Some(&Value::Int(2))).unwrap(), Value::Int(7));
+        assert_eq!(Op::Add(5).apply_to(None).unwrap(), Value::Int(5));
+        assert_eq!(Op::Mult(5).apply_to(Some(&Value::Int(3))).unwrap(), Value::Int(15));
+        assert_eq!(Op::Mult(5).apply_to(None).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn apply_put_overwrites_any_type() {
+        let v = Op::Put(Value::from("new")).apply_to(Some(&Value::Int(1))).unwrap();
+        assert_eq!(v, Value::from("new"));
+        let v = Op::Put(Value::Int(2)).apply_to(None).unwrap();
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn apply_oput_semantics() {
+        let op_hi = Op::OPut { order: OrderKey::from(10), core: 1, payload: Bytes::from_static(b"hi") };
+        let op_lo = Op::OPut { order: OrderKey::from(3), core: 9, payload: Bytes::from_static(b"lo") };
+        let v1 = op_hi.apply_to(None).unwrap();
+        let v2 = op_lo.apply_to(Some(&v1)).unwrap();
+        // Lower order does not replace.
+        assert_eq!(v2.as_tuple().unwrap().payload, Bytes::from_static(b"hi"));
+        // Equal order, higher core replaces.
+        let op_tie = Op::OPut { order: OrderKey::from(10), core: 2, payload: Bytes::from_static(b"tie") };
+        let v3 = op_tie.apply_to(Some(&v1)).unwrap();
+        assert_eq!(v3.as_tuple().unwrap().core, 2);
+    }
+
+    #[test]
+    fn apply_topk_creates_and_bounds() {
+        let mk = |o: i64| Op::TopKInsert {
+            order: OrderKey::from(o),
+            core: 0,
+            payload: Bytes::from_static(b"x"),
+            k: 2,
+        };
+        let v = mk(1).apply_to(None).unwrap();
+        let v = mk(5).apply_to(Some(&v)).unwrap();
+        let v = mk(3).apply_to(Some(&v)).unwrap();
+        let set = v.as_topk().unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.max().unwrap().order, OrderKey::from(5));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let err = Op::Add(1).apply_to(Some(&Value::from("str"))).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+        let err = Op::OPut { order: OrderKey::from(1), core: 0, payload: Bytes::new() }
+            .apply_to(Some(&Value::Int(3)))
+            .unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+        let err = Op::TopKInsert { order: OrderKey::from(1), core: 0, payload: Bytes::new(), k: 3 }
+            .apply_to(Some(&Value::Int(3)))
+            .unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn op_kind_roundtrip_and_display() {
+        assert_eq!(Op::Add(1).kind(), OpKind::Add);
+        assert_eq!(Op::Put(Value::Int(0)).kind(), OpKind::Put);
+        assert_eq!(format!("{}", Op::Add(3)), "Add(3)");
+        assert_eq!(format!("{}", OpKind::Max), "Max");
+    }
+
+    /// Property: Max/Min/Add/Mult commute with themselves — applying a batch
+    /// in any order yields the same final value (§4 guideline 1).
+    #[test]
+    fn commutativity_smoke() {
+        let args = [3i64, -7, 42, 0, 13];
+        for make in [Op::Max, Op::Min, Op::Add, Op::Mult] {
+            let forward = args.iter().fold(Value::Int(1), |acc, &n| {
+                make(n).apply_to(Some(&acc)).unwrap()
+            });
+            let backward = args.iter().rev().fold(Value::Int(1), |acc, &n| {
+                make(n).apply_to(Some(&acc)).unwrap()
+            });
+            assert_eq!(forward, backward);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Engine statistics counters.
+//!
+//! All counters are relaxed atomics: they are monitoring data, not part of
+//! any correctness protocol, and relaxed updates keep them off the critical
+//! path.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters updated by workers and read by coordinators, benchmarks
+/// and tests.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Transactions that committed.
+    pub commits: AtomicU64,
+    /// Transactions that aborted due to a conflict (and were handed back to
+    /// the caller for retry).
+    pub conflicts: AtomicU64,
+    /// Transactions stashed by Doppel workers during split phases.
+    pub stashes: AtomicU64,
+    /// Stashed transactions that eventually committed in a joined phase.
+    pub stash_commits: AtomicU64,
+    /// User-initiated aborts.
+    pub user_aborts: AtomicU64,
+    /// Operations applied to per-core slices (split-phase fast path).
+    pub slice_ops: AtomicU64,
+    /// Per-core slices merged into the global store during reconciliations.
+    pub slices_merged: AtomicU64,
+    /// Completed joined phases.
+    pub joined_phases: AtomicU64,
+    /// Completed split phases.
+    pub split_phases: AtomicU64,
+    /// Records currently marked as split (gauge).
+    pub split_records: AtomicU64,
+    /// Records that have ever been marked split.
+    pub total_splits: AtomicU64,
+    /// Records moved back from split to reconciled state.
+    pub total_unsplits: AtomicU64,
+}
+
+impl EngineStats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            stashes: self.stashes.load(Ordering::Relaxed),
+            stash_commits: self.stash_commits.load(Ordering::Relaxed),
+            user_aborts: self.user_aborts.load(Ordering::Relaxed),
+            slice_ops: self.slice_ops.load(Ordering::Relaxed),
+            slices_merged: self.slices_merged.load(Ordering::Relaxed),
+            joined_phases: self.joined_phases.load(Ordering::Relaxed),
+            split_phases: self.split_phases.load(Ordering::Relaxed),
+            split_records: self.split_records.load(Ordering::Relaxed),
+            total_splits: self.total_splits.load(Ordering::Relaxed),
+            total_unsplits: self.total_unsplits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineStats`], safe to serialize and diff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// See [`EngineStats::commits`].
+    pub commits: u64,
+    /// See [`EngineStats::conflicts`].
+    pub conflicts: u64,
+    /// See [`EngineStats::stashes`].
+    pub stashes: u64,
+    /// See [`EngineStats::stash_commits`].
+    pub stash_commits: u64,
+    /// See [`EngineStats::user_aborts`].
+    pub user_aborts: u64,
+    /// See [`EngineStats::slice_ops`].
+    pub slice_ops: u64,
+    /// See [`EngineStats::slices_merged`].
+    pub slices_merged: u64,
+    /// See [`EngineStats::joined_phases`].
+    pub joined_phases: u64,
+    /// See [`EngineStats::split_phases`].
+    pub split_phases: u64,
+    /// See [`EngineStats::split_records`].
+    pub split_records: u64,
+    /// See [`EngineStats::total_splits`].
+    pub total_splits: u64,
+    /// See [`EngineStats::total_unsplits`].
+    pub total_unsplits: u64,
+}
+
+impl StatsSnapshot {
+    /// Total transactions that finished (committed or aborted for the caller).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.conflicts + self.user_aborts
+    }
+
+    /// Abort rate among finished transactions, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / attempts as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for per-interval rates).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            conflicts: self.conflicts - earlier.conflicts,
+            stashes: self.stashes - earlier.stashes,
+            stash_commits: self.stash_commits - earlier.stash_commits,
+            user_aborts: self.user_aborts - earlier.user_aborts,
+            slice_ops: self.slice_ops - earlier.slice_ops,
+            slices_merged: self.slices_merged - earlier.slices_merged,
+            joined_phases: self.joined_phases - earlier.joined_phases,
+            split_phases: self.split_phases - earlier.split_phases,
+            split_records: self.split_records,
+            total_splits: self.total_splits - earlier.total_splits,
+            total_unsplits: self.total_unsplits - earlier.total_unsplits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = EngineStats::new();
+        EngineStats::bump(&s.commits);
+        EngineStats::bump(&s.commits);
+        EngineStats::add(&s.conflicts, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.conflicts, 3);
+        assert_eq!(snap.attempts(), 5);
+        assert!((snap.abort_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_zero_when_idle() {
+        assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let a = StatsSnapshot { commits: 10, conflicts: 2, ..Default::default() };
+        let b = StatsSnapshot { commits: 25, conflicts: 5, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.commits, 15);
+        assert_eq!(d.conflicts, 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the value and operation layer: the algebraic
+//! facts (§4 of the paper) that the rest of the system builds on.
+
+use doppel_common::{Op, OpKind, OrderKey, OrderedTuple, TopKSet, Value};
+use proptest::prelude::*;
+
+fn arb_order() -> impl Strategy<Value = OrderKey> {
+    prop::collection::vec(-1_000i64..1_000, 1..3).prop_map(OrderKey::new)
+}
+
+fn arb_tuple() -> impl Strategy<Value = OrderedTuple> {
+    (arb_order(), 0usize..8, prop::collection::vec(any::<u8>(), 0..16))
+        .prop_map(|(order, core, payload)| OrderedTuple::new(order, core, payload))
+}
+
+proptest! {
+    /// `supersedes` is a strict total order on (order, core): exactly one of
+    /// a ≺ b, b ≺ a, or a == b (same order and core) holds.
+    #[test]
+    fn supersedes_is_a_strict_order(a in arb_tuple(), b in arb_tuple()) {
+        let ab = a.supersedes(&b);
+        let ba = b.supersedes(&a);
+        prop_assert!(!(ab && ba), "two tuples cannot both supersede each other");
+        if !ab && !ba {
+            prop_assert_eq!(&a.order, &b.order);
+            prop_assert_eq!(a.core, b.core);
+        }
+    }
+
+    /// Inserting tuples into a TopK set is insensitive to insertion order.
+    #[test]
+    fn topk_insertion_order_does_not_matter(
+        mut tuples in prop::collection::vec(arb_tuple(), 0..30),
+        k in 1usize..10,
+    ) {
+        let mut forward = TopKSet::new(k);
+        for t in &tuples {
+            forward.insert_tuple(t.clone());
+        }
+        tuples.reverse();
+        let mut backward = TopKSet::new(k);
+        for t in &tuples {
+            backward.insert_tuple(t.clone());
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// A TopK set never exceeds its capacity and is always sorted descending.
+    #[test]
+    fn topk_is_bounded_and_sorted(
+        tuples in prop::collection::vec(arb_tuple(), 0..50),
+        k in 1usize..8,
+    ) {
+        let mut set = TopKSet::new(k);
+        for t in tuples {
+            set.insert_tuple(t);
+        }
+        prop_assert!(set.len() <= k);
+        let orders: Vec<&OrderKey> = set.iter().map(|t| &t.order).collect();
+        for pair in orders.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "entries must be sorted descending");
+        }
+        // No duplicate orders survive.
+        for (i, a) in orders.iter().enumerate() {
+            for b in orders.iter().skip(i + 1) {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Merging two TopK sets equals inserting both sets' tuples into one.
+    #[test]
+    fn topk_merge_equals_union(
+        left in prop::collection::vec(arb_tuple(), 0..20),
+        right in prop::collection::vec(arb_tuple(), 0..20),
+        k in 1usize..8,
+    ) {
+        let mut a = TopKSet::new(k);
+        for t in &left {
+            a.insert_tuple(t.clone());
+        }
+        let mut b = TopKSet::new(k);
+        for t in &right {
+            b.insert_tuple(t.clone());
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+
+        let mut union = TopKSet::new(k);
+        for t in left.iter().chain(right.iter()) {
+            union.insert_tuple(t.clone());
+        }
+        prop_assert_eq!(merged, union);
+    }
+
+    /// Op::apply_to on integer operations is total for integer inputs and the
+    /// result never depends on argument aliasing.
+    #[test]
+    fn integer_ops_are_total_on_ints(initial in any::<i32>(), n in any::<i32>()) {
+        let initial = Value::Int(initial as i64);
+        for op in [Op::Add(n as i64), Op::Max(n as i64), Op::Min(n as i64), Op::Mult(n as i64)] {
+            let out = op.apply_to(Some(&initial)).unwrap();
+            prop_assert!(matches!(out, Value::Int(_)));
+        }
+    }
+
+    /// Applying `Max` twice with the same argument is idempotent; same for Min
+    /// (idempotence is what makes OCC retries of these operations harmless).
+    #[test]
+    fn max_min_are_idempotent(initial in any::<i32>(), n in any::<i32>()) {
+        let initial = Value::Int(initial as i64);
+        for op in [Op::Max(n as i64), Op::Min(n as i64)] {
+            let once = op.apply_to(Some(&initial)).unwrap();
+            let twice = op.apply_to(Some(&once)).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// OrderKey comparison is lexicographic: prefix-extended keys compare like
+    /// their vectors.
+    #[test]
+    fn order_key_is_lexicographic(a in prop::collection::vec(-50i64..50, 1..4),
+                                  b in prop::collection::vec(-50i64..50, 1..4)) {
+        let ka = OrderKey::new(a.clone());
+        let kb = OrderKey::new(b.clone());
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    /// Values survive a JSON round-trip (used by the RUBiS rows and the
+    /// benchmark result files).
+    #[test]
+    fn value_serde_roundtrip(n in any::<i64>(), payload in prop::collection::vec(any::<u8>(), 0..32)) {
+        for v in [Value::Int(n), Value::Bytes(payload.clone().into())] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}
+
+/// OpKind::splittable matches the fixed set from §4 (regression guard: adding
+/// a new operation must force an explicit decision here).
+#[test]
+fn splittable_set_is_exactly_the_papers() {
+    let splittable: Vec<OpKind> =
+        OpKind::ALL.iter().copied().filter(OpKind::splittable).collect();
+    assert_eq!(
+        splittable,
+        vec![OpKind::Max, OpKind::Min, OpKind::Add, OpKind::Mult, OpKind::OPut, OpKind::TopKInsert]
+    );
+}

@@ -1,0 +1,434 @@
+//! Contention sampling and split classification (§5.5).
+//!
+//! "During joined execution, Doppel samples transactions' conflicting record
+//! accesses, and keeps a count of which records are most conflicted (are
+//! causing the most aborts) and by which operations. During the transition to
+//! the split phase, a coordinator thread examines these counts and marks the
+//! most conflicted records as split data for the next phase. … Doppel also
+//! samples which transactions are stashed due to incompatible operations on
+//! split data during the split phase, and uses this to consider whether to
+//! move a split record back to reconciled or change its assigned operation.
+//! Since split records in the split phase will not cause conflicts, Doppel
+//! uses write sampling to estimate if a split record might still be
+//! contended."
+//!
+//! Each worker owns a [`WorkerSample`] (shared with the classifier behind an
+//! essentially uncontended mutex). At every phase transition the last
+//! acknowledging worker drains all samples into the [`Classifier`], which
+//! maintains the persistent per-key split decisions.
+
+use crate::split_registry::SplitSet;
+use doppel_common::{DoppelConfig, Key, OpKind};
+use std::collections::HashMap;
+
+/// Per-worker contention sample, reset at every phase transition.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSample {
+    /// Joined phase: number of aborts attributed to `(key, operation kind)`.
+    pub conflicts: HashMap<(Key, OpKind), u64>,
+    /// Split phase: operations applied to each split key's slice on this
+    /// worker (write sampling — split keys no longer conflict, so writes are
+    /// the contention signal).
+    pub split_writes: HashMap<Key, u64>,
+    /// Split phase: stashes attributed to `(key, attempted operation kind)`.
+    pub stashes: HashMap<(Key, OpKind), u64>,
+    /// Transactions committed by this worker during the phase.
+    pub committed: u64,
+}
+
+impl WorkerSample {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a joined-phase conflict on `key` caused by an `op` access.
+    pub fn record_conflict(&mut self, key: Key, op: OpKind) {
+        *self.conflicts.entry((key, op)).or_insert(0) += 1;
+    }
+
+    /// Records a split-phase slice write to `key`.
+    pub fn record_split_write(&mut self, key: Key) {
+        *self.split_writes.entry(key).or_insert(0) += 1;
+    }
+
+    /// Records a split-phase stash caused by attempting `op` on split `key`.
+    pub fn record_stash(&mut self, key: Key, op: OpKind) {
+        *self.stashes.entry((key, op)).or_insert(0) += 1;
+    }
+
+    /// Records a committed transaction.
+    pub fn record_commit(&mut self) {
+        self.committed += 1;
+    }
+
+    /// Drains the sample, returning its contents and resetting it.
+    pub fn take(&mut self) -> WorkerSample {
+        std::mem::take(self)
+    }
+}
+
+/// Aggregate of all workers' samples for one phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseSample {
+    /// Sum of per-worker conflict counts.
+    pub conflicts: HashMap<(Key, OpKind), u64>,
+    /// Sum of per-worker slice write counts.
+    pub split_writes: HashMap<Key, u64>,
+    /// Sum of per-worker stash counts.
+    pub stashes: HashMap<(Key, OpKind), u64>,
+    /// Total committed transactions in the phase.
+    pub committed: u64,
+}
+
+impl PhaseSample {
+    /// Merges one worker's sample into the aggregate.
+    pub fn absorb(&mut self, sample: WorkerSample) {
+        for (k, v) in sample.conflicts {
+            *self.conflicts.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in sample.split_writes {
+            *self.split_writes.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in sample.stashes {
+            *self.stashes.entry(k).or_insert(0) += v;
+        }
+        self.committed += sample.committed;
+    }
+
+    /// Total stashes across all keys.
+    pub fn total_stashes(&self) -> u64 {
+        self.stashes.values().sum()
+    }
+}
+
+/// Outcome of a classification pass, for statistics and tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassifyOutcome {
+    /// Keys newly marked split.
+    pub newly_split: Vec<Key>,
+    /// Keys moved back to reconciled state.
+    pub unsplit: Vec<Key>,
+    /// Number of keys currently split after the pass.
+    pub currently_split: usize,
+}
+
+/// Persistent split decisions plus the logic that updates them at phase
+/// transitions.
+#[derive(Debug)]
+pub struct Classifier {
+    config: DoppelConfig,
+    /// Current decisions: key → selected operation. Persists across phases
+    /// until the key is explicitly un-split.
+    current: HashMap<Key, OpKind>,
+}
+
+impl Classifier {
+    /// Creates a classifier with no split records.
+    pub fn new(config: DoppelConfig) -> Self {
+        Classifier { config, current: HashMap::new() }
+    }
+
+    /// Current number of split records.
+    pub fn split_count(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True if `key` is currently marked split.
+    pub fn is_split(&self, key: &Key) -> bool {
+        self.current.contains_key(key)
+    }
+
+    /// Builds the split set for the next split phase.
+    pub fn split_set(&self) -> SplitSet {
+        SplitSet::from_decisions(self.current.iter().map(|(k, op)| (*k, *op)))
+    }
+
+    /// Processes the sample of a finished *joined* phase: marks the most
+    /// conflicted records (for splittable operations) as split.
+    ///
+    /// A `(key, op)` pair is split when `op` is splittable and the pair
+    /// accumulated at least `split_min_conflicts` conflicts **and** at least
+    /// `split_conflict_fraction` of the phase's committed transactions.
+    pub fn end_joined_phase(&mut self, sample: &PhaseSample) -> ClassifyOutcome {
+        let mut outcome = ClassifyOutcome::default();
+        if !self.config.enable_splitting {
+            outcome.currently_split = self.current.len();
+            return outcome;
+        }
+        let committed = sample.committed.max(1);
+        let fraction_floor =
+            (self.config.split_conflict_fraction * committed as f64).ceil() as u64;
+        let threshold = self.config.split_min_conflicts.max(fraction_floor);
+
+        // Rank candidate (key, op) pairs by conflict count, most conflicted
+        // first, so the max_split_records cap keeps the hottest keys.
+        let mut candidates: Vec<(&(Key, OpKind), &u64)> = sample
+            .conflicts
+            .iter()
+            .filter(|((_, op), count)| op.splittable() && **count >= threshold)
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(a.1));
+
+        for ((key, op), _count) in candidates {
+            if self.current.len() >= self.config.max_split_records {
+                break;
+            }
+            if !self.current.contains_key(key) {
+                self.current.insert(*key, *op);
+                outcome.newly_split.push(*key);
+            }
+        }
+        outcome.currently_split = self.current.len();
+        outcome
+    }
+
+    /// Processes the sample of a finished *split* phase: moves records back
+    /// to reconciled state when they are no longer worth splitting, and
+    /// switches a record's selected operation when stashes show a different
+    /// splittable operation dominating.
+    pub fn end_split_phase(&mut self, sample: &PhaseSample) -> ClassifyOutcome {
+        let mut outcome = ClassifyOutcome::default();
+        let committed = sample.committed.max(1);
+        let keep_floor = (self.config.unsplit_write_fraction * committed as f64).ceil() as u64;
+
+        let keys: Vec<Key> = self.current.keys().copied().collect();
+        for key in keys {
+            let writes = sample.split_writes.get(&key).copied().unwrap_or(0);
+            let stashes: u64 = sample
+                .stashes
+                .iter()
+                .filter(|((k, _), _)| *k == key)
+                .map(|(_, v)| *v)
+                .sum();
+
+            // Rule 1: not enough split-phase writes — splitting no longer
+            // pays for its reconciliation cost.
+            let too_cold = writes < keep_floor;
+            // Rule 2: stashes dominate writes — reads (or incompatible
+            // operations) outnumber the split operation so heavily that
+            // forcing them to wait for joined phases hurts more than the
+            // parallel writes help.
+            let too_many_stashes =
+                stashes as f64 > self.config.unsplit_stash_ratio * (writes.max(1)) as f64;
+
+            if too_cold || too_many_stashes {
+                self.current.remove(&key);
+                outcome.unsplit.push(key);
+                continue;
+            }
+
+            // Rule 3: a different *splittable* operation dominates the
+            // stashes for this key — switch the selected operation for the
+            // next phase ("the operation for key k might be Min in one split
+            // phase, and Max in the next", §4).
+            if let Some((&(_, dominant_op), &dominant_count)) = sample
+                .stashes
+                .iter()
+                .filter(|((k, op), _)| *k == key && op.splittable())
+                .max_by_key(|(_, v)| **v)
+            {
+                if dominant_count > writes {
+                    self.current.insert(key, dominant_op);
+                }
+            }
+        }
+        outcome.currently_split = self.current.len();
+        outcome
+    }
+
+    /// Forces a manual split decision ("Doppel also supports manual data
+    /// labeling", §5.5).
+    pub fn label_split(&mut self, key: Key, op: OpKind) {
+        assert!(op.splittable(), "cannot label {key} split for unsplittable {op}");
+        self.current.insert(key, op);
+    }
+
+    /// Removes a manual or automatic split decision.
+    pub fn label_reconciled(&mut self, key: &Key) {
+        self.current.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DoppelConfig {
+        DoppelConfig {
+            split_min_conflicts: 10,
+            split_conflict_fraction: 0.01,
+            unsplit_write_fraction: 0.01,
+            unsplit_stash_ratio: 4.0,
+            ..DoppelConfig::default()
+        }
+    }
+
+    fn joined_sample(conflicts: &[(u64, OpKind, u64)], committed: u64) -> PhaseSample {
+        let mut s = PhaseSample { committed, ..Default::default() };
+        for (key, op, count) in conflicts {
+            s.conflicts.insert((Key::raw(*key), *op), *count);
+        }
+        s
+    }
+
+    #[test]
+    fn hot_splittable_key_gets_split() {
+        let mut c = Classifier::new(config());
+        let sample = joined_sample(&[(1, OpKind::Add, 500), (2, OpKind::Add, 2)], 10_000);
+        let outcome = c.end_joined_phase(&sample);
+        assert_eq!(outcome.newly_split, vec![Key::raw(1)]);
+        assert!(c.is_split(&Key::raw(1)));
+        assert!(!c.is_split(&Key::raw(2)), "2 conflicts is below both thresholds");
+        assert_eq!(c.split_set().selected_op(&Key::raw(1)), Some(OpKind::Add));
+    }
+
+    #[test]
+    fn unsplittable_conflicts_are_ignored() {
+        let mut c = Classifier::new(config());
+        let sample = joined_sample(&[(1, OpKind::Put, 5_000), (1, OpKind::Get, 5_000)], 10_000);
+        let outcome = c.end_joined_phase(&sample);
+        assert!(outcome.newly_split.is_empty());
+        assert_eq!(c.split_count(), 0);
+    }
+
+    #[test]
+    fn fraction_threshold_scales_with_commit_volume() {
+        let mut c = Classifier::new(config());
+        // 100 conflicts out of 100k commits = 0.1% < 1% → not split.
+        let sample = joined_sample(&[(1, OpKind::Add, 100)], 100_000);
+        c.end_joined_phase(&sample);
+        assert_eq!(c.split_count(), 0);
+        // 2000 conflicts out of 100k commits = 2% ≥ 1% → split.
+        let sample = joined_sample(&[(1, OpKind::Add, 2_000)], 100_000);
+        c.end_joined_phase(&sample);
+        assert_eq!(c.split_count(), 1);
+    }
+
+    #[test]
+    fn splitting_disabled_never_splits() {
+        let mut cfg = config();
+        cfg.enable_splitting = false;
+        let mut c = Classifier::new(cfg);
+        let sample = joined_sample(&[(1, OpKind::Add, 10_000)], 10_000);
+        let outcome = c.end_joined_phase(&sample);
+        assert!(outcome.newly_split.is_empty());
+        assert_eq!(c.split_count(), 0);
+    }
+
+    #[test]
+    fn max_split_records_cap_keeps_hottest() {
+        let mut cfg = config();
+        cfg.max_split_records = 2;
+        let mut c = Classifier::new(cfg);
+        let sample = joined_sample(
+            &[(1, OpKind::Add, 100), (2, OpKind::Add, 300), (3, OpKind::Add, 200)],
+            1_000,
+        );
+        c.end_joined_phase(&sample);
+        assert_eq!(c.split_count(), 2);
+        assert!(c.is_split(&Key::raw(2)));
+        assert!(c.is_split(&Key::raw(3)));
+        assert!(!c.is_split(&Key::raw(1)));
+    }
+
+    #[test]
+    fn cold_split_key_is_unsplit() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(1), OpKind::Add);
+        // Split phase with plenty of commits but almost no writes to key 1.
+        let sample = PhaseSample {
+            committed: 10_000,
+            split_writes: [(Key::raw(1), 3)].into_iter().collect(),
+            ..Default::default()
+        };
+        let outcome = c.end_split_phase(&sample);
+        assert_eq!(outcome.unsplit, vec![Key::raw(1)]);
+        assert_eq!(c.split_count(), 0);
+    }
+
+    #[test]
+    fn hot_split_key_stays_split() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(1), OpKind::Add);
+        let sample = PhaseSample {
+            committed: 10_000,
+            split_writes: [(Key::raw(1), 4_000)].into_iter().collect(),
+            ..Default::default()
+        };
+        let outcome = c.end_split_phase(&sample);
+        assert!(outcome.unsplit.is_empty());
+        assert!(c.is_split(&Key::raw(1)));
+    }
+
+    #[test]
+    fn read_dominated_key_is_unsplit() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(1), OpKind::Add);
+        let sample = PhaseSample {
+            committed: 10_000,
+            split_writes: [(Key::raw(1), 200)].into_iter().collect(),
+            stashes: [((Key::raw(1), OpKind::Get), 5_000)].into_iter().collect(),
+            ..Default::default()
+        };
+        let outcome = c.end_split_phase(&sample);
+        assert_eq!(outcome.unsplit, vec![Key::raw(1)]);
+    }
+
+    #[test]
+    fn dominant_splittable_stash_switches_selected_op() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(1), OpKind::Max);
+        let sample = PhaseSample {
+            committed: 10_000,
+            split_writes: [(Key::raw(1), 500)].into_iter().collect(),
+            // More Add attempts were stashed than Max writes happened, but
+            // not so many that the key gets unsplit (ratio 4x).
+            stashes: [((Key::raw(1), OpKind::Add), 900)].into_iter().collect(),
+            ..Default::default()
+        };
+        c.end_split_phase(&sample);
+        assert_eq!(c.split_set().selected_op(&Key::raw(1)), Some(OpKind::Add));
+    }
+
+    #[test]
+    fn manual_labels() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(9), OpKind::TopKInsert);
+        assert!(c.is_split(&Key::raw(9)));
+        c.label_reconciled(&Key::raw(9));
+        assert!(!c.is_split(&Key::raw(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsplittable")]
+    fn manual_label_rejects_unsplittable() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(9), OpKind::Get);
+    }
+
+    #[test]
+    fn phase_sample_absorbs_worker_samples() {
+        let mut w1 = WorkerSample::new();
+        w1.record_conflict(Key::raw(1), OpKind::Add);
+        w1.record_conflict(Key::raw(1), OpKind::Add);
+        w1.record_commit();
+        let mut w2 = WorkerSample::new();
+        w2.record_conflict(Key::raw(1), OpKind::Add);
+        w2.record_split_write(Key::raw(2));
+        w2.record_stash(Key::raw(2), OpKind::Get);
+        w2.record_commit();
+        w2.record_commit();
+
+        let mut agg = PhaseSample::default();
+        agg.absorb(w1.take());
+        agg.absorb(w2.take());
+        assert_eq!(agg.conflicts[&(Key::raw(1), OpKind::Add)], 3);
+        assert_eq!(agg.split_writes[&Key::raw(2)], 1);
+        assert_eq!(agg.total_stashes(), 1);
+        assert_eq!(agg.committed, 3);
+        // take() reset the worker samples.
+        assert_eq!(w1.committed, 0);
+        assert!(w2.conflicts.is_empty());
+    }
+}

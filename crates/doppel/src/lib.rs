@@ -1,0 +1,90 @@
+//! Doppel: an in-memory transactional database using **phase reconciliation**.
+//!
+//! This crate is a Rust implementation of the system described in
+//! *Phase Reconciliation for Contended In-Memory Transactions*
+//! (Narula, Cutler, Kohler, Morris — OSDI 2014).
+//!
+//! # How it works
+//!
+//! Conventional concurrency control executes conflicting transactions
+//! serially: OCC aborts and retries them, 2PL makes them wait. When many
+//! transactions update the same few records (popular auctions, vote counters,
+//! top-K lists) this serial execution leaves most cores idle.
+//!
+//! Doppel instead cycles through three kinds of phases (§5):
+//!
+//! * **joined phases** execute any transaction under Silo-style OCC;
+//! * **split phases** mark the most contended records as *split*: the one
+//!   *selected*, commutative operation on such a record (e.g. `Add`, `Max`,
+//!   `TopKInsert`) is applied to a per-core slice with no coordination at
+//!   all, so conflicting writers get parallel speedup; any other access to a
+//!   split record stashes the transaction until the next joined phase;
+//! * **reconciliation** merges the per-core slices back into the global store
+//!   in O(cores) time as each worker acknowledges the split→joined
+//!   transition.
+//!
+//! Which records to split is decided automatically by sampling conflicts in
+//! joined phases and writes/stashes in split phases (§5.5).
+//!
+//! # Crate layout
+//!
+//! | module | contents | paper |
+//! |---|---|---|
+//! | [`phase`] | phase state machine and transition barrier | §5.4 |
+//! | [`slices`] | per-core slices and merge functions | §4, Figures 4–5 |
+//! | [`split_registry`] | the per-phase set of split records | §4 guideline 3 |
+//! | [`classify`] | conflict/write/stash sampling and split decisions | §5.5 |
+//! | [`txn`] | the joined/split transaction context | §5.1–5.2, Figures 2–3 |
+//! | [`worker`] | per-core worker: execution, stashing, reconciliation | §5.2–5.3 |
+//! | [`coordinator`] | the background phase coordinator with feedback | §5.4 |
+//! | [`db`] | the [`DoppelDb`] facade implementing [`doppel_common::Engine`] | §6 |
+//!
+//! # Quick start
+//!
+//! ```
+//! use doppel_common::{DoppelConfig, Engine, Key, OpKind, ProcedureFn, Value};
+//! use doppel_db::{DoppelDb, Phase};
+//! use std::sync::Arc;
+//!
+//! // One worker, manual phase control (benchmarks use many workers plus the
+//! // automatic coordinator: `DoppelDb::start(config)`).
+//! let db = DoppelDb::new(DoppelConfig::with_workers(1));
+//! db.load(Key::raw(42), Value::Int(0));
+//! db.label_split(Key::raw(42), OpKind::Add);
+//!
+//! let mut worker = db.handle(0);
+//! let like = Arc::new(ProcedureFn::new("like", |tx| tx.add(Key::raw(42), 1)));
+//!
+//! // Joined phase: increments run under OCC.
+//! worker.execute(like.clone());
+//!
+//! // Split phase: increments go to this core's slice, conflict-free.
+//! db.request_phase(Phase::Split);
+//! worker.safepoint();
+//! worker.execute(like.clone());
+//!
+//! // Reconciliation happens as the worker acknowledges the next transition.
+//! db.request_phase(Phase::Joined);
+//! worker.safepoint();
+//! assert_eq!(db.global_get(Key::raw(42)), Some(Value::Int(2)));
+//! ```
+
+pub mod classify;
+pub mod coordinator;
+pub mod db;
+pub mod phase;
+pub mod shared;
+pub mod slices;
+pub mod split_registry;
+pub mod txn;
+pub mod worker;
+
+pub use classify::{Classifier, ClassifyOutcome, PhaseSample, WorkerSample};
+pub use db::DoppelDb;
+pub use phase::{Phase, PhaseState, PhaseTarget};
+pub use slices::Slice;
+pub use split_registry::{SplitRegistry, SplitSet};
+pub use txn::DoppelTx;
+pub use worker::DoppelWorker;
+
+pub use doppel_common::{DoppelConfig, Engine, Outcome, Procedure, ProcedureFn, TxHandle};

@@ -1,0 +1,246 @@
+//! Phase state and the transition barrier (§5.4).
+//!
+//! "Transitions between phases are managed by a coordinator thread and apply
+//! globally, across the entire database. To initiate a transition … the
+//! coordinator begins by publishing the phase change in a global variable.
+//! Workers check this variable between transactions; when they notice a
+//! change, they stop processing new transactions, acknowledge the change, and
+//! wait for permission to proceed. When all workers have acknowledged the
+//! change, the coordinator releases them."
+//!
+//! In this implementation the *initiation* is done by whoever requests a
+//! transition (the background coordinator thread, or a test calling
+//! [`crate::DoppelDb::request_phase`]), while the *release* is performed by
+//! the last worker to acknowledge: that worker runs the transition work
+//! (classification, split-set publication) and then publishes the release.
+//! This keeps the protocol identical to the paper's while making the engine
+//! fully deterministic to drive from tests with a single worker.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The two execution phases. Reconciliation is not a standalone phase in the
+/// state machine: each worker merges its per-core slices while acknowledging
+/// the split→joined transition, exactly as §5.4 describes ("When a
+/// split-phase worker notices a transition to the reconciliation phase, it
+/// stops processing transactions, merges its per-core slices with the global
+/// store, and then acknowledges the phase transition").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// All records reconciled; any transaction may run (OCC).
+    Joined,
+    /// Contended records are split into per-core slices; only the selected
+    /// operation may touch them.
+    Split,
+}
+
+impl Phase {
+    fn bit(self) -> u64 {
+        match self {
+            Phase::Joined => 0,
+            Phase::Split => 1,
+        }
+    }
+
+    fn from_bit(bit: u64) -> Phase {
+        if bit == 0 {
+            Phase::Joined
+        } else {
+            Phase::Split
+        }
+    }
+}
+
+/// A pending or released transition target: sequence number plus phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseTarget {
+    /// Monotonically increasing transition sequence number (0 = initial
+    /// joined phase, never a real transition).
+    pub seq: u64,
+    /// The phase the database is moving into.
+    pub phase: Phase,
+}
+
+/// Shared phase-transition state.
+///
+/// The packed `target` word is `(seq << 1) | phase_bit`; `released` stores
+/// the sequence number of the last transition whose release has been
+/// published. A transition `seq` is *pending* while `released < seq`.
+#[derive(Debug)]
+pub struct PhaseState {
+    target: AtomicU64,
+    released: AtomicU64,
+    acks: Vec<CachePadded<AtomicU64>>,
+    registered: Vec<CachePadded<AtomicBool>>,
+}
+
+impl PhaseState {
+    /// Creates phase state for `workers` workers; the database starts in the
+    /// joined phase with sequence 0.
+    pub fn new(workers: usize) -> Self {
+        PhaseState {
+            target: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            acks: (0..workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            registered: (0..workers).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.acks.len()
+    }
+
+    /// Marks a worker as registered: transitions wait for acknowledgements
+    /// from registered workers only.
+    pub fn register_worker(&self, core: usize) {
+        self.registered[core].store(true, Ordering::Release);
+    }
+
+    /// Removes a worker from the barrier (its acknowledgement is no longer
+    /// required). Called when a worker handle is dropped so that in-flight
+    /// and future transitions do not wait for it forever.
+    pub fn unregister_worker(&self, core: usize) {
+        self.registered[core].store(false, Ordering::Release);
+    }
+
+    /// The most recently requested transition target.
+    pub fn target(&self) -> PhaseTarget {
+        let word = self.target.load(Ordering::Acquire);
+        PhaseTarget { seq: word >> 1, phase: Phase::from_bit(word & 1) }
+    }
+
+    /// Sequence number of the last released transition.
+    pub fn released_seq(&self) -> u64 {
+        self.released.load(Ordering::Acquire)
+    }
+
+    /// The phase the database is currently executing in (i.e. of the last
+    /// *released* transition; a pending transition does not change it).
+    pub fn current_phase(&self) -> Phase {
+        let target = self.target();
+        if self.released_seq() >= target.seq {
+            target.phase
+        } else {
+            // The pending transition has not been released: the database is
+            // still in the opposite phase.
+            match target.phase {
+                Phase::Joined => Phase::Split,
+                Phase::Split => Phase::Joined,
+            }
+        }
+    }
+
+    /// True if a requested transition has not yet been released.
+    pub fn transition_pending(&self) -> bool {
+        self.released_seq() < self.target().seq
+    }
+
+    /// Publishes a new transition target, returning its sequence number.
+    /// Callers must not request a new transition while one is pending.
+    pub fn request(&self, phase: Phase) -> u64 {
+        debug_assert!(!self.transition_pending(), "transition requested while one is pending");
+        let seq = (self.target.load(Ordering::Relaxed) >> 1) + 1;
+        self.target.store((seq << 1) | phase.bit(), Ordering::Release);
+        seq
+    }
+
+    /// Records worker `core`'s acknowledgement of transition `seq`.
+    pub fn ack(&self, core: usize, seq: u64) {
+        self.acks[core].store(seq, Ordering::Release);
+    }
+
+    /// The transition sequence worker `core` has acknowledged.
+    pub fn acked(&self, core: usize) -> u64 {
+        self.acks[core].load(Ordering::Acquire)
+    }
+
+    /// True when every registered worker has acknowledged transition `seq`.
+    pub fn all_acked(&self, seq: u64) -> bool {
+        self.acks
+            .iter()
+            .zip(self.registered.iter())
+            .all(|(ack, reg)| !reg.load(Ordering::Acquire) || ack.load(Ordering::Acquire) >= seq)
+    }
+
+    /// Publishes the release of transition `seq`.
+    pub fn release(&self, seq: u64) {
+        self.released.store(seq, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_joined() {
+        let p = PhaseState::new(2);
+        assert_eq!(p.current_phase(), Phase::Joined);
+        assert_eq!(p.target().seq, 0);
+        assert!(!p.transition_pending());
+        assert_eq!(p.workers(), 2);
+    }
+
+    #[test]
+    fn request_ack_release_cycle() {
+        let p = PhaseState::new(2);
+        p.register_worker(0);
+        p.register_worker(1);
+
+        let seq = p.request(Phase::Split);
+        assert_eq!(seq, 1);
+        assert!(p.transition_pending());
+        // Until released, the database is still in the joined phase.
+        assert_eq!(p.current_phase(), Phase::Joined);
+
+        assert!(!p.all_acked(seq));
+        p.ack(0, seq);
+        assert!(!p.all_acked(seq));
+        p.ack(1, seq);
+        assert!(p.all_acked(seq));
+
+        p.release(seq);
+        assert!(!p.transition_pending());
+        assert_eq!(p.current_phase(), Phase::Split);
+
+        // And back to joined.
+        let seq2 = p.request(Phase::Joined);
+        assert_eq!(seq2, 2);
+        assert_eq!(p.current_phase(), Phase::Split);
+        p.ack(0, seq2);
+        p.ack(1, seq2);
+        p.release(seq2);
+        assert_eq!(p.current_phase(), Phase::Joined);
+    }
+
+    #[test]
+    fn unregistered_workers_do_not_block_acks() {
+        let p = PhaseState::new(4);
+        p.register_worker(0);
+        p.register_worker(2);
+        let seq = p.request(Phase::Split);
+        p.ack(0, seq);
+        assert!(!p.all_acked(seq));
+        p.ack(2, seq);
+        assert!(p.all_acked(seq), "workers 1 and 3 never registered");
+    }
+
+    #[test]
+    fn phase_bit_roundtrip() {
+        assert_eq!(Phase::from_bit(Phase::Joined.bit()), Phase::Joined);
+        assert_eq!(Phase::from_bit(Phase::Split.bit()), Phase::Split);
+    }
+
+    #[test]
+    fn acked_tracks_per_worker() {
+        let p = PhaseState::new(2);
+        p.register_worker(0);
+        p.register_worker(1);
+        let seq = p.request(Phase::Split);
+        assert_eq!(p.acked(0), 0);
+        p.ack(0, seq);
+        assert_eq!(p.acked(0), seq);
+        assert_eq!(p.acked(1), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! State shared between workers, the coordinator and the database facade.
+
+use crate::classify::{Classifier, PhaseSample, WorkerSample};
+use crate::phase::{Phase, PhaseState};
+use crate::split_registry::SplitRegistry;
+use doppel_common::{DoppelConfig, EngineStats};
+use doppel_store::Store;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Everything a Doppel worker or coordinator needs to reach through one
+/// `Arc`.
+pub struct DoppelShared {
+    /// Engine configuration (immutable after construction).
+    pub config: DoppelConfig,
+    /// The global store (reconciled data).
+    pub store: Store,
+    /// Monitoring counters.
+    pub stats: EngineStats,
+    /// Phase transition state (target / acks / release).
+    pub phase: PhaseState,
+    /// The split set used by the current or next split phase.
+    pub registry: SplitRegistry,
+    /// Persistent split decisions and the classification logic.
+    pub classifier: Mutex<Classifier>,
+    /// Per-worker contention samples, drained at every transition.
+    pub samplers: Vec<Mutex<WorkerSample>>,
+    /// Serialises transition completion (exactly one completer per seq).
+    completion_lock: Mutex<()>,
+    /// Joined-phase conflicts on splittable operations since the last
+    /// transition — the coordinator's "is anything contended?" signal.
+    pub splittable_conflicts: AtomicU64,
+    /// Transactions committed since the last transition (feedback input).
+    pub phase_committed: AtomicU64,
+    /// Transactions stashed since the last transition (feedback input).
+    pub phase_stashed: AtomicU64,
+    /// Set once at shutdown; all wait loops observe it.
+    pub shutdown: AtomicBool,
+}
+
+impl DoppelShared {
+    /// Creates shared state for a database with `config`.
+    pub fn new(config: DoppelConfig) -> Self {
+        let workers = config.workers;
+        DoppelShared {
+            store: Store::new(config.store_shards),
+            stats: EngineStats::new(),
+            phase: PhaseState::new(workers),
+            registry: SplitRegistry::new(),
+            classifier: Mutex::new(Classifier::new(config.clone())),
+            samplers: (0..workers).map(|_| Mutex::new(WorkerSample::new())).collect(),
+            completion_lock: Mutex::new(()),
+            splittable_conflicts: AtomicU64::new(0),
+            phase_committed: AtomicU64::new(0),
+            phase_stashed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown: wait loops unblock and workers stop accepting
+    /// transactions.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Attempts to complete the pending phase transition: if every registered
+    /// worker has acknowledged it, runs the transition work (classification,
+    /// split-set installation, statistics) and publishes the release.
+    ///
+    /// Any thread may call this; the completion runs exactly once per
+    /// transition. Returns `true` if this call performed the completion.
+    pub fn try_complete_transition(&self) -> bool {
+        let target = self.phase.target();
+        if target.seq == 0 || self.phase.released_seq() >= target.seq {
+            return false;
+        }
+        if !self.phase.all_acked(target.seq) {
+            return false;
+        }
+        let _guard = self.completion_lock.lock();
+        // Re-check under the lock: another thread may have completed it.
+        if self.phase.released_seq() >= target.seq {
+            return false;
+        }
+
+        // Aggregate and reset every worker's sample for the finished phase.
+        let mut aggregate = PhaseSample::default();
+        for sampler in &self.samplers {
+            aggregate.absorb(sampler.lock().take());
+        }
+
+        let mut classifier = self.classifier.lock();
+        match target.phase {
+            Phase::Split => {
+                // A joined phase just ended: decide what to split and install
+                // the split set the workers will pick up after the release.
+                let outcome = classifier.end_joined_phase(&aggregate);
+                self.registry.install(classifier.split_set());
+                EngineStats::bump(&self.stats.joined_phases);
+                EngineStats::add(&self.stats.total_splits, outcome.newly_split.len() as u64);
+                self.stats
+                    .split_records
+                    .store(outcome.currently_split as u64, Ordering::Relaxed);
+            }
+            Phase::Joined => {
+                // A split phase just ended (workers merged their slices
+                // before acknowledging): reconsider the split decisions.
+                let outcome = classifier.end_split_phase(&aggregate);
+                self.registry.install(classifier.split_set());
+                EngineStats::bump(&self.stats.split_phases);
+                EngineStats::add(&self.stats.total_unsplits, outcome.unsplit.len() as u64);
+                self.stats
+                    .split_records
+                    .store(outcome.currently_split as u64, Ordering::Relaxed);
+            }
+        }
+        drop(classifier);
+
+        // Reset the feedback counters for the phase that is about to start.
+        self.splittable_conflicts.store(0, Ordering::Relaxed);
+        self.phase_committed.store(0, Ordering::Relaxed);
+        self.phase_stashed.store(0, Ordering::Relaxed);
+
+        self.phase.release(target.seq);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{Key, OpKind};
+
+    fn shared(workers: usize) -> DoppelShared {
+        DoppelShared::new(DoppelConfig {
+            workers,
+            split_min_conflicts: 5,
+            split_conflict_fraction: 0.0,
+            ..DoppelConfig::default()
+        })
+    }
+
+    #[test]
+    fn completion_requires_all_acks() {
+        let s = shared(2);
+        s.phase.register_worker(0);
+        s.phase.register_worker(1);
+        let seq = s.phase.request(Phase::Split);
+        assert!(!s.try_complete_transition());
+        s.phase.ack(0, seq);
+        assert!(!s.try_complete_transition());
+        s.phase.ack(1, seq);
+        assert!(s.try_complete_transition());
+        assert!(!s.try_complete_transition(), "completion runs once");
+        assert_eq!(s.phase.current_phase(), Phase::Split);
+    }
+
+    #[test]
+    fn joined_end_runs_classification_and_installs_split_set() {
+        let s = shared(1);
+        s.phase.register_worker(0);
+        // Simulate a contended joined phase.
+        {
+            let mut sample = s.samplers[0].lock();
+            for _ in 0..100 {
+                sample.record_conflict(Key::raw(42), OpKind::Add);
+            }
+            for _ in 0..100 {
+                sample.record_commit();
+            }
+        }
+        let seq = s.phase.request(Phase::Split);
+        s.phase.ack(0, seq);
+        assert!(s.try_complete_transition());
+        let set = s.registry.current();
+        assert!(set.is_split(&Key::raw(42)));
+        assert_eq!(set.selected_op(&Key::raw(42)), Some(OpKind::Add));
+        assert_eq!(s.stats.snapshot().joined_phases, 1);
+        assert_eq!(s.stats.snapshot().split_records, 1);
+        // The sampler was drained.
+        assert!(s.samplers[0].lock().conflicts.is_empty());
+    }
+
+    #[test]
+    fn split_end_unsplits_cold_keys() {
+        let s = shared(1);
+        s.phase.register_worker(0);
+        s.classifier.lock().label_split(Key::raw(7), OpKind::Add);
+
+        // Enter the split phase.
+        let seq = s.phase.request(Phase::Split);
+        s.phase.ack(0, seq);
+        s.try_complete_transition();
+        assert!(s.registry.current().is_split(&Key::raw(7)));
+
+        // Split phase sees lots of commits but no writes to key 7.
+        {
+            let mut sample = s.samplers[0].lock();
+            for _ in 0..1_000 {
+                sample.record_commit();
+            }
+        }
+        let seq = s.phase.request(Phase::Joined);
+        s.phase.ack(0, seq);
+        assert!(s.try_complete_transition());
+        assert_eq!(s.stats.snapshot().split_phases, 1);
+        assert_eq!(s.stats.snapshot().total_unsplits, 1);
+        assert!(!s.classifier.lock().is_split(&Key::raw(7)));
+    }
+
+    #[test]
+    fn shutdown_flag() {
+        let s = shared(1);
+        assert!(!s.is_shutdown());
+        s.request_shutdown();
+        assert!(s.is_shutdown());
+    }
+}

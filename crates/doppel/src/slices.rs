@@ -1,0 +1,291 @@
+//! Per-core slices for split records (§4).
+//!
+//! During a split phase, all operations on a split record are applied to the
+//! executing core's *slice* of that record instead of the global store. The
+//! design requirements from §4 are encoded here:
+//!
+//! * slices are quick to initialize (no read of the global value is needed:
+//!   every slice starts as the *identity* of its operation and the merge
+//!   combines it with the global value, which is equivalent to initializing
+//!   the slice from the global value and overwriting at merge);
+//! * operations on slices are fast (a single in-place update);
+//! * the size of a slice is independent of the number of operations applied
+//!   to it (guideline 4), so merging costs O(cores), not O(operations).
+
+use doppel_common::{Op, OpKind, OrderedTuple, TopKSet, TxError, ValueKind};
+
+/// A per-core slice of one split record, specialised to the record's selected
+/// operation for the current split phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Slice {
+    /// Running maximum of all `Max` arguments seen this phase.
+    Max(Option<i64>),
+    /// Running minimum of all `Min` arguments seen this phase.
+    Min(Option<i64>),
+    /// Sum of all `Add` arguments (the delta to add at merge time).
+    Add(i64),
+    /// Product of all `Mult` arguments (the factor to apply at merge time).
+    Mult(i64),
+    /// The winning ordered tuple among all `OPut`s executed on this core.
+    OPut(Option<OrderedTuple>),
+    /// A local top-K set absorbing all `TopKInsert`s executed on this core.
+    TopK(TopKSet),
+}
+
+impl Slice {
+    /// Creates the identity slice for the selected operation kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not splittable — the classifier never selects such
+    /// operations (§4 guideline 1).
+    pub fn identity(kind: OpKind, topk_capacity: usize) -> Slice {
+        match kind {
+            OpKind::Max => Slice::Max(None),
+            OpKind::Min => Slice::Min(None),
+            OpKind::Add => Slice::Add(0),
+            OpKind::Mult => Slice::Mult(1),
+            OpKind::OPut => Slice::OPut(None),
+            OpKind::TopKInsert => Slice::TopK(TopKSet::new(topk_capacity)),
+            other => panic!("operation {other} is not splittable"),
+        }
+    }
+
+    /// The operation kind this slice accepts.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Slice::Max(_) => OpKind::Max,
+            Slice::Min(_) => OpKind::Min,
+            Slice::Add(_) => OpKind::Add,
+            Slice::Mult(_) => OpKind::Mult,
+            Slice::OPut(_) => OpKind::OPut,
+            Slice::TopK(_) => OpKind::TopKInsert,
+        }
+    }
+
+    /// Applies one operation to the slice ("slice-apply" in Figure 3).
+    ///
+    /// Returns an error if the operation kind does not match the slice; the
+    /// caller (the split-phase commit path) only applies operations that
+    /// matched the record's selected kind, so a mismatch indicates a logic
+    /// error upstream.
+    pub fn apply(&mut self, op: &Op) -> Result<(), TxError> {
+        match (self, op) {
+            (Slice::Max(cur), Op::Max(n)) => {
+                *cur = Some(cur.map_or(*n, |c| c.max(*n)));
+                Ok(())
+            }
+            (Slice::Min(cur), Op::Min(n)) => {
+                *cur = Some(cur.map_or(*n, |c| c.min(*n)));
+                Ok(())
+            }
+            (Slice::Add(sum), Op::Add(n)) => {
+                *sum = sum.wrapping_add(*n);
+                Ok(())
+            }
+            (Slice::Mult(prod), Op::Mult(n)) => {
+                *prod = prod.wrapping_mul(*n);
+                Ok(())
+            }
+            (Slice::OPut(cur), Op::OPut { order, core, payload }) => {
+                let candidate = OrderedTuple::new(order.clone(), *core, payload.clone());
+                let replace = match cur.as_ref() {
+                    None => true,
+                    Some(existing) => candidate.supersedes(existing),
+                };
+                if replace {
+                    *cur = Some(candidate);
+                }
+                Ok(())
+            }
+            (Slice::TopK(set), Op::TopKInsert { order, core, payload, .. }) => {
+                set.insert(order.clone(), *core, payload.clone());
+                Ok(())
+            }
+            (slice, op) => Err(TxError::type_mismatch(op.kind(), slice_value_kind(slice))),
+        }
+    }
+
+    /// Converts the slice into the operations to apply to the global record
+    /// at reconciliation ("merge-apply" in Figure 4 / the merge functions of
+    /// Figure 5). Returns an empty vector if no operation was applied to this
+    /// slice — merging it would be a no-op.
+    ///
+    /// Every slice kind except `TopK` merges with a single operation; a
+    /// `TopK` slice merges by re-inserting its (at most K) retained tuples,
+    /// so the merge cost is still independent of how many operations executed
+    /// during the split phase (§4 guideline 4).
+    pub fn into_merge_ops(self) -> Vec<Op> {
+        match self {
+            Slice::Max(Some(n)) => vec![Op::Max(n)],
+            Slice::Min(Some(n)) => vec![Op::Min(n)],
+            Slice::Add(0) => Vec::new(),
+            Slice::Add(n) => vec![Op::Add(n)],
+            Slice::Mult(1) => Vec::new(),
+            Slice::Mult(n) => vec![Op::Mult(n)],
+            Slice::OPut(Some(t)) => {
+                vec![Op::OPut { order: t.order, core: t.core, payload: t.payload }]
+            }
+            Slice::Max(None) | Slice::Min(None) | Slice::OPut(None) => Vec::new(),
+            Slice::TopK(set) => {
+                let k = set.capacity();
+                set.iter()
+                    .map(|t| Op::TopKInsert {
+                        order: t.order.clone(),
+                        core: t.core,
+                        payload: t.payload.clone(),
+                        k,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The value kind a slice logically operates on, for error reporting.
+fn slice_value_kind(slice: &Slice) -> ValueKind {
+    match slice {
+        Slice::Max(_) | Slice::Min(_) | Slice::Add(_) | Slice::Mult(_) => ValueKind::Int,
+        Slice::OPut(_) => ValueKind::Tuple,
+        Slice::TopK(_) => ValueKind::TopK,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{OrderKey, Value};
+
+    #[test]
+    fn identity_slices() {
+        assert_eq!(Slice::identity(OpKind::Max, 8), Slice::Max(None));
+        assert_eq!(Slice::identity(OpKind::Min, 8), Slice::Min(None));
+        assert_eq!(Slice::identity(OpKind::Add, 8), Slice::Add(0));
+        assert_eq!(Slice::identity(OpKind::Mult, 8), Slice::Mult(1));
+        assert_eq!(Slice::identity(OpKind::OPut, 8), Slice::OPut(None));
+        assert_eq!(Slice::identity(OpKind::TopKInsert, 4).kind(), OpKind::TopKInsert);
+    }
+
+    #[test]
+    #[should_panic(expected = "not splittable")]
+    fn identity_of_put_panics() {
+        let _ = Slice::identity(OpKind::Put, 8);
+    }
+
+    #[test]
+    fn max_slice_accumulates() {
+        let mut s = Slice::identity(OpKind::Max, 8);
+        assert!(s.clone().into_merge_ops().is_empty(), "empty slice merges to nothing");
+        s.apply(&Op::Max(5)).unwrap();
+        s.apply(&Op::Max(3)).unwrap();
+        s.apply(&Op::Max(9)).unwrap();
+        assert_eq!(s.into_merge_ops(), vec![Op::Max(9)]);
+    }
+
+    #[test]
+    fn min_slice_accumulates() {
+        let mut s = Slice::identity(OpKind::Min, 8);
+        s.apply(&Op::Min(5)).unwrap();
+        s.apply(&Op::Min(12)).unwrap();
+        s.apply(&Op::Min(-2)).unwrap();
+        assert_eq!(s.into_merge_ops(), vec![Op::Min(-2)]);
+    }
+
+    #[test]
+    fn add_slice_sums_deltas() {
+        let mut s = Slice::identity(OpKind::Add, 8);
+        for _ in 0..100 {
+            s.apply(&Op::Add(2)).unwrap();
+        }
+        s.apply(&Op::Add(-50)).unwrap();
+        assert_eq!(s.into_merge_ops(), vec![Op::Add(150)]);
+        // A zero-sum slice merges to nothing.
+        let mut z = Slice::identity(OpKind::Add, 8);
+        z.apply(&Op::Add(4)).unwrap();
+        z.apply(&Op::Add(-4)).unwrap();
+        assert!(z.into_merge_ops().is_empty());
+    }
+
+    #[test]
+    fn mult_slice_multiplies_factors() {
+        let mut s = Slice::identity(OpKind::Mult, 8);
+        s.apply(&Op::Mult(2)).unwrap();
+        s.apply(&Op::Mult(3)).unwrap();
+        assert_eq!(s.into_merge_ops(), vec![Op::Mult(6)]);
+        assert!(Slice::identity(OpKind::Mult, 8).into_merge_ops().is_empty());
+    }
+
+    #[test]
+    fn oput_slice_keeps_winning_tuple() {
+        let mut s = Slice::identity(OpKind::OPut, 8);
+        s.apply(&Op::OPut { order: OrderKey::from(5), core: 1, payload: "a".into() }).unwrap();
+        s.apply(&Op::OPut { order: OrderKey::from(3), core: 2, payload: "b".into() }).unwrap();
+        s.apply(&Op::OPut { order: OrderKey::from(5), core: 3, payload: "c".into() }).unwrap();
+        match s.into_merge_ops().as_slice() {
+            [Op::OPut { order, core, payload }] => {
+                assert_eq!(*order, OrderKey::from(5));
+                assert_eq!(*core, 3);
+                assert_eq!(*payload, bytes::Bytes::from("c"));
+            }
+            other => panic!("unexpected merge ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_slice_bounds_size() {
+        let mut s = Slice::identity(OpKind::TopKInsert, 3);
+        for i in 0..50 {
+            s.apply(&Op::TopKInsert {
+                order: OrderKey::from(i),
+                core: 0,
+                payload: "x".into(),
+                k: 3,
+            })
+            .unwrap();
+        }
+        // Guideline 4: slice size stays bounded by K regardless of op count.
+        let ops = s.into_merge_ops();
+        assert_eq!(ops.len(), 3);
+        let orders: Vec<i64> = ops
+            .iter()
+            .map(|op| match op {
+                Op::TopKInsert { order, .. } => order.primary(),
+                other => panic!("unexpected merge op {other:?}"),
+            })
+            .collect();
+        assert!(orders.contains(&49));
+        assert!(orders.contains(&48));
+        assert!(orders.contains(&47));
+    }
+
+    #[test]
+    fn mismatched_op_is_rejected() {
+        let mut s = Slice::identity(OpKind::Add, 8);
+        let err = s.apply(&Op::Max(3)).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+    }
+
+    /// The core commutativity property (§4): applying a set of operations to
+    /// per-core slices and merging gives the same result as applying them to
+    /// the global value directly, for any assignment of operations to cores.
+    #[test]
+    fn slice_then_merge_equals_direct_application() {
+        let ops: Vec<Op> = vec![Op::Add(5), Op::Add(-2), Op::Add(11), Op::Add(7), Op::Add(-9)];
+        let direct = ops
+            .iter()
+            .fold(Value::Int(100), |acc, op| op.apply_to(Some(&acc)).unwrap());
+
+        // Distribute across 3 "cores" in an arbitrary pattern.
+        let mut slices = vec![Slice::identity(OpKind::Add, 8); 3];
+        for (i, op) in ops.iter().enumerate() {
+            slices[i % 3].apply(op).unwrap();
+        }
+        let mut merged = Value::Int(100);
+        for s in slices {
+            for op in s.into_merge_ops() {
+                merged = op.apply_to(Some(&merged)).unwrap();
+            }
+        }
+        assert_eq!(merged, direct);
+    }
+}

@@ -1,0 +1,148 @@
+//! The set of currently split records and their selected operations.
+//!
+//! "The system selects one splittable operation per split record per split
+//! phase. The selected operation can change between phases … but within a
+//! given phase, any operation but the selected operation causes the
+//! containing transaction to abort (and retry in the next joined phase)."
+//! (§4, guideline 3)
+//!
+//! A [`SplitSet`] is an immutable snapshot valid for one split phase. The
+//! [`SplitRegistry`] holds the snapshot that the *next* (or current) split
+//! phase uses; it is rebuilt by the classifier during each joined→split
+//! transition and read (via a cheap `Arc` clone) by every worker when it
+//! enters the split phase.
+
+use doppel_common::{Key, OpKind};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable snapshot of split decisions for one split phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SplitSet {
+    selected: HashMap<Key, OpKind>,
+}
+
+impl SplitSet {
+    /// An empty split set (nothing is split).
+    pub fn empty() -> Arc<SplitSet> {
+        Arc::new(SplitSet::default())
+    }
+
+    /// Builds a split set from `(key, selected operation)` decisions.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every selected operation is splittable.
+    pub fn from_decisions(decisions: impl IntoIterator<Item = (Key, OpKind)>) -> SplitSet {
+        let selected: HashMap<Key, OpKind> = decisions.into_iter().collect();
+        debug_assert!(
+            selected.values().all(|op| op.splittable()),
+            "split set contains an unsplittable operation"
+        );
+        SplitSet { selected }
+    }
+
+    /// The selected operation for `key`, or `None` if the key is not split.
+    pub fn selected_op(&self, key: &Key) -> Option<OpKind> {
+        self.selected.get(key).copied()
+    }
+
+    /// True if `key` is split in this phase.
+    pub fn is_split(&self, key: &Key) -> bool {
+        self.selected.contains_key(key)
+    }
+
+    /// Number of split records.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// True when nothing is split.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Iterates over `(key, selected operation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &OpKind)> {
+        self.selected.iter()
+    }
+}
+
+/// Holder of the split set used by the current / next split phase.
+#[derive(Debug)]
+pub struct SplitRegistry {
+    current: RwLock<Arc<SplitSet>>,
+}
+
+impl SplitRegistry {
+    /// Creates a registry with an empty split set.
+    pub fn new() -> Self {
+        SplitRegistry { current: RwLock::new(SplitSet::empty()) }
+    }
+
+    /// The split set workers should use for the split phase they are
+    /// entering.
+    pub fn current(&self) -> Arc<SplitSet> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Installs a new split set (called during the joined→split transition,
+    /// before the transition is released).
+    pub fn install(&self, set: SplitSet) {
+        *self.current.write() = Arc::new(set);
+    }
+}
+
+impl Default for SplitRegistry {
+    fn default() -> Self {
+        SplitRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = SplitSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.is_split(&Key::raw(1)));
+        assert_eq!(s.selected_op(&Key::raw(1)), None);
+    }
+
+    #[test]
+    fn decisions_are_queryable() {
+        let s = SplitSet::from_decisions([
+            (Key::raw(1), OpKind::Add),
+            (Key::raw(2), OpKind::Max),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(s.is_split(&Key::raw(1)));
+        assert_eq!(s.selected_op(&Key::raw(1)), Some(OpKind::Add));
+        assert_eq!(s.selected_op(&Key::raw(2)), Some(OpKind::Max));
+        assert_eq!(s.selected_op(&Key::raw(3)), None);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn registry_swaps_snapshots() {
+        let reg = SplitRegistry::new();
+        let before = reg.current();
+        assert!(before.is_empty());
+        reg.install(SplitSet::from_decisions([(Key::raw(7), OpKind::Add)]));
+        let after = reg.current();
+        assert!(after.is_split(&Key::raw(7)));
+        // The old snapshot is unaffected (workers mid-phase keep their view).
+        assert!(before.is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unsplittable")]
+    fn unsplittable_decision_panics_in_debug() {
+        let _ = SplitSet::from_decisions([(Key::raw(1), OpKind::Put)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Doppel transaction context for joined and split phases.
+//!
+//! * In a **joined** phase every access goes through plain OCC (§5.1) — the
+//!   context simply wraps [`OccTx`].
+//! * In a **split** phase, accesses to records in the current [`SplitSet`]
+//!   are special (§5.2): the selected operation is buffered in the *split
+//!   write set* `SW` and applied to the worker's per-core slices only if the
+//!   OCC part of the commit succeeds (Figure 3); any other access to a split
+//!   record — a read, or a non-selected operation — fails with
+//!   [`TxError::Stash`], telling the worker to stash the transaction until
+//!   the next joined phase.
+//!
+//! The context also records which operation kind the transaction *intended*
+//! for each key it touched; when a commit aborts on a conflict, the worker
+//! uses the intent to attribute the conflict to an operation for the
+//! classifier (§5.5: "which records are most conflicted … and by which
+//! operations").
+
+use crate::split_registry::SplitSet;
+use doppel_common::{CoreId, Key, Op, OpKind, Tid, TidGenerator, TxError, Value};
+use doppel_occ::OccTx;
+use doppel_store::Store;
+use std::sync::Arc;
+
+/// Execution mode of a [`DoppelTx`].
+enum TxMode {
+    /// Joined phase: everything is reconciled, plain OCC.
+    Joined,
+    /// Split phase: accesses to records in the split set are restricted.
+    Split {
+        /// Split decisions for the current split phase.
+        split_set: Arc<SplitSet>,
+    },
+}
+
+/// A running Doppel transaction.
+pub struct DoppelTx<'s> {
+    occ: OccTx<'s>,
+    mode: TxMode,
+    /// Split write set `SW` (Figure 3): operations on split records, applied
+    /// to per-core slices after the OCC commit succeeds.
+    split_writes: Vec<(Key, Op)>,
+    /// Operation kinds this transaction attempted per key, newest last.
+    intents: Vec<(Key, OpKind)>,
+}
+
+impl<'s> DoppelTx<'s> {
+    /// Starts a joined-phase transaction.
+    pub fn joined(store: &'s Store, core: CoreId) -> Self {
+        DoppelTx {
+            occ: OccTx::new(store, core),
+            mode: TxMode::Joined,
+            split_writes: Vec::new(),
+            intents: Vec::new(),
+        }
+    }
+
+    /// Starts a split-phase transaction restricted by `split_set`.
+    pub fn split(store: &'s Store, core: CoreId, split_set: Arc<SplitSet>) -> Self {
+        DoppelTx {
+            occ: OccTx::new(store, core),
+            mode: TxMode::Split { split_set },
+            split_writes: Vec::new(),
+            intents: Vec::new(),
+        }
+    }
+
+    fn note_intent(&mut self, key: Key, op: OpKind) {
+        self.intents.push((key, op));
+    }
+
+    /// The operation kind this transaction attempted on `key`, preferring
+    /// write operations over reads (a conflict on a key that was both read
+    /// and written is attributed to the write, which is what the classifier
+    /// can act on).
+    pub fn intent_for(&self, key: &Key) -> OpKind {
+        let mut found = OpKind::Get;
+        for (k, op) in &self.intents {
+            if k == key {
+                if op.is_write() {
+                    found = *op;
+                } else if found == OpKind::Get {
+                    found = *op;
+                }
+            }
+        }
+        found
+    }
+
+    /// Commits the reconciled (OCC) part of the transaction.
+    pub fn commit_occ(&mut self, tid_gen: &mut TidGenerator) -> Result<Tid, TxError> {
+        self.occ.commit(tid_gen)
+    }
+
+    /// Takes the buffered split writes (to apply to per-core slices after a
+    /// successful OCC commit).
+    pub fn take_split_writes(&mut self) -> Vec<(Key, Op)> {
+        std::mem::take(&mut self.split_writes)
+    }
+
+    /// Number of split writes buffered so far.
+    pub fn split_write_count(&self) -> usize {
+        self.split_writes.len()
+    }
+
+    /// True if this transaction runs in a split phase.
+    pub fn is_split_phase(&self) -> bool {
+        matches!(self.mode, TxMode::Split { .. })
+    }
+}
+
+impl doppel_common::Tx for DoppelTx<'_> {
+    fn core(&self) -> CoreId {
+        self.occ.core()
+    }
+
+    fn get(&mut self, k: Key) -> Result<Option<Value>, TxError> {
+        if let TxMode::Split { split_set } = &self.mode {
+            if split_set.is_split(&k) {
+                // Split data cannot be read during a split phase; the
+                // transaction blocks (is stashed) until the next joined
+                // phase (§4, §5.2).
+                return Err(TxError::Stash { key: k, attempted: OpKind::Get });
+            }
+        }
+        self.note_intent(k, OpKind::Get);
+        self.occ.get(k)
+    }
+
+    fn write_op(&mut self, k: Key, op: Op) -> Result<(), TxError> {
+        if let TxMode::Split { split_set } = &self.mode {
+            if let Some(selected) = split_set.selected_op(&k) {
+                let kind = op.kind();
+                if kind == selected {
+                    // The fast path that phase reconciliation exists for:
+                    // buffer the operation for the per-core slice; no global
+                    // coordination.
+                    self.split_writes.push((k, op));
+                    return Ok(());
+                }
+                // Any operation other than the selected one aborts the
+                // transaction for restart in the next joined phase.
+                return Err(TxError::Stash { key: k, attempted: kind });
+            }
+        }
+        self.note_intent(k, op.kind());
+        self.occ.write_op(k, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_registry::SplitSet;
+    use doppel_common::Tx;
+
+    fn store() -> Store {
+        let s = Store::new(16);
+        for i in 0..10 {
+            s.load(Key::raw(i), Value::Int(0));
+        }
+        s
+    }
+
+    fn split_on_add(key: u64) -> Arc<SplitSet> {
+        Arc::new(SplitSet::from_decisions([(Key::raw(key), OpKind::Add)]))
+    }
+
+    #[test]
+    fn joined_mode_behaves_like_occ() {
+        let s = store();
+        let mut gen = TidGenerator::new(0);
+        let mut tx = DoppelTx::joined(&s, 0);
+        assert!(!tx.is_split_phase());
+        tx.add(Key::raw(1), 5).unwrap();
+        assert_eq!(tx.get(Key::raw(1)).unwrap(), Some(Value::Int(5)));
+        tx.commit_occ(&mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(1)), Some(Value::Int(5)));
+        assert!(tx.take_split_writes().is_empty());
+    }
+
+    #[test]
+    fn split_mode_buffers_selected_op() {
+        let s = store();
+        let mut gen = TidGenerator::new(0);
+        let mut tx = DoppelTx::split(&s, 0, split_on_add(1));
+        assert!(tx.is_split_phase());
+        tx.add(Key::raw(1), 5).unwrap();
+        tx.add(Key::raw(2), 7).unwrap(); // not split → OCC path
+        assert_eq!(tx.split_write_count(), 1);
+        tx.commit_occ(&mut gen).unwrap();
+        // The split write did NOT touch the global store.
+        assert_eq!(s.read_unlocked(&Key::raw(1)), Some(Value::Int(0)));
+        assert_eq!(s.read_unlocked(&Key::raw(2)), Some(Value::Int(7)));
+        let sw = tx.take_split_writes();
+        assert_eq!(sw, vec![(Key::raw(1), Op::Add(5))]);
+    }
+
+    #[test]
+    fn split_mode_stashes_reads_of_split_data() {
+        let s = store();
+        let mut tx = DoppelTx::split(&s, 0, split_on_add(1));
+        let err = tx.get(Key::raw(1)).unwrap_err();
+        assert_eq!(err, TxError::Stash { key: Key::raw(1), attempted: OpKind::Get });
+        // Reads of non-split data are fine.
+        assert_eq!(tx.get(Key::raw(2)).unwrap(), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn split_mode_stashes_non_selected_ops() {
+        let s = store();
+        let mut tx = DoppelTx::split(&s, 0, split_on_add(1));
+        let err = tx.max(Key::raw(1), 10).unwrap_err();
+        assert_eq!(err, TxError::Stash { key: Key::raw(1), attempted: OpKind::Max });
+        let err = tx.put(Key::raw(1), Value::Int(1)).unwrap_err();
+        assert_eq!(err, TxError::Stash { key: Key::raw(1), attempted: OpKind::Put });
+    }
+
+    #[test]
+    fn intents_are_recorded_and_prefer_writes() {
+        let s = store();
+        let mut tx = DoppelTx::joined(&s, 0);
+        tx.get(Key::raw(3)).unwrap();
+        assert_eq!(tx.intent_for(&Key::raw(3)), OpKind::Get);
+        tx.add(Key::raw(3), 1).unwrap();
+        assert_eq!(tx.intent_for(&Key::raw(3)), OpKind::Add);
+        tx.get(Key::raw(3)).unwrap();
+        assert_eq!(tx.intent_for(&Key::raw(3)), OpKind::Add, "write intent wins over later read");
+        assert_eq!(tx.intent_for(&Key::raw(99)), OpKind::Get, "unknown keys default to Get");
+    }
+
+    #[test]
+    fn split_writes_are_isolated_from_occ_abort() {
+        // If the OCC part of a split-phase transaction aborts, the caller
+        // never applies the split writes: they stay buffered in the tx.
+        let s = store();
+        let mut gen0 = TidGenerator::new(0);
+        let mut gen1 = TidGenerator::new(1);
+
+        let mut tx = DoppelTx::split(&s, 0, split_on_add(1));
+        tx.add(Key::raw(1), 5).unwrap(); // split write
+        tx.add(Key::raw(2), 1).unwrap(); // OCC read-modify-write
+
+        // A concurrent transaction commits to key 2, invalidating the read.
+        let mut other = DoppelTx::joined(&s, 1);
+        other.add(Key::raw(2), 100).unwrap();
+        other.commit_occ(&mut gen1).unwrap();
+
+        let err = tx.commit_occ(&mut gen0).unwrap_err();
+        assert_eq!(err, TxError::Conflict { key: Key::raw(2) });
+        // The worker checks commit success before applying split writes, so
+        // nothing leaked into the global store or slices.
+        assert_eq!(s.read_unlocked(&Key::raw(1)), Some(Value::Int(0)));
+        assert_eq!(s.read_unlocked(&Key::raw(2)), Some(Value::Int(100)));
+    }
+}

@@ -1,0 +1,186 @@
+//! The OCC baseline engine.
+//!
+//! This is the paper's "OCC" comparison point: plain Silo-style optimistic
+//! concurrency control with no phases and no split data. Doppel degenerates
+//! to exactly this behaviour when nothing is contended.
+
+use crate::tx::OccTx;
+use doppel_common::{
+    Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot, TidGenerator,
+    TxError, TxHandle, Value,
+};
+use doppel_store::Store;
+use std::sync::Arc;
+
+/// Shared state of the OCC engine.
+pub struct OccEngine {
+    store: Arc<Store>,
+    stats: Arc<EngineStats>,
+    workers: usize,
+}
+
+impl OccEngine {
+    /// Creates an engine with `workers` workers and `shards` store shards.
+    pub fn new(workers: usize, shards: usize) -> Self {
+        OccEngine { store: Arc::new(Store::new(shards)), stats: Arc::new(EngineStats::new()), workers }
+    }
+
+    /// The underlying store (for tests and invariant checks).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+impl Engine for OccEngine {
+    fn name(&self) -> &'static str {
+        "OCC"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn handle(&self, core: CoreId) -> Box<dyn TxHandle> {
+        assert!(core < self.workers, "core {core} out of range (workers = {})", self.workers);
+        Box::new(OccHandle {
+            core,
+            store: Arc::clone(&self.store),
+            stats: Arc::clone(&self.stats),
+            tid_gen: TidGenerator::new(core),
+        })
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn global_get(&self, k: Key) -> Option<Value> {
+        self.store.read_unlocked(&k)
+    }
+
+    fn load(&self, k: Key, v: Value) {
+        self.store.load(k, v);
+    }
+}
+
+/// Per-worker OCC execution handle.
+pub struct OccHandle {
+    core: CoreId,
+    store: Arc<Store>,
+    stats: Arc<EngineStats>,
+    tid_gen: TidGenerator,
+}
+
+impl OccHandle {
+    fn run_once(&mut self, proc: &dyn Procedure) -> Outcome {
+        let mut tx = OccTx::new(&self.store, self.core);
+        match proc.run(&mut tx) {
+            Ok(()) => {}
+            Err(e) => {
+                match &e {
+                    TxError::UserAbort { .. } => EngineStats::bump(&self.stats.user_aborts),
+                    _ => EngineStats::bump(&self.stats.conflicts),
+                }
+                return Outcome::Aborted(e);
+            }
+        }
+        match tx.commit(&mut self.tid_gen) {
+            Ok(tid) => {
+                EngineStats::bump(&self.stats.commits);
+                Outcome::Committed(tid)
+            }
+            Err(e) => {
+                EngineStats::bump(&self.stats.conflicts);
+                Outcome::Aborted(e)
+            }
+        }
+    }
+}
+
+impl TxHandle for OccHandle {
+    fn core(&self) -> CoreId {
+        self.core
+    }
+
+    fn execute(&mut self, proc: Arc<dyn Procedure>) -> Outcome {
+        self.run_once(proc.as_ref())
+    }
+
+    fn safepoint(&mut self) {
+        // OCC has no phases; nothing to do.
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::ProcedureFn;
+
+    #[test]
+    fn engine_executes_and_counts() {
+        let engine = OccEngine::new(2, 16);
+        engine.load(Key::raw(1), Value::Int(0));
+        let mut h = engine.handle(0);
+        let proc = Arc::new(ProcedureFn::new("incr", |tx| tx.add(Key::raw(1), 1)));
+        for _ in 0..10 {
+            assert!(h.execute(proc.clone()).is_committed());
+        }
+        assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(10)));
+        let stats = engine.stats();
+        assert_eq!(stats.commits, 10);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(engine.name(), "OCC");
+        assert_eq!(engine.workers(), 2);
+    }
+
+    #[test]
+    fn user_abort_is_counted_separately() {
+        let engine = OccEngine::new(1, 4);
+        let mut h = engine.handle(0);
+        let proc = Arc::new(ProcedureFn::new("fail", |_tx| {
+            Err(TxError::UserAbort { reason: "business rule" })
+        }));
+        let out = h.execute(proc);
+        assert!(matches!(out, Outcome::Aborted(TxError::UserAbort { .. })));
+        assert_eq!(engine.stats().user_aborts, 1);
+        assert_eq!(engine.stats().commits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let engine = OccEngine::new(1, 4);
+        let _ = engine.handle(5);
+    }
+
+    #[test]
+    fn concurrent_workers_preserve_counter_total() {
+        let engine = Arc::new(OccEngine::new(4, 16));
+        engine.load(Key::raw(9), Value::Int(0));
+        let per_worker = 500;
+        let mut handles = Vec::new();
+        for core in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let mut h = engine.handle(core);
+                let proc = Arc::new(ProcedureFn::new("incr", |tx| tx.add(Key::raw(9), 1)));
+                let mut committed = 0;
+                while committed < per_worker {
+                    if h.execute(proc.clone()).is_committed() {
+                        committed += 1;
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(engine.global_get(Key::raw(9)), Some(Value::Int(4 * per_worker)));
+        let stats = engine.stats();
+        assert_eq!(stats.commits, 4 * per_worker as u64);
+    }
+}

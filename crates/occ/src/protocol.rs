@@ -1,0 +1,220 @@
+//! The OCC commit protocol (Figure 2 of the paper).
+//!
+//! This function is shared: the OCC baseline engine calls it directly, and
+//! Doppel calls it for the reconciled (non-split) part of every transaction
+//! in both joined and split phases (Figures 2 and 3 differ only in the extra
+//! split-write-set application that Doppel performs afterwards).
+
+use crate::rwsets::{ReadSet, WriteSet};
+use doppel_common::{Tid, TidGenerator, TxError};
+
+/// Runs the three-part OCC commit protocol over the given read and write
+/// sets, returning the commit TID on success.
+///
+/// * **Part 1** — lock every write-set record in global key order; abort with
+///   [`TxError::LockBusy`] if any is already locked.
+/// * **TID generation** — produce a TID larger than every TID observed in the
+///   read set and every TID this worker generated before.
+/// * **Part 2** — validate the read set: each record must still carry the TID
+///   observed at first read and must not be locked by another transaction;
+///   abort with [`TxError::Conflict`] otherwise.
+/// * **Part 3** — apply the buffered operations, publish the commit TID and
+///   release the locks.
+///
+/// On abort every lock taken in part 1 is released and the store is left
+/// untouched.
+pub fn commit(
+    read_set: &ReadSet,
+    write_set: &mut WriteSet,
+    tid_gen: &mut TidGenerator,
+) -> Result<Tid, TxError> {
+    // Part 1: lock the write set in key order to prevent deadlock.
+    write_set.sort();
+    let entries = write_set.entries();
+    let mut locked = 0usize;
+    for entry in entries {
+        if entry.record.try_lock() {
+            locked += 1;
+        } else {
+            // Release everything we already locked and abort.
+            for e in &entries[..locked] {
+                e.record.unlock();
+            }
+            return Err(TxError::LockBusy { key: entry.key });
+        }
+    }
+
+    // Generate the commit TID from local state and observed TIDs.
+    let commit_tid =
+        tid_gen.next_after(read_set.tids().chain(entries.iter().map(|e| e.record.tid())));
+
+    // Part 2: validate the read set.
+    for read in read_set.entries() {
+        let in_write_set = write_set.contains(&read.key);
+        if !read.record.validate(read.tid, in_write_set) {
+            for e in write_set.entries() {
+                e.record.unlock();
+            }
+            return Err(TxError::Conflict { key: read.key });
+        }
+    }
+
+    // Part 3: apply writes, publish the TID, release the locks.
+    for entry in write_set.entries() {
+        if let Err(e) = entry.record.apply_and_unlock(&entry.op, commit_tid) {
+            // A type mismatch surfaced at apply time: the record's lock has
+            // already been released by `apply_and_unlock`; release the
+            // remaining locks and surface the error. Records already applied
+            // stay applied — this mirrors a partial failure that the paper's
+            // model excludes (procedures are type-checked by construction),
+            // but the library must not deadlock on malformed input.
+            let failed_key = entry.key;
+            for later in write_set.entries() {
+                if later.key != failed_key && later.record.is_locked() {
+                    later.record.unlock();
+                }
+            }
+            return Err(e);
+        }
+    }
+    Ok(commit_tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{Key, Op, Tid, Value};
+    use doppel_store::Store;
+    use std::sync::Arc;
+
+    fn setup() -> (Store, TidGenerator) {
+        let s = Store::new(16);
+        for i in 0..10 {
+            s.load(Key::raw(i), Value::Int(0));
+        }
+        (s, TidGenerator::new(1))
+    }
+
+    #[test]
+    fn commit_applies_writes_and_bumps_tids() {
+        let (s, mut gen) = setup();
+        let r = s.get(&Key::raw(1)).unwrap();
+        let mut rs = ReadSet::new();
+        let mut ws = WriteSet::new();
+        let (tid, _) = r.read_stable().unwrap();
+        rs.record(Key::raw(1), &r, tid);
+        ws.buffer(Key::raw(1), &r, Op::Put(Value::Int(99)));
+        let commit_tid = commit(&rs, &mut ws, &mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(1)), Some(Value::Int(99)));
+        assert_eq!(r.tid(), commit_tid);
+        assert!(!r.is_locked());
+    }
+
+    #[test]
+    fn stale_read_aborts() {
+        let (s, mut gen) = setup();
+        let r = s.get(&Key::raw(1)).unwrap();
+        let (tid, _) = r.read_stable().unwrap();
+
+        // Another transaction commits in between.
+        let mut other_gen = TidGenerator::new(2);
+        let mut ws2 = WriteSet::new();
+        ws2.buffer(Key::raw(1), &r, Op::Add(1));
+        commit(&ReadSet::new(), &mut ws2, &mut other_gen).unwrap();
+
+        let mut rs = ReadSet::new();
+        let mut ws = WriteSet::new();
+        rs.record(Key::raw(1), &r, tid);
+        ws.buffer(Key::raw(2), &s.get(&Key::raw(2)).unwrap(), Op::Add(1));
+        let err = commit(&rs, &mut ws, &mut gen).unwrap_err();
+        assert_eq!(err, TxError::Conflict { key: Key::raw(1) });
+        // Aborted commit released all locks and left key 2 unchanged.
+        assert!(!s.get(&Key::raw(2)).unwrap().is_locked());
+        assert_eq!(s.read_unlocked(&Key::raw(2)), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn locked_write_target_aborts_and_releases() {
+        let (s, mut gen) = setup();
+        let r1 = s.get(&Key::raw(1)).unwrap();
+        let r2 = s.get(&Key::raw(2)).unwrap();
+        // Someone else holds key 2's lock.
+        assert!(r2.try_lock());
+
+        let mut ws = WriteSet::new();
+        ws.buffer(Key::raw(1), &r1, Op::Add(1));
+        ws.buffer(Key::raw(2), &r2, Op::Add(1));
+        let err = commit(&ReadSet::new(), &mut ws, &mut gen).unwrap_err();
+        assert_eq!(err, TxError::LockBusy { key: Key::raw(2) });
+        // Key 1's lock (taken in part 1) was released on abort.
+        assert!(!r1.is_locked());
+        r2.unlock();
+    }
+
+    #[test]
+    fn read_own_write_key_validates() {
+        let (s, mut gen) = setup();
+        let r = s.get(&Key::raw(3)).unwrap();
+        let (tid, _) = r.read_stable().unwrap();
+        let mut rs = ReadSet::new();
+        let mut ws = WriteSet::new();
+        rs.record(Key::raw(3), &r, tid);
+        // The same key is also written: validation must accept our own lock.
+        ws.buffer(Key::raw(3), &r, Op::Add(7));
+        commit(&rs, &mut ws, &mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(3)), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn commit_tid_exceeds_observed_tids() {
+        let (s, _) = setup();
+        let r = s.get(&Key::raw(4)).unwrap();
+        // Pre-write the record with a high TID from another core.
+        r.lock_spin();
+        r.apply_and_unlock(&Op::Add(1), Tid::from_parts(1000, 3)).unwrap();
+
+        let mut gen = TidGenerator::new(1);
+        let (tid, _) = r.read_stable().unwrap();
+        let mut rs = ReadSet::new();
+        let mut ws = WriteSet::new();
+        rs.record(Key::raw(4), &r, tid);
+        ws.buffer(Key::raw(4), &r, Op::Add(1));
+        let commit_tid = commit(&rs, &mut ws, &mut gen).unwrap();
+        assert!(commit_tid.seq() > 1000);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        let s = Arc::new(Store::new(16));
+        s.load(Key::raw(0), Value::Int(0));
+        let threads = 4;
+        let per_thread = 300;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut gen = TidGenerator::new(t + 1);
+                let mut done = 0;
+                while done < per_thread {
+                    let r = s.get(&Key::raw(0)).unwrap();
+                    let Ok((tid, val)) = r.read_stable() else { continue };
+                    let cur = val.unwrap().as_int().unwrap();
+                    let mut rs = ReadSet::new();
+                    let mut ws = WriteSet::new();
+                    rs.record(Key::raw(0), &r, tid);
+                    ws.buffer(Key::raw(0), &r, Op::Put(Value::Int(cur + 1)));
+                    if commit(&rs, &mut ws, &mut gen).is_ok() {
+                        done += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            s.read_unlocked(&Key::raw(0)),
+            Some(Value::Int((threads * per_thread) as i64))
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-transaction read and write sets.
+//!
+//! "A read set and a write set are maintained for each executing transaction.
+//! During execution, a transaction buffers its writes and records the TIDs
+//! for all values read or written in its read set." (§5.1)
+//!
+//! Transactions in the paper's workloads touch a handful of records, so both
+//! sets are small vectors with linear lookup; this is faster than hashing for
+//! the common case and keeps allocation pressure low (sets are reused across
+//! transactions via [`ReadSet::clear`] / [`WriteSet::clear`]).
+
+use doppel_common::{Key, Op, Tid};
+use doppel_store::Record;
+use std::sync::Arc;
+
+/// One read-set entry: the record, and the TID observed when it was first
+/// read.
+#[derive(Clone, Debug)]
+pub struct ReadEntry {
+    /// Key of the record (kept for conflict reporting).
+    pub key: Key,
+    /// The record itself.
+    pub record: Arc<Record>,
+    /// TID observed at first read; validation checks it is unchanged.
+    pub tid: Tid,
+}
+
+/// The transaction's read set.
+#[derive(Clone, Debug, Default)]
+pub struct ReadSet {
+    entries: Vec<ReadEntry>,
+}
+
+impl ReadSet {
+    /// Creates an empty read set.
+    pub fn new() -> Self {
+        ReadSet { entries: Vec::new() }
+    }
+
+    /// Records that `key` was read with TID `tid`. Only the first read of a
+    /// key is recorded; later reads of the same key return the buffered
+    /// first-read TID, which is the one validation must check.
+    pub fn record(&mut self, key: Key, record: &Arc<Record>, tid: Tid) {
+        if !self.contains(&key) {
+            self.entries.push(ReadEntry { key, record: Arc::clone(record), tid });
+        }
+    }
+
+    /// The TID recorded for `key`, if the key was read.
+    pub fn tid_of(&self, key: &Key) -> Option<Tid> {
+        self.entries.iter().find(|e| &e.key == key).map(|e| e.tid)
+    }
+
+    /// True if `key` is in the read set.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.entries.iter().any(|e| &e.key == key)
+    }
+
+    /// All entries, for validation.
+    pub fn entries(&self) -> &[ReadEntry] {
+        &self.entries
+    }
+
+    /// All observed TIDs, used for local TID generation.
+    pub fn tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.entries.iter().map(|e| e.tid)
+    }
+
+    /// Number of distinct keys read.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was read.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the set for reuse by the next transaction.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// One write-set entry: the record and the operation to apply at commit.
+#[derive(Clone, Debug)]
+pub struct WriteEntry {
+    /// Key of the record (write sets are locked in key order).
+    pub key: Key,
+    /// The record itself.
+    pub record: Arc<Record>,
+    /// The buffered operation.
+    pub op: Op,
+}
+
+/// The transaction's write set. At most one entry exists per key: a second
+/// buffered write replaces the first (callers chain the effect themselves,
+/// e.g. by reading their own earlier write before computing the new value).
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    entries: Vec<WriteEntry>,
+}
+
+impl WriteSet {
+    /// Creates an empty write set.
+    pub fn new() -> Self {
+        WriteSet { entries: Vec::new() }
+    }
+
+    /// Buffers `op` against `key`, replacing any previously buffered write to
+    /// the same key.
+    pub fn buffer(&mut self, key: Key, record: &Arc<Record>, op: Op) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.key == key) {
+            existing.op = op;
+        } else {
+            self.entries.push(WriteEntry { key, record: Arc::clone(record), op });
+        }
+    }
+
+    /// The buffered operation for `key`, if any.
+    pub fn op_for(&self, key: &Key) -> Option<&Op> {
+        self.entries.iter().find(|e| &e.key == key).map(|e| &e.op)
+    }
+
+    /// True if `key` has a buffered write.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.entries.iter().any(|e| &e.key == key)
+    }
+
+    /// Sorts the entries by key — the global lock order of the commit
+    /// protocol. After this call [`WriteSet::entries`] returns them sorted.
+    pub fn sort(&mut self) {
+        self.entries.sort_by_key(|e| e.key);
+    }
+
+    /// Entries sorted by key — the global lock order of the commit protocol.
+    pub fn sorted_entries(&mut self) -> &[WriteEntry] {
+        self.sort();
+        &self.entries
+    }
+
+    /// Entries in insertion order.
+    pub fn entries(&self) -> &[WriteEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct keys written.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the set for reuse by the next transaction.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::Value;
+    use doppel_store::Store;
+
+    fn store_with(keys: &[u64]) -> Store {
+        let s = Store::new(8);
+        for &k in keys {
+            s.load(Key::raw(k), Value::Int(0));
+        }
+        s
+    }
+
+    #[test]
+    fn read_set_records_first_read_only() {
+        let s = store_with(&[1]);
+        let r = s.get(&Key::raw(1)).unwrap();
+        let mut rs = ReadSet::new();
+        rs.record(Key::raw(1), &r, Tid::from_parts(5, 0));
+        rs.record(Key::raw(1), &r, Tid::from_parts(9, 0));
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.tid_of(&Key::raw(1)), Some(Tid::from_parts(5, 0)));
+        assert!(rs.contains(&Key::raw(1)));
+        assert!(!rs.contains(&Key::raw(2)));
+        rs.clear();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn write_set_replaces_same_key() {
+        let s = store_with(&[1, 2]);
+        let r1 = s.get(&Key::raw(1)).unwrap();
+        let r2 = s.get(&Key::raw(2)).unwrap();
+        let mut ws = WriteSet::new();
+        ws.buffer(Key::raw(2), &r2, Op::Add(1));
+        ws.buffer(Key::raw(1), &r1, Op::Put(Value::Int(10)));
+        ws.buffer(Key::raw(1), &r1, Op::Put(Value::Int(20)));
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.op_for(&Key::raw(1)), Some(&Op::Put(Value::Int(20))));
+        assert!(ws.contains(&Key::raw(2)));
+        // Sorted entries come back in key order.
+        let keys: Vec<Key> = ws.sorted_entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![Key::raw(1), Key::raw(2)]);
+        ws.clear();
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn read_set_tids_iterator() {
+        let s = store_with(&[1, 2, 3]);
+        let mut rs = ReadSet::new();
+        for (i, k) in [1u64, 2, 3].iter().enumerate() {
+            let r = s.get(&Key::raw(*k)).unwrap();
+            rs.record(Key::raw(*k), &r, Tid::from_parts(i as u64 + 1, 0));
+        }
+        let max = rs.tids().max().unwrap();
+        assert_eq!(max, Tid::from_parts(3, 0));
+        assert_eq!(rs.entries().len(), 3);
+    }
+}

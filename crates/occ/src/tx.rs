@@ -1,0 +1,240 @@
+//! The OCC transaction context.
+//!
+//! [`OccTx`] implements the [`Tx`] operation interface on top of a shared
+//! [`Store`] using a read set and a buffered write set. Doppel's joined phase
+//! behaves identically (§5.1: "A joined phase can execute any transaction …
+//! the protocol treats all records the same"), so the Doppel engine reuses
+//! this type for its non-split accesses.
+
+use crate::rwsets::{ReadSet, WriteSet};
+use doppel_common::{CoreId, Key, Op, OpKind, Tid, TxError, Value};
+use doppel_store::{Record, RecordReadError, Store};
+use std::sync::Arc;
+
+/// A running optimistic transaction.
+///
+/// Reads take consistent `(TID, value)` snapshots and are recorded in the
+/// read set; writes are buffered. Read-modify-write operations (`Add`, `Max`,
+/// …) are expanded into a read of the current value plus a buffered `Put` of
+/// the computed result, exactly as the paper's OCC baseline executes them
+/// (§8.2) — which is why they conflict under contention.
+pub struct OccTx<'s> {
+    store: &'s Store,
+    core: CoreId,
+    read_set: ReadSet,
+    write_set: WriteSet,
+}
+
+impl<'s> OccTx<'s> {
+    /// Starts a transaction against `store` on worker `core`.
+    pub fn new(store: &'s Store, core: CoreId) -> Self {
+        OccTx { store, core, read_set: ReadSet::new(), write_set: WriteSet::new() }
+    }
+
+    /// The read set accumulated so far (used by Doppel's commit path).
+    pub fn read_set(&self) -> &ReadSet {
+        &self.read_set
+    }
+
+    /// The write set accumulated so far (used by Doppel's commit path).
+    pub fn write_set_mut(&mut self) -> &mut WriteSet {
+        &mut self.write_set
+    }
+
+    /// Splits the transaction into its read and write sets, consuming it.
+    pub fn into_sets(self) -> (ReadSet, WriteSet) {
+        (self.read_set, self.write_set)
+    }
+
+    /// Resets the transaction for reuse (clears both sets).
+    pub fn reset(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+    }
+
+    /// Reads `key` through the read set, observing earlier writes buffered by
+    /// this same transaction (read-your-writes).
+    fn tracked_read(&mut self, key: Key) -> Result<Option<Value>, TxError> {
+        let record: Arc<Record> = self.store.get_or_create(key);
+        let (tid, committed) = match record.read_stable() {
+            Ok(snapshot) => snapshot,
+            Err(RecordReadError::Locked) => {
+                // The paper's OCC aborts when it encounters a locked item and
+                // retries the transaction later (§8.1).
+                return Err(TxError::LockBusy { key });
+            }
+        };
+        // Record only the first read of a key: validation must check the TID
+        // observed then. If the committed value changed since the first read,
+        // this returns the newer value, but commit-time validation will abort
+        // the transaction anyway (standard OCC behaviour).
+        self.read_set.record(key, &record, tid);
+        let base = committed;
+        // Apply our own buffered write, if any, so the transaction sees its
+        // own effects.
+        match self.write_set.op_for(&key) {
+            Some(op) => Ok(Some(op.apply_to(base.as_ref())?)),
+            None => Ok(base),
+        }
+    }
+
+    /// Buffers a write. Every operation other than a blind `Put` first reads
+    /// the record (joining the read set) and buffers the computed result.
+    fn tracked_write(&mut self, key: Key, op: Op) -> Result<(), TxError> {
+        let record = self.store.get_or_create(key);
+        match op.kind() {
+            OpKind::Put => {
+                self.write_set.buffer(key, &record, op);
+                Ok(())
+            }
+            _ => {
+                // Read-modify-write expansion: read current value (validated
+                // at commit), compute, buffer the result as a Put.
+                let current = self.tracked_read(key)?;
+                let new = op.apply_to(current.as_ref())?;
+                self.write_set.buffer(key, &record, Op::Put(new));
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the commit protocol (Figure 2) over the accumulated sets.
+    pub fn commit(&mut self, tid_gen: &mut doppel_common::TidGenerator) -> Result<Tid, TxError> {
+        crate::protocol::commit(&self.read_set, &mut self.write_set, tid_gen)
+    }
+}
+
+impl doppel_common::Tx for OccTx<'_> {
+    fn core(&self) -> CoreId {
+        self.core
+    }
+
+    fn get(&mut self, k: Key) -> Result<Option<Value>, TxError> {
+        self.tracked_read(k)
+    }
+
+    fn write_op(&mut self, k: Key, op: Op) -> Result<(), TxError> {
+        self.tracked_write(k, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{TidGenerator, Tx};
+
+    fn setup() -> (Store, TidGenerator) {
+        let s = Store::new(16);
+        for i in 0..10 {
+            s.load(Key::raw(i), Value::Int(i as i64 * 10));
+        }
+        (s, TidGenerator::new(0))
+    }
+
+    #[test]
+    fn read_your_writes_with_put() {
+        let (s, mut gen) = setup();
+        let mut tx = OccTx::new(&s, 0);
+        assert_eq!(tx.get(Key::raw(1)).unwrap(), Some(Value::Int(10)));
+        tx.put(Key::raw(1), Value::Int(77)).unwrap();
+        assert_eq!(tx.get(Key::raw(1)).unwrap(), Some(Value::Int(77)));
+        tx.commit(&mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(1)), Some(Value::Int(77)));
+    }
+
+    #[test]
+    fn read_your_writes_with_add() {
+        let (s, mut gen) = setup();
+        let mut tx = OccTx::new(&s, 0);
+        tx.add(Key::raw(2), 5).unwrap();
+        // The buffered computed value is visible to this transaction.
+        assert_eq!(tx.get(Key::raw(2)).unwrap(), Some(Value::Int(25)));
+        tx.add(Key::raw(2), 5).unwrap();
+        tx.commit(&mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(2)), Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn rmw_ops_join_the_read_set() {
+        let (s, _) = setup();
+        let mut tx = OccTx::new(&s, 0);
+        tx.add(Key::raw(3), 1).unwrap();
+        assert!(tx.read_set().contains(&Key::raw(3)), "Add must validate its read");
+        let mut tx2 = OccTx::new(&s, 0);
+        tx2.put(Key::raw(3), Value::Int(0)).unwrap();
+        assert!(!tx2.read_set().contains(&Key::raw(3)), "blind Put must not read");
+    }
+
+    #[test]
+    fn conflicting_increment_aborts_one_side() {
+        let (s, mut gen_a) = setup();
+        let mut gen_b = TidGenerator::new(1);
+
+        let mut a = OccTx::new(&s, 0);
+        let mut b = OccTx::new(&s, 1);
+        a.add(Key::raw(4), 1).unwrap();
+        b.add(Key::raw(4), 1).unwrap();
+        a.commit(&mut gen_a).unwrap();
+        let err = b.commit(&mut gen_b).unwrap_err();
+        assert_eq!(err, TxError::Conflict { key: Key::raw(4) });
+        assert_eq!(s.read_unlocked(&Key::raw(4)), Some(Value::Int(41)));
+    }
+
+    #[test]
+    fn missing_keys_read_as_none_and_can_be_inserted() {
+        let (s, mut gen) = setup();
+        let mut tx = OccTx::new(&s, 0);
+        assert_eq!(tx.get(Key::raw(100)).unwrap(), None);
+        tx.put(Key::raw(100), Value::from("row")).unwrap();
+        tx.commit(&mut gen).unwrap();
+        assert_eq!(s.read_unlocked(&Key::raw(100)), Some(Value::from("row")));
+    }
+
+    #[test]
+    fn insert_read_conflict_detected() {
+        // A reader that saw "absent" must abort if someone inserts the key
+        // before it commits (anti-insert validation).
+        let (s, mut gen_a) = setup();
+        let mut gen_b = TidGenerator::new(1);
+        let mut reader = OccTx::new(&s, 0);
+        assert_eq!(reader.get(Key::raw(200)).unwrap(), None);
+        reader.put(Key::raw(201), Value::Int(1)).unwrap();
+
+        let mut writer = OccTx::new(&s, 1);
+        writer.put(Key::raw(200), Value::Int(9)).unwrap();
+        writer.commit(&mut gen_b).unwrap();
+
+        let err = reader.commit(&mut gen_a).unwrap_err();
+        assert_eq!(err, TxError::Conflict { key: Key::raw(200) });
+    }
+
+    #[test]
+    fn locked_record_aborts_read_immediately() {
+        let (s, _) = setup();
+        let r = s.get(&Key::raw(5)).unwrap();
+        assert!(r.try_lock());
+        let mut tx = OccTx::new(&s, 0);
+        let err = tx.get(Key::raw(5)).unwrap_err();
+        assert_eq!(err, TxError::LockBusy { key: Key::raw(5) });
+        r.unlock();
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (s, _) = setup();
+        let mut tx = OccTx::new(&s, 0);
+        tx.add(Key::raw(1), 1).unwrap();
+        tx.reset();
+        assert!(tx.read_set().is_empty());
+        assert_eq!(tx.write_set_mut().len(), 0);
+    }
+
+    #[test]
+    fn type_error_propagates_from_rmw() {
+        let (s, _) = setup();
+        s.load(Key::raw(50), Value::from("text"));
+        let mut tx = OccTx::new(&s, 0);
+        let err = tx.add(Key::raw(50), 1).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+    }
+}

@@ -1,0 +1,156 @@
+//! RUBiS row types and their byte-string encoding.
+//!
+//! RUBiS rows are stored as [`Value::Bytes`] records. The encoding is JSON:
+//! compact enough for a benchmark, self-describing for debugging, and — most
+//! importantly — identical for every engine being compared, so serialization
+//! cost cancels out of the comparisons.
+
+use bytes::Bytes;
+use doppel_common::Value;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// Encodes a row struct into a [`Value::Bytes`].
+pub fn encode<T: Serialize>(row: &T) -> Value {
+    Value::Bytes(Bytes::from(serde_json::to_vec(row).expect("row encoding cannot fail")))
+}
+
+/// Decodes a row struct from a [`Value`], returning `None` for missing or
+/// non-byte values.
+pub fn decode<T: DeserializeOwned>(value: Option<&Value>) -> Option<T> {
+    match value {
+        Some(Value::Bytes(b)) => serde_json::from_slice(b).ok(),
+        _ => None,
+    }
+}
+
+/// A row in the users table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserRow {
+    /// Primary key.
+    pub id: u64,
+    /// Login name.
+    pub nickname: String,
+    /// Home region (foreign key into the regions table).
+    pub region: u64,
+    /// Account creation timestamp (logical).
+    pub created_at: i64,
+}
+
+/// A row in the items table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemRow {
+    /// Primary key.
+    pub id: u64,
+    /// Auction title.
+    pub name: String,
+    /// Seller (foreign key into the users table).
+    pub seller: u64,
+    /// Category (foreign key).
+    pub category: u64,
+    /// Starting price in cents.
+    pub initial_price: i64,
+    /// Buy-now price in cents (0 = none).
+    pub buy_now_price: i64,
+    /// Auction end timestamp (logical).
+    pub end_date: i64,
+}
+
+/// A row in the bids table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BidRow {
+    /// Primary key.
+    pub id: u64,
+    /// The item being bid on.
+    pub item: u64,
+    /// The bidding user.
+    pub bidder: u64,
+    /// Bid amount in cents.
+    pub amount: i64,
+    /// Bid timestamp (logical).
+    pub placed_at: i64,
+}
+
+/// A row in the comments table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentRow {
+    /// Primary key.
+    pub id: u64,
+    /// The commenting user.
+    pub author: u64,
+    /// The user being commented on (an auction's seller).
+    pub about_user: u64,
+    /// The item the comment refers to.
+    pub item: u64,
+    /// Rating delta in [-5, 5].
+    pub rating: i64,
+    /// Comment text.
+    pub text: String,
+}
+
+/// A row in the buy-now table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuyNowRow {
+    /// Primary key.
+    pub id: u64,
+    /// The purchased item.
+    pub item: u64,
+    /// The buying user.
+    pub buyer: u64,
+    /// Quantity purchased.
+    pub quantity: i64,
+    /// Purchase timestamp (logical).
+    pub bought_at: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_row_roundtrip() {
+        let row = UserRow { id: 7, nickname: "alice".into(), region: 3, created_at: 99 };
+        let v = encode(&row);
+        let back: UserRow = decode(Some(&v)).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn item_row_roundtrip() {
+        let row = ItemRow {
+            id: 1,
+            name: "vintage lamp".into(),
+            seller: 2,
+            category: 3,
+            initial_price: 1500,
+            buy_now_price: 0,
+            end_date: 1234,
+        };
+        let back: ItemRow = decode(Some(&encode(&row))).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn bid_comment_buynow_roundtrip() {
+        let bid = BidRow { id: 1, item: 2, bidder: 3, amount: 500, placed_at: 10 };
+        assert_eq!(decode::<BidRow>(Some(&encode(&bid))).unwrap(), bid);
+        let c = CommentRow {
+            id: 1,
+            author: 2,
+            about_user: 3,
+            item: 4,
+            rating: 5,
+            text: "great seller".into(),
+        };
+        assert_eq!(decode::<CommentRow>(Some(&encode(&c))).unwrap(), c);
+        let b = BuyNowRow { id: 1, item: 2, buyer: 3, quantity: 1, bought_at: 9 };
+        assert_eq!(decode::<BuyNowRow>(Some(&encode(&b))).unwrap(), b);
+    }
+
+    #[test]
+    fn decode_handles_missing_and_wrong_types() {
+        assert_eq!(decode::<UserRow>(None), None);
+        assert_eq!(decode::<UserRow>(Some(&Value::Int(3))), None);
+        assert_eq!(decode::<UserRow>(Some(&Value::from("not json"))), None);
+    }
+}

@@ -1,0 +1,770 @@
+//! The 17 RUBiS database transactions.
+//!
+//! The write transactions that touch contended auction metadata exist in two
+//! styles:
+//!
+//! * [`TxnStyle::Classic`] — the original read-modify-write form (Figure 6 of
+//!   the paper): read the current max bid / bid count / index, compute, write
+//!   back with `Put`. These cannot be split, so under contention every engine
+//!   serializes them.
+//! * [`TxnStyle::Doppel`] — the commutative form (Figure 7): `Max` for the
+//!   highest bid, `OPut` (ordered by `[amount, timestamp]`) for the highest
+//!   bidder, `Add` for the bid count and rating, `TopKInsert` for the
+//!   indexes. Doppel can mark all of these records split and execute
+//!   concurrent bids on popular auctions in parallel.
+//!
+//! Read-only transactions are shared between the two styles.
+
+use crate::rows::{decode, encode, BidRow, BuyNowRow, CommentRow, ItemRow, UserRow};
+use crate::schema::{keys, INDEX_TOP_K};
+use doppel_common::{OrderKey, Procedure, TopKSet, Tx, TxError, Value};
+
+/// Which form of the contended write transactions to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStyle {
+    /// Read-modify-write `Get`/`Put` (Figure 6) — not splittable.
+    Classic,
+    /// Commutative operations (Figure 7) — splittable by Doppel.
+    Doppel,
+}
+
+// ---------------------------------------------------------------------------
+// Write transactions
+// ---------------------------------------------------------------------------
+
+/// Transaction 1: register a new user.
+pub struct RegisterUser {
+    /// New user id (allocated by the caller).
+    pub user_id: u64,
+    /// Nickname.
+    pub nickname: String,
+    /// Home region.
+    pub region: u64,
+    /// Registration timestamp.
+    pub now: i64,
+}
+
+impl Procedure for RegisterUser {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let row = UserRow {
+            id: self.user_id,
+            nickname: self.nickname.clone(),
+            region: self.region,
+            created_at: self.now,
+        };
+        tx.put(keys::user(self.user_id), encode(&row))?;
+        tx.put(keys::user_rating(self.user_id), Value::Int(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "RegisterUser"
+    }
+}
+
+/// Transaction 2: put a new item up for auction (`StoreItem` / `RegisterItem`).
+pub struct StoreItem {
+    /// New item id (allocated by the caller).
+    pub item_id: u64,
+    /// Seller.
+    pub seller: u64,
+    /// Category the item is listed under.
+    pub category: u64,
+    /// Region the seller lives in.
+    pub region: u64,
+    /// Item name.
+    pub name: String,
+    /// Starting price in cents.
+    pub initial_price: i64,
+    /// Auction end timestamp.
+    pub end_date: i64,
+    /// Classic or Doppel index maintenance.
+    pub style: TxnStyle,
+}
+
+impl Procedure for StoreItem {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let row = ItemRow {
+            id: self.item_id,
+            name: self.name.clone(),
+            seller: self.seller,
+            category: self.category,
+            initial_price: self.initial_price,
+            buy_now_price: 0,
+            end_date: self.end_date,
+        };
+        tx.put(keys::item(self.item_id), encode(&row))?;
+        tx.put(keys::max_bid(self.item_id), Value::Int(self.initial_price))?;
+        tx.put(keys::num_bids(self.item_id), Value::Int(0))?;
+
+        // Insert the item into the category and region browse indexes,
+        // ordered by item id so newer items rank first.
+        let order = OrderKey::from(self.item_id as i64);
+        let payload = self.item_id.to_le_bytes().to_vec();
+        match self.style {
+            TxnStyle::Doppel => {
+                tx.topk_insert(keys::items_by_category(self.category), order.clone(), payload.clone().into(), INDEX_TOP_K)?;
+                tx.topk_insert(keys::items_by_region(self.region), order, payload.into(), INDEX_TOP_K)?;
+            }
+            TxnStyle::Classic => {
+                classic_topk_insert(tx, keys::items_by_category(self.category), order.clone(), payload.clone())?;
+                classic_topk_insert(tx, keys::items_by_region(self.region), order, payload)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "StoreItem"
+    }
+}
+
+/// Transaction 3: place a bid (`StoreBid`, Figures 6 and 7 of the paper).
+pub struct StoreBid {
+    /// New bid id (allocated by the caller).
+    pub bid_id: u64,
+    /// The bidding user.
+    pub bidder: u64,
+    /// The auctioned item.
+    pub item: u64,
+    /// Bid amount in cents.
+    pub amount: i64,
+    /// Coarse-grained timestamp used as the `OPut` tie-breaker.
+    pub now: i64,
+    /// Classic or Doppel auction-metadata maintenance.
+    pub style: TxnStyle,
+}
+
+impl Procedure for StoreBid {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        // Insert the bid row itself (never contended: fresh key).
+        let bid = BidRow {
+            id: self.bid_id,
+            item: self.item,
+            bidder: self.bidder,
+            amount: self.amount,
+            placed_at: self.now,
+        };
+        tx.put(keys::bid(self.bid_id), encode(&bid))?;
+
+        match self.style {
+            TxnStyle::Doppel => {
+                // Figure 7: commutative operations only — no reads of the
+                // contended auction metadata, so Doppel can run this in a
+                // split phase.
+                tx.max(keys::max_bid(self.item), self.amount)?;
+                tx.oput(
+                    keys::max_bidder(self.item),
+                    OrderKey::pair(self.amount, self.now),
+                    self.bidder.to_le_bytes().to_vec().into(),
+                )?;
+                tx.add(keys::num_bids(self.item), 1)?;
+                tx.topk_insert(
+                    keys::bids_per_item(self.item),
+                    OrderKey::pair(self.amount, self.bid_id as i64),
+                    self.bid_id.to_le_bytes().to_vec().into(),
+                    INDEX_TOP_K,
+                )?;
+            }
+            TxnStyle::Classic => {
+                // Figure 6: read the current values, compare, write back.
+                let highest = tx.get_int(keys::max_bid(self.item))?;
+                if self.amount > highest {
+                    tx.put(keys::max_bid(self.item), Value::Int(self.amount))?;
+                    tx.put(keys::max_bidder(self.item), Value::Int(self.bidder as i64))?;
+                }
+                let num = tx.get_int(keys::num_bids(self.item))?;
+                tx.put(keys::num_bids(self.item), Value::Int(num + 1))?;
+                classic_topk_insert(
+                    tx,
+                    keys::bids_per_item(self.item),
+                    OrderKey::pair(self.amount, self.bid_id as i64),
+                    self.bid_id.to_le_bytes().to_vec(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "StoreBid"
+    }
+}
+
+/// Transaction 4: buy an item outright (`StoreBuyNow`).
+pub struct StoreBuyNow {
+    /// New buy-now id (allocated by the caller).
+    pub buy_now_id: u64,
+    /// The purchased item.
+    pub item: u64,
+    /// The buyer.
+    pub buyer: u64,
+    /// Quantity purchased.
+    pub quantity: i64,
+    /// Purchase timestamp.
+    pub now: i64,
+}
+
+impl Procedure for StoreBuyNow {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let row = BuyNowRow {
+            id: self.buy_now_id,
+            item: self.item,
+            buyer: self.buyer,
+            quantity: self.quantity,
+            bought_at: self.now,
+        };
+        tx.put(keys::buy_now(self.buy_now_id), encode(&row))
+    }
+
+    fn name(&self) -> &'static str {
+        "StoreBuyNow"
+    }
+}
+
+/// Transaction 5: comment on a user after an auction (`StoreComment`).
+pub struct StoreComment {
+    /// New comment id (allocated by the caller).
+    pub comment_id: u64,
+    /// The commenting user.
+    pub author: u64,
+    /// The user being rated (the auction's seller).
+    pub about_user: u64,
+    /// The related item.
+    pub item: u64,
+    /// Rating delta.
+    pub rating: i64,
+    /// Comment text.
+    pub text: String,
+    /// Classic or Doppel rating maintenance.
+    pub style: TxnStyle,
+}
+
+impl Procedure for StoreComment {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let row = CommentRow {
+            id: self.comment_id,
+            author: self.author,
+            about_user: self.about_user,
+            item: self.item,
+            rating: self.rating,
+            text: self.text.clone(),
+        };
+        tx.put(keys::comment(self.comment_id), encode(&row))?;
+        let order = OrderKey::from(self.comment_id as i64);
+        let payload = self.comment_id.to_le_bytes().to_vec();
+        match self.style {
+            TxnStyle::Doppel => {
+                tx.add(keys::user_rating(self.about_user), self.rating)?;
+                tx.topk_insert(keys::comments_by_user(self.about_user), order, payload.into(), INDEX_TOP_K)?;
+            }
+            TxnStyle::Classic => {
+                let rating = tx.get_int(keys::user_rating(self.about_user))?;
+                tx.put(keys::user_rating(self.about_user), Value::Int(rating + self.rating))?;
+                classic_topk_insert(tx, keys::comments_by_user(self.about_user), order, payload)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "StoreComment"
+    }
+}
+
+/// Read-modify-write maintenance of a top-K index record, used by the classic
+/// transaction style.
+fn classic_topk_insert(
+    tx: &mut dyn Tx,
+    key: doppel_common::Key,
+    order: OrderKey,
+    payload: Vec<u8>,
+) -> Result<(), TxError> {
+    let mut set = match tx.get(key)? {
+        Some(Value::TopK(set)) => set,
+        _ => TopKSet::new(INDEX_TOP_K),
+    };
+    set.insert(order, tx.core(), payload);
+    tx.put(key, Value::TopK(set))
+}
+
+// ---------------------------------------------------------------------------
+// Read-only transactions
+// ---------------------------------------------------------------------------
+
+/// Transaction 6: view an item page (metadata plus auction aggregates).
+pub struct ViewItem {
+    /// The item to view.
+    pub item: u64,
+}
+
+impl Procedure for ViewItem {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        let _max_bid = tx.get_int(keys::max_bid(self.item))?;
+        let _num_bids = tx.get_int(keys::num_bids(self.item))?;
+        let _max_bidder = tx.get(keys::max_bidder(self.item))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ViewItem"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 7: view a user's profile.
+pub struct ViewUserInfo {
+    /// The user to view.
+    pub user: u64,
+}
+
+impl Procedure for ViewUserInfo {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _user: Option<UserRow> = decode(tx.get(keys::user(self.user))?.as_ref());
+        let _rating = tx.get_int(keys::user_rating(self.user))?;
+        let _comments = tx.get(keys::comments_by_user(self.user))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ViewUserInfo"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 8: view the bid history of an item (reads the top-K bid index
+/// and then the referenced bid rows).
+pub struct ViewBidHistory {
+    /// The item whose bids are listed.
+    pub item: u64,
+}
+
+impl Procedure for ViewBidHistory {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let index = tx.get(keys::bids_per_item(self.item))?;
+        if let Some(Value::TopK(set)) = index {
+            for entry in set.iter() {
+                let bid_id = u64::from_le_bytes(
+                    entry.payload.as_ref().try_into().unwrap_or([0u8; 8]),
+                );
+                let _bid: Option<BidRow> = decode(tx.get(keys::bid(bid_id))?.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ViewBidHistory"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 9: list items in a category (reads the top-K index and the
+/// referenced item rows).
+pub struct SearchItemsByCategory {
+    /// The category browsed.
+    pub category: u64,
+}
+
+impl Procedure for SearchItemsByCategory {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        read_item_index(tx, keys::items_by_category(self.category))
+    }
+
+    fn name(&self) -> &'static str {
+        "SearchItemsByCategory"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 10: list items in a region.
+pub struct SearchItemsByRegion {
+    /// The region browsed.
+    pub region: u64,
+}
+
+impl Procedure for SearchItemsByRegion {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        read_item_index(tx, keys::items_by_region(self.region))
+    }
+
+    fn name(&self) -> &'static str {
+        "SearchItemsByRegion"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+fn read_item_index(tx: &mut dyn Tx, key: doppel_common::Key) -> Result<(), TxError> {
+    if let Some(Value::TopK(set)) = tx.get(key)? {
+        for entry in set.iter() {
+            let item_id =
+                u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
+            let _item: Option<ItemRow> = decode(tx.get(keys::item(item_id))?.as_ref());
+        }
+    }
+    Ok(())
+}
+
+/// Transaction 11: browse the category list.
+pub struct BrowseCategories {
+    /// Number of categories in the database.
+    pub categories: u64,
+}
+
+impl Procedure for BrowseCategories {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        for c in 0..self.categories.min(20) {
+            let _ = tx.get(keys::category(c))?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "BrowseCategories"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 12: browse the region list.
+pub struct BrowseRegions {
+    /// Number of regions in the database.
+    pub regions: u64,
+}
+
+impl Procedure for BrowseRegions {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        for r in 0..self.regions.min(62) {
+            let _ = tx.get(keys::region(r))?;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "BrowseRegions"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 13: the "About Me" page — a user's profile, rating and
+/// received comments.
+pub struct AboutMe {
+    /// The logged-in user.
+    pub user: u64,
+}
+
+impl Procedure for AboutMe {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _user: Option<UserRow> = decode(tx.get(keys::user(self.user))?.as_ref());
+        let _rating = tx.get_int(keys::user_rating(self.user))?;
+        if let Some(Value::TopK(set)) = tx.get(keys::comments_by_user(self.user))? {
+            for entry in set.iter() {
+                let comment_id =
+                    u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
+                let _c: Option<CommentRow> = decode(tx.get(keys::comment(comment_id))?.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "AboutMe"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 14: the page shown before placing a bid (item details plus
+/// current auction state).
+pub struct PutBidView {
+    /// The item about to be bid on.
+    pub item: u64,
+}
+
+impl Procedure for PutBidView {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        let _max_bid = tx.get_int(keys::max_bid(self.item))?;
+        let _num_bids = tx.get_int(keys::num_bids(self.item))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "PutBidView"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 15: the page shown before leaving a comment.
+pub struct PutCommentView {
+    /// The user being commented on.
+    pub about_user: u64,
+    /// The related item.
+    pub item: u64,
+}
+
+impl Procedure for PutCommentView {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        let _user: Option<UserRow> = decode(tx.get(keys::user(self.about_user))?.as_ref());
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "PutCommentView"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 16: the buy-now confirmation page.
+pub struct BuyNowView {
+    /// The item being purchased.
+    pub item: u64,
+}
+
+impl Procedure for BuyNowView {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "BuyNowView"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// Transaction 17: list the comments written about a user.
+pub struct ViewUserComments {
+    /// The user whose received comments are listed.
+    pub user: u64,
+}
+
+impl Procedure for ViewUserComments {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        if let Some(Value::TopK(set)) = tx.get(keys::comments_by_user(self.user))? {
+            for entry in set.iter() {
+                let comment_id =
+                    u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
+                let _c: Option<CommentRow> = decode(tx.get(keys::comment(comment_id))?.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ViewUserComments"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{RubisData, RubisScale};
+    use doppel_common::Engine;
+    use doppel_occ::OccEngine;
+    use std::sync::Arc;
+
+    fn engine_with_data() -> OccEngine {
+        let engine = OccEngine::new(1, 64);
+        RubisData::new(RubisScale::small()).load(&engine);
+        engine
+    }
+
+    fn bid(style: TxnStyle, id: u64, bidder: u64, item: u64, amount: i64, now: i64) -> Arc<StoreBid> {
+        Arc::new(StoreBid { bid_id: id, bidder, item, amount, now, style })
+    }
+
+    #[test]
+    fn store_bid_updates_aggregates_in_both_styles() {
+        for style in [TxnStyle::Classic, TxnStyle::Doppel] {
+            let engine = engine_with_data();
+            let mut h = engine.handle(0);
+            let item = 7u64;
+            let start = engine.global_get(keys::max_bid(item)).unwrap().as_int().unwrap();
+            assert!(h.execute(bid(style, 1_000, 3, item, start + 50, 1)).is_committed());
+            assert!(h.execute(bid(style, 1_001, 4, item, start + 20, 2)).is_committed());
+
+            assert_eq!(
+                engine.global_get(keys::max_bid(item)).unwrap().as_int().unwrap(),
+                start + 50,
+                "style {style:?}: max bid"
+            );
+            assert_eq!(
+                engine.global_get(keys::num_bids(item)).unwrap().as_int().unwrap(),
+                2,
+                "style {style:?}: bid count"
+            );
+            // Both bid rows exist.
+            assert!(engine.global_get(keys::bid(1_000)).is_some());
+            assert!(engine.global_get(keys::bid(1_001)).is_some());
+            // The bids-per-item index holds both bids.
+            let idx = engine.global_get(keys::bids_per_item(item)).unwrap();
+            assert_eq!(idx.as_topk().unwrap().len(), 2, "style {style:?}: index size");
+        }
+    }
+
+    #[test]
+    fn doppel_style_max_bidder_is_highest_amount() {
+        let engine = engine_with_data();
+        let mut h = engine.handle(0);
+        let item = 3u64;
+        let base = engine.global_get(keys::max_bid(item)).unwrap().as_int().unwrap();
+        h.execute(bid(TxnStyle::Doppel, 1, 10, item, base + 300, 5));
+        h.execute(bid(TxnStyle::Doppel, 2, 11, item, base + 100, 6));
+        let winner = engine.global_get(keys::max_bidder(item)).unwrap();
+        let tuple = winner.as_tuple().unwrap();
+        let bidder = u64::from_le_bytes(tuple.payload.as_ref().try_into().unwrap());
+        assert_eq!(bidder, 10);
+        assert_eq!(tuple.order.primary(), base + 300);
+    }
+
+    #[test]
+    fn store_comment_updates_rating() {
+        for style in [TxnStyle::Classic, TxnStyle::Doppel] {
+            let engine = engine_with_data();
+            let mut h = engine.handle(0);
+            let c = Arc::new(StoreComment {
+                comment_id: 500,
+                author: 1,
+                about_user: 2,
+                item: 3,
+                rating: 5,
+                text: "great".into(),
+                style,
+            });
+            assert!(h.execute(c).is_committed());
+            assert_eq!(
+                engine.global_get(keys::user_rating(2)).unwrap().as_int().unwrap(),
+                5,
+                "style {style:?}"
+            );
+            assert!(engine.global_get(keys::comment(500)).is_some());
+            assert!(engine.global_get(keys::comments_by_user(2)).is_some());
+        }
+    }
+
+    #[test]
+    fn store_item_inserts_into_indexes() {
+        for style in [TxnStyle::Classic, TxnStyle::Doppel] {
+            let engine = engine_with_data();
+            let mut h = engine.handle(0);
+            let item = Arc::new(StoreItem {
+                item_id: 90_000,
+                seller: 1,
+                category: 2,
+                region: 3,
+                name: "new lamp".into(),
+                initial_price: 500,
+                end_date: 99,
+                style,
+            });
+            assert!(h.execute(item).is_committed());
+            assert!(engine.global_get(keys::item(90_000)).is_some());
+            assert_eq!(engine.global_get(keys::num_bids(90_000)), Some(Value::Int(0)));
+            let cat_idx = engine.global_get(keys::items_by_category(2)).unwrap();
+            assert!(cat_idx.as_topk().unwrap().iter().any(|e| {
+                u64::from_le_bytes(e.payload.as_ref().try_into().unwrap()) == 90_000
+            }));
+            assert!(engine.global_get(keys::items_by_region(3)).is_some());
+        }
+    }
+
+    #[test]
+    fn register_user_and_buy_now() {
+        let engine = engine_with_data();
+        let mut h = engine.handle(0);
+        assert!(h
+            .execute(Arc::new(RegisterUser {
+                user_id: 70_000,
+                nickname: "newbie".into(),
+                region: 1,
+                now: 5,
+            }))
+            .is_committed());
+        assert!(engine.global_get(keys::user(70_000)).is_some());
+        assert_eq!(engine.global_get(keys::user_rating(70_000)), Some(Value::Int(0)));
+
+        assert!(h
+            .execute(Arc::new(StoreBuyNow {
+                buy_now_id: 1,
+                item: 5,
+                buyer: 70_000,
+                quantity: 1,
+                now: 6,
+            }))
+            .is_committed());
+        assert!(engine.global_get(keys::buy_now(1)).is_some());
+    }
+
+    #[test]
+    fn read_transactions_run_against_loaded_data() {
+        let engine = engine_with_data();
+        let mut h = engine.handle(0);
+        // Seed some activity so the indexes exist.
+        h.execute(bid(TxnStyle::Doppel, 1, 1, 2, 10_000, 1));
+        h.execute(Arc::new(StoreComment {
+            comment_id: 1,
+            author: 1,
+            about_user: 2,
+            item: 2,
+            rating: 3,
+            text: "ok".into(),
+            style: TxnStyle::Doppel,
+        }));
+
+        let reads: Vec<Arc<dyn Procedure>> = vec![
+            Arc::new(ViewItem { item: 2 }),
+            Arc::new(ViewUserInfo { user: 2 }),
+            Arc::new(ViewBidHistory { item: 2 }),
+            Arc::new(SearchItemsByCategory { category: 0 }),
+            Arc::new(SearchItemsByRegion { region: 0 }),
+            Arc::new(BrowseCategories { categories: 5 }),
+            Arc::new(BrowseRegions { regions: 4 }),
+            Arc::new(AboutMe { user: 2 }),
+            Arc::new(PutBidView { item: 2 }),
+            Arc::new(PutCommentView { about_user: 2, item: 2 }),
+            Arc::new(BuyNowView { item: 2 }),
+            Arc::new(ViewUserComments { user: 2 }),
+        ];
+        for proc in reads {
+            assert!(proc.is_read_only(), "{} must be read-only", proc.name());
+            assert!(h.execute(proc.clone()).is_committed(), "{} failed", proc.name());
+        }
+    }
+}

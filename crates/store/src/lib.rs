@@ -1,0 +1,21 @@
+//! Concurrent in-memory key/value store substrate.
+//!
+//! The paper's implementation section (§6) describes the shared store as "a
+//! set of key/value maps, using per-key locks. The maps are implemented as
+//! hash tables." This crate is that substrate:
+//!
+//! * [`Record`] — one database record: a Silo-style version word (lock bit +
+//!   TID) plus the typed value, protected by a per-record lock;
+//! * [`Store`] — a sharded hash table mapping [`Key`]s to shared records.
+//!
+//! Every concurrency-control engine in the workspace (OCC, 2PL, Doppel's
+//! joined and split phases, and reconciliation merges) is built on these two
+//! types.
+
+pub mod record;
+pub mod store;
+
+pub use record::{Record, RecordReadError};
+pub use store::{Store, StoreStats};
+
+pub use doppel_common::{Key, Tid, Value};

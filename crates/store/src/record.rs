@@ -1,0 +1,326 @@
+//! Database records with Silo-style version words.
+//!
+//! A [`Record`] packs the concurrency-control metadata the paper's commit
+//! protocols need (Figures 2–4):
+//!
+//! * a *version word*: one `AtomicU64` holding a lock bit and the TID of the
+//!   last transaction that wrote the record;
+//! * the typed value, protected by a per-record reader/writer lock.
+//!
+//! OCC readers take a consistent snapshot of `(TID, value)` and abort when
+//! they observe the lock bit ("Doppel and OCC transactions abort and later
+//! retry when they see a locked item", §8.1). OCC writers acquire the lock
+//! bit at commit, apply their buffered operations, then publish the new TID
+//! and release the lock in a single store.
+
+use doppel_common::{Op, Tid, TxError, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock bit in the version word (bit 63). TIDs use the low 63 bits.
+const LOCK_BIT: u64 = 1 << 63;
+
+/// Why an optimistic read could not produce a stable snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordReadError {
+    /// The record is locked by a committing transaction.
+    Locked,
+}
+
+/// A single database record.
+///
+/// Records are created once and never removed (the store grows
+/// monotonically, as in the paper's benchmarks); a record whose value is
+/// `None` is *logically absent*: it exists so that concurrent inserts and
+/// reads of a missing key can still be validated against a TID.
+#[derive(Debug)]
+pub struct Record {
+    /// Version word: `LOCK_BIT | tid`.
+    meta: AtomicU64,
+    /// The value; `None` means logically absent.
+    value: RwLock<Option<Value>>,
+}
+
+impl Record {
+    /// Creates a logically absent record (TID 0, no value).
+    pub fn new_absent() -> Self {
+        Record { meta: AtomicU64::new(0), value: RwLock::new(None) }
+    }
+
+    /// Creates a record holding `v`, with TID 0 ("never written by a
+    /// transaction"). Used for bulk loading.
+    pub fn new_with(v: Value) -> Self {
+        Record { meta: AtomicU64::new(0), value: RwLock::new(Some(v)) }
+    }
+
+    /// The current TID, ignoring the lock bit. Only meaningful for
+    /// diagnostics; concurrency-control decisions must use
+    /// [`Record::read_stable`] / [`Record::validate`].
+    pub fn tid(&self) -> Tid {
+        Tid(self.meta.load(Ordering::Acquire) & !LOCK_BIT)
+    }
+
+    /// True if a committing transaction currently holds the record lock.
+    pub fn is_locked(&self) -> bool {
+        self.meta.load(Ordering::Acquire) & LOCK_BIT != 0
+    }
+
+    /// Optimistic read: returns a consistent `(TID, value)` snapshot, or
+    /// [`RecordReadError::Locked`] if a committer holds the lock.
+    pub fn read_stable(&self) -> Result<(Tid, Option<Value>), RecordReadError> {
+        // Taking the value read lock first means a concurrent committer (who
+        // applies its writes under the value *write* lock) cannot be midway
+        // through mutating the value while we clone it; checking the lock bit
+        // afterwards rejects snapshots taken while a committer has announced
+        // intent but not yet applied its writes.
+        let guard = self.value.read();
+        let meta = self.meta.load(Ordering::Acquire);
+        if meta & LOCK_BIT != 0 {
+            return Err(RecordReadError::Locked);
+        }
+        Ok((Tid(meta), guard.clone()))
+    }
+
+    /// Reads the value without any concurrency control. Only meaningful when
+    /// the store is quiescent (loading, test assertions, post-run checks).
+    pub fn read_unlocked(&self) -> Option<Value> {
+        self.value.read().clone()
+    }
+
+    /// Directly overwrites the value without changing the TID. Used for bulk
+    /// loading before any transaction runs.
+    pub fn load(&self, v: Value) {
+        *self.value.write() = Some(v);
+    }
+
+    /// Tries to acquire the record lock (commit protocol part 1). Returns
+    /// `false` if another transaction holds it.
+    pub fn try_lock(&self) -> bool {
+        let cur = self.meta.load(Ordering::Relaxed);
+        if cur & LOCK_BIT != 0 {
+            return false;
+        }
+        self.meta
+            .compare_exchange(cur, cur | LOCK_BIT, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires the record lock, spinning until it is available. Used by
+    /// reconciliation merges (Figure 4), which must not abort.
+    pub fn lock_spin(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Releases the record lock without changing the TID (used when a commit
+    /// aborts after part 1).
+    pub fn unlock(&self) {
+        let cur = self.meta.load(Ordering::Relaxed);
+        debug_assert!(cur & LOCK_BIT != 0, "unlock of an unlocked record");
+        self.meta.store(cur & !LOCK_BIT, Ordering::Release);
+    }
+
+    /// OCC read-set validation (commit protocol part 2): the record must
+    /// still carry `read_tid` and must not be locked by *another*
+    /// transaction. `in_write_set` tells the validator whether the caller
+    /// itself holds the record lock.
+    pub fn validate(&self, read_tid: Tid, in_write_set: bool) -> bool {
+        let meta = self.meta.load(Ordering::Acquire);
+        let locked = meta & LOCK_BIT != 0;
+        let tid = Tid(meta & !LOCK_BIT);
+        if tid != read_tid {
+            return false;
+        }
+        if locked && !in_write_set {
+            return false;
+        }
+        true
+    }
+
+    /// Applies a buffered operation and publishes `commit_tid`, releasing the
+    /// record lock (commit protocol part 3).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the caller holds the record lock.
+    pub fn apply_and_unlock(&self, op: &Op, commit_tid: Tid) -> Result<(), TxError> {
+        debug_assert!(self.is_locked(), "apply_and_unlock without holding the record lock");
+        let result = {
+            let mut guard = self.value.write();
+            match op.apply_to(guard.as_ref()) {
+                Ok(new) => {
+                    *guard = Some(new);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match result {
+            Ok(()) => {
+                // Publish the new TID and release the lock in one store.
+                debug_assert_eq!(commit_tid.raw() & LOCK_BIT, 0, "TID overflow into lock bit");
+                self.meta.store(commit_tid.raw(), Ordering::Release);
+                Ok(())
+            }
+            Err(e) => {
+                // Type errors leave the value untouched; release the lock
+                // without bumping the TID.
+                self.unlock();
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies an operation while the caller already holds the record lock,
+    /// *without* releasing it. Used by reconciliation merges that bump the
+    /// TID once after merging a slice.
+    pub fn apply_locked(&self, op: &Op) -> Result<(), TxError> {
+        debug_assert!(self.is_locked(), "apply_locked without holding the record lock");
+        let mut guard = self.value.write();
+        let new = op.apply_to(guard.as_ref())?;
+        *guard = Some(new);
+        Ok(())
+    }
+
+    /// Publishes `commit_tid` and releases the lock without touching the
+    /// value (companion to [`Record::apply_locked`]).
+    pub fn publish_and_unlock(&self, commit_tid: Tid) {
+        debug_assert!(self.is_locked(), "publish_and_unlock without holding the record lock");
+        debug_assert_eq!(commit_tid.raw() & LOCK_BIT, 0, "TID overflow into lock bit");
+        self.meta.store(commit_tid.raw(), Ordering::Release);
+    }
+
+    /// Acquires the value lock for shared (read) access and returns an owned
+    /// guard. Used by the 2PL engine, which holds value locks across the
+    /// whole transaction.
+    pub fn value_lock(&self) -> &RwLock<Option<Value>> {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::TidGenerator;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_records() {
+        let absent = Record::new_absent();
+        assert_eq!(absent.tid(), Tid::ZERO);
+        assert!(!absent.is_locked());
+        assert_eq!(absent.read_unlocked(), None);
+
+        let full = Record::new_with(Value::Int(7));
+        assert_eq!(full.read_unlocked(), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn read_stable_and_locking() {
+        let r = Record::new_with(Value::Int(1));
+        let (tid, v) = r.read_stable().unwrap();
+        assert_eq!(tid, Tid::ZERO);
+        assert_eq!(v, Some(Value::Int(1)));
+
+        assert!(r.try_lock());
+        assert!(r.is_locked());
+        assert!(!r.try_lock(), "second lock attempt must fail");
+        assert_eq!(r.read_stable(), Err(RecordReadError::Locked));
+        r.unlock();
+        assert!(!r.is_locked());
+        assert!(r.read_stable().is_ok());
+    }
+
+    #[test]
+    fn apply_and_unlock_bumps_tid() {
+        let r = Record::new_with(Value::Int(10));
+        let mut gen = TidGenerator::new(1);
+        assert!(r.try_lock());
+        let tid = gen.next();
+        r.apply_and_unlock(&Op::Add(5), tid).unwrap();
+        assert!(!r.is_locked());
+        assert_eq!(r.tid(), tid);
+        assert_eq!(r.read_unlocked(), Some(Value::Int(15)));
+    }
+
+    #[test]
+    fn apply_type_error_releases_lock_and_keeps_tid() {
+        let r = Record::new_with(Value::from("str"));
+        assert!(r.try_lock());
+        let err = r.apply_and_unlock(&Op::Add(5), Tid::from_parts(1, 0)).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+        assert!(!r.is_locked());
+        assert_eq!(r.tid(), Tid::ZERO);
+        assert_eq!(r.read_unlocked(), Some(Value::from("str")));
+    }
+
+    #[test]
+    fn validation_semantics() {
+        let r = Record::new_with(Value::Int(0));
+        let t0 = r.tid();
+        assert!(r.validate(t0, false));
+        // Someone else holds the lock → invalid unless it is our own write.
+        assert!(r.try_lock());
+        assert!(!r.validate(t0, false));
+        assert!(r.validate(t0, true));
+        r.unlock();
+        // TID moved on → invalid.
+        assert!(r.try_lock());
+        r.apply_and_unlock(&Op::Add(1), Tid::from_parts(3, 0)).unwrap();
+        assert!(!r.validate(t0, false));
+        assert!(r.validate(Tid::from_parts(3, 0), false));
+    }
+
+    #[test]
+    fn apply_locked_then_publish() {
+        let r = Record::new_absent();
+        r.lock_spin();
+        r.apply_locked(&Op::Max(4)).unwrap();
+        r.apply_locked(&Op::Max(9)).unwrap();
+        r.publish_and_unlock(Tid::from_parts(2, 1));
+        assert_eq!(r.read_unlocked(), Some(Value::Int(9)));
+        assert_eq!(r.tid(), Tid::from_parts(2, 1));
+        assert!(!r.is_locked());
+    }
+
+    #[test]
+    fn concurrent_lock_contention_is_exclusive() {
+        let r = Arc::new(Record::new_with(Value::Int(0)));
+        let threads = 4;
+        let iters = 1_000;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let mut gen = TidGenerator::new(t + 1);
+                for _ in 0..iters {
+                    r.lock_spin();
+                    let tid = gen.next_after([r.tid()]);
+                    r.apply_and_unlock(&Op::Add(1), tid).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.read_unlocked(), Some(Value::Int((threads * iters) as i64)));
+    }
+
+    #[test]
+    fn load_overwrites_value_only() {
+        let r = Record::new_absent();
+        r.load(Value::Int(42));
+        assert_eq!(r.read_unlocked(), Some(Value::Int(42)));
+        assert_eq!(r.tid(), Tid::ZERO);
+    }
+}

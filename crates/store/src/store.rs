@@ -1,0 +1,213 @@
+//! The sharded hash-table store.
+//!
+//! "Workers read and write to a shared store, which is a set of key/value
+//! maps, using per-key locks. The maps are implemented as hash tables." (§6)
+//!
+//! The store is sharded to keep the hash-table locks themselves from becoming
+//! a bottleneck: the interesting contention in the paper is on *records*, not
+//! on the map. Records are reference-counted and never removed, so engines
+//! can cache `Arc<Record>` pointers in read/write sets without holding shard
+//! locks.
+
+use crate::record::Record;
+use doppel_common::{Key, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time statistics about a [`Store`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of records (present or logically absent).
+    pub records: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Size of the largest shard, to spot skewed sharding.
+    pub largest_shard: usize,
+}
+
+/// A sharded concurrent map from [`Key`] to [`Record`].
+#[derive(Debug)]
+pub struct Store {
+    shards: Vec<RwLock<HashMap<Key, Arc<Record>>>>,
+    mask: u64,
+    len: AtomicUsize,
+}
+
+impl Store {
+    /// Creates a store with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        Store {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: shards as u64 - 1,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, k: &Key) -> &RwLock<HashMap<Key, Arc<Record>>> {
+        let idx = (k.stable_hash() & self.mask) as usize;
+        &self.shards[idx]
+    }
+
+    /// Number of records in the store.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the record for `k`, if it exists.
+    pub fn get(&self, k: &Key) -> Option<Arc<Record>> {
+        self.shard_for(k).read().get(k).cloned()
+    }
+
+    /// Looks up the record for `k`, creating a logically absent record if it
+    /// does not exist. This is the path used by write operations (inserts)
+    /// and by reads that must be validated against later inserts.
+    pub fn get_or_create(&self, k: Key) -> Arc<Record> {
+        if let Some(r) = self.shard_for(&k).read().get(&k) {
+            return Arc::clone(r);
+        }
+        let mut shard = self.shard_for(&k).write();
+        let entry = shard.entry(k).or_insert_with(|| {
+            self.len.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Record::new_absent())
+        });
+        Arc::clone(entry)
+    }
+
+    /// Loads `(k, v)` directly, bypassing concurrency control. Intended for
+    /// pre-populating benchmarks ("we pre-allocate all the records", §8.1).
+    pub fn load(&self, k: Key, v: Value) {
+        let record = self.get_or_create(k);
+        record.load(v);
+    }
+
+    /// Reads a value without concurrency control. Only meaningful when the
+    /// store is quiescent.
+    pub fn read_unlocked(&self, k: &Key) -> Option<Value> {
+        self.get(k).and_then(|r| r.read_unlocked())
+    }
+
+    /// Applies `f` to every `(key, record)` pair. Only meaningful when the
+    /// store is quiescent; used by tests and invariant checks.
+    pub fn for_each(&self, mut f: impl FnMut(&Key, &Arc<Record>)) {
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, r) in guard.iter() {
+                f(k, r);
+            }
+        }
+    }
+
+    /// Collects all keys. Only meaningful when the store is quiescent.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, _| out.push(*k));
+        out
+    }
+
+    /// Store-level statistics.
+    pub fn stats(&self) -> StoreStats {
+        let mut largest = 0;
+        for shard in &self.shards {
+            largest = largest.max(shard.read().len());
+        }
+        StoreStats { records: self.len(), shards: self.shards.len(), largest_shard: largest }
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::{Op, Tid};
+    use std::thread;
+
+    #[test]
+    fn shards_round_up_to_power_of_two() {
+        assert_eq!(Store::new(0).stats().shards, 1);
+        assert_eq!(Store::new(3).stats().shards, 4);
+        assert_eq!(Store::new(256).stats().shards, 256);
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let s = Store::new(8);
+        let a = s.get_or_create(Key::raw(1));
+        let b = s.get_or_create(Key::raw(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(s.len(), 1);
+        assert!(s.get(&Key::raw(2)).is_none());
+    }
+
+    #[test]
+    fn load_and_read() {
+        let s = Store::new(8);
+        s.load(Key::raw(5), Value::Int(50));
+        assert_eq!(s.read_unlocked(&Key::raw(5)), Some(Value::Int(50)));
+        assert_eq!(s.read_unlocked(&Key::raw(6)), None);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn for_each_and_keys() {
+        let s = Store::new(4);
+        for i in 0..100 {
+            s.load(Key::raw(i), Value::Int(i as i64));
+        }
+        let mut keys = s.keys();
+        keys.sort();
+        assert_eq!(keys.len(), 100);
+        assert_eq!(keys[0], Key::raw(0));
+        let mut sum = 0;
+        s.for_each(|_, r| sum += r.read_unlocked().unwrap().as_int().unwrap());
+        assert_eq!(sum, (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn stats_track_largest_shard() {
+        let s = Store::new(2);
+        for i in 0..64 {
+            s.load(Key::raw(i), Value::Int(0));
+        }
+        let st = s.stats();
+        assert_eq!(st.records, 64);
+        assert!(st.largest_shard >= 32);
+    }
+
+    #[test]
+    fn concurrent_get_or_create_counts_each_key_once() {
+        let s = Arc::new(Store::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for i in 0..500u64 {
+                    let r = s.get_or_create(Key::raw(i));
+                    r.lock_spin();
+                    let tid = Tid(r.tid().raw() + (1 << 10));
+                    r.apply_and_unlock(&Op::Add(1), tid).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 500);
+        let mut total = 0;
+        s.for_each(|_, r| total += r.read_unlocked().unwrap().as_int().unwrap());
+        assert_eq!(total, 2000);
+    }
+}

@@ -1,0 +1,27 @@
+//! Two-phase locking baseline engine.
+//!
+//! The paper compares Doppel against a conventional 2PL engine: "2PL waits
+//! for a write lock on the key, reads it, and then writes the new value. 2PL
+//! never aborts." (§8.2) and "2PL uses Go's read-write mutexes" (§8.1).
+//!
+//! This crate implements strict two-phase locking over the shared
+//! [`doppel_store::Store`]:
+//!
+//! * a [`LockManager`] provides per-record shared/exclusive locks with
+//!   **wait-die** deadlock avoidance (transaction timestamps decide whether a
+//!   requester blocks or backs off);
+//! * a transaction acquires a shared lock for every record it reads and an
+//!   exclusive lock for every record it writes, holds all locks until commit
+//!   (growing/shrinking phases), applies its buffered writes, then releases;
+//! * when wait-die forces a transaction to back off it is retried internally
+//!   with its original timestamp, so — like the paper's 2PL — the engine
+//!   never reports an abort to the caller for lock conflicts (the retried
+//!   transaction eventually becomes the oldest requester and wins).
+
+pub mod engine;
+pub mod lock_manager;
+pub mod tx;
+
+pub use engine::{TwoplEngine, TwoplHandle};
+pub use lock_manager::{LockManager, LockMode, LockRequestOutcome};
+pub use tx::TwoplTx;

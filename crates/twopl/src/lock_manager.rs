@@ -1,0 +1,285 @@
+//! Per-record shared/exclusive lock manager with wait-die deadlock avoidance.
+//!
+//! The lock manager is logically separate from the records themselves: it
+//! maps [`Key`]s to lock state and tracks which transactions (identified by
+//! their start timestamps) hold or wait for each lock. Conflicting requests
+//! are resolved with the classic *wait-die* policy:
+//!
+//! * an **older** requester (smaller timestamp) *waits* for the holders to
+//!   release;
+//! * a **younger** requester *dies*: the request returns
+//!   [`LockRequestOutcome::Die`] and the caller is expected to release all of
+//!   its locks and retry the transaction with its original timestamp.
+//!
+//! Because timestamps are retained across retries, a transaction eventually
+//! becomes the oldest active requester and can no longer die, so every
+//! transaction finishes — matching the paper's "2PL never aborts" behaviour
+//! at the engine interface.
+
+use doppel_common::Key;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+/// Lock mode for a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access; compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) access; incompatible with everything.
+    Exclusive,
+}
+
+/// Result of a lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockRequestOutcome {
+    /// The lock was granted (possibly after waiting).
+    Granted,
+    /// Wait-die decided the requester must back off: release everything and
+    /// retry the transaction.
+    Die,
+}
+
+/// Transaction timestamp used for wait-die ordering (smaller = older).
+pub type Timestamp = u64;
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders: (timestamp, mode). Either any number of `Shared`
+    /// holders or exactly one `Exclusive` holder.
+    holders: Vec<(Timestamp, LockMode)>,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.holders.is_empty()
+    }
+
+    fn holds(&self, ts: Timestamp) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == ts).map(|(_, m)| *m)
+    }
+
+    fn oldest_other_holder(&self, ts: Timestamp) -> Option<Timestamp> {
+        self.holders.iter().filter(|(t, _)| *t != ts).map(|(t, _)| *t).min()
+    }
+
+    /// Can `ts` acquire `mode` right now?
+    fn compatible(&self, ts: Timestamp, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == ts || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.iter().all(|(t, _)| *t == ts),
+        }
+    }
+
+    fn grant(&mut self, ts: Timestamp, mode: LockMode) {
+        match self.holders.iter_mut().find(|(t, _)| *t == ts) {
+            Some(entry) => {
+                // Upgrade shared → exclusive (never downgrade).
+                if mode == LockMode::Exclusive {
+                    entry.1 = LockMode::Exclusive;
+                }
+            }
+            None => self.holders.push((ts, mode)),
+        }
+    }
+
+    fn release(&mut self, ts: Timestamp) -> bool {
+        let before = self.holders.len();
+        self.holders.retain(|(t, _)| *t != ts);
+        self.holders.len() != before
+    }
+}
+
+struct Shard {
+    locks: Mutex<HashMap<Key, LockState>>,
+    released: Condvar,
+}
+
+/// The lock manager: a sharded table of per-record lock states.
+pub struct LockManager {
+    shards: Vec<Shard>,
+    mask: u64,
+}
+
+impl LockManager {
+    /// Creates a lock manager with `shards` shards (rounded up to a power of
+    /// two).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        LockManager {
+            shards: (0..shards)
+                .map(|_| Shard { locks: Mutex::new(HashMap::new()), released: Condvar::new() })
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Shard {
+        &self.shards[(key.stable_hash() & self.mask) as usize]
+    }
+
+    /// Requests `mode` on `key` for transaction `ts`, blocking while wait-die
+    /// allows waiting.
+    ///
+    /// Returns [`LockRequestOutcome::Die`] when the requester is younger than
+    /// a conflicting holder and must back off.
+    pub fn acquire(&self, ts: Timestamp, key: Key, mode: LockMode) -> LockRequestOutcome {
+        let shard = self.shard(&key);
+        let mut table = shard.locks.lock();
+        loop {
+            let must_wait = {
+                let state = table.entry(key).or_default();
+                // Re-acquiring a mode we already hold (or hold more strongly)
+                // is a no-op.
+                if let Some(held) = state.holds(ts) {
+                    if held == LockMode::Exclusive || mode == LockMode::Shared {
+                        return LockRequestOutcome::Granted;
+                    }
+                }
+                if state.compatible(ts, mode) {
+                    state.grant(ts, mode);
+                    return LockRequestOutcome::Granted;
+                }
+                // Conflict: wait-die. Wait only if we are older than every
+                // other holder; otherwise die.
+                match state.oldest_other_holder(ts) {
+                    Some(oldest) if ts < oldest => true,
+                    _ => return LockRequestOutcome::Die,
+                }
+            };
+            debug_assert!(must_wait);
+            shard.released.wait(&mut table);
+            // Loop around and re-examine the state.
+        }
+    }
+
+    /// Releases every lock held by transaction `ts` on the given keys.
+    pub fn release_all<'a>(&self, ts: Timestamp, keys: impl IntoIterator<Item = &'a Key>) {
+        // Group by shard so each shard lock is taken once.
+        for key in keys {
+            let shard = self.shard(key);
+            let mut table = shard.locks.lock();
+            let mut remove = false;
+            if let Some(state) = table.get_mut(key) {
+                if state.release(ts) && state.is_free() {
+                    remove = true;
+                }
+            }
+            if remove {
+                table.remove(key);
+            }
+            shard.released.notify_all();
+        }
+    }
+
+    /// Number of keys that currently have lock state (diagnostics only).
+    pub fn active_locks(&self) -> usize {
+        self.shards.iter().map(|s| s.locks.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm = LockManager::new(4);
+        assert_eq!(lm.acquire(1, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        assert_eq!(lm.acquire(2, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        lm.release_all(1, [&Key::raw(1)]);
+        lm.release_all(2, [&Key::raw(1)]);
+        assert_eq!(lm.active_locks(), 0);
+    }
+
+    #[test]
+    fn younger_exclusive_requester_dies() {
+        let lm = LockManager::new(4);
+        assert_eq!(lm.acquire(1, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Granted);
+        // ts=2 is younger than holder ts=1 → die immediately, no blocking.
+        assert_eq!(lm.acquire(2, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Die);
+        assert_eq!(lm.acquire(2, Key::raw(1), LockMode::Shared), LockRequestOutcome::Die);
+        lm.release_all(1, [&Key::raw(1)]);
+        assert_eq!(lm.acquire(2, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Granted);
+    }
+
+    #[test]
+    fn reacquire_and_upgrade() {
+        let lm = LockManager::new(4);
+        assert_eq!(lm.acquire(5, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        // Re-acquire shared: no-op.
+        assert_eq!(lm.acquire(5, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        // Upgrade to exclusive while sole holder.
+        assert_eq!(lm.acquire(5, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Granted);
+        // Exclusive also satisfies later shared requests by the same txn.
+        assert_eq!(lm.acquire(5, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        // Other (younger) transactions die.
+        assert_eq!(lm.acquire(9, Key::raw(1), LockMode::Shared), LockRequestOutcome::Die);
+        lm.release_all(5, [&Key::raw(1)]);
+    }
+
+    #[test]
+    fn upgrade_with_other_shared_holder_follows_wait_die() {
+        let lm = LockManager::new(4);
+        assert_eq!(lm.acquire(3, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        assert_eq!(lm.acquire(7, Key::raw(1), LockMode::Shared), LockRequestOutcome::Granted);
+        // ts=7 wants to upgrade but ts=3 (older) also holds shared → die.
+        assert_eq!(lm.acquire(7, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Die);
+        lm.release_all(3, [&Key::raw(1)]);
+        lm.release_all(7, [&Key::raw(1)]);
+    }
+
+    #[test]
+    fn older_requester_waits_for_release() {
+        let lm = Arc::new(LockManager::new(4));
+        // Younger transaction (ts=10) holds the lock.
+        assert_eq!(lm.acquire(10, Key::raw(1), LockMode::Exclusive), LockRequestOutcome::Granted);
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            // Older transaction (ts=1) must wait, then get the lock.
+            lm2.acquire(1, Key::raw(1), LockMode::Exclusive)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "older requester should still be waiting");
+        lm.release_all(10, [&Key::raw(1)]);
+        assert_eq!(waiter.join().unwrap(), LockRequestOutcome::Granted);
+        lm.release_all(1, [&Key::raw(1)]);
+        assert_eq!(lm.active_locks(), 0);
+    }
+
+    #[test]
+    fn concurrent_exclusive_holders_are_serialized() {
+        let lm = Arc::new(LockManager::new(8));
+        let counter = Arc::new(Mutex::new(0i64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let ts = t * 1_000_000 + i + 1;
+                    loop {
+                        match lm.acquire(ts, Key::raw(0), LockMode::Exclusive) {
+                            LockRequestOutcome::Granted => break,
+                            LockRequestOutcome::Die => std::thread::yield_now(),
+                        }
+                    }
+                    {
+                        let mut c = counter.lock();
+                        *c += 1;
+                    }
+                    lm.release_all(ts, [&Key::raw(0)]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 800);
+        assert_eq!(lm.active_locks(), 0);
+    }
+}

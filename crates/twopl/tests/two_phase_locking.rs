@@ -1,0 +1,134 @@
+//! Integration tests of the 2PL engine: serializability under concurrent
+//! multi-key transactions and read stability while locks are held.
+
+use doppel_common::{Engine, Key, Outcome, ProcedureFn, TxError, Value};
+use doppel_twopl::TwoplEngine;
+use std::sync::Arc;
+
+/// The classic bank-transfer check: concurrent transfers between accounts
+/// preserve the total balance, and no transaction ever observes a negative
+/// total (which would mean it read between another transaction's two writes).
+#[test]
+fn transfers_preserve_total_and_isolation() {
+    let accounts = 8u64;
+    let initial = 1_000i64;
+    let engine = Arc::new(TwoplEngine::new(4, 64));
+    for a in 0..accounts {
+        engine.load(Key::raw(a), Value::Int(initial));
+    }
+
+    let mut handles = Vec::new();
+    for core in 0..4usize {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut handle = engine.handle(core);
+            let mut x = (core as u64 + 1) * 0x9E37;
+            for _ in 0..2_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let from = Key::raw(x % accounts);
+                let to = Key::raw((x >> 8) % accounts);
+                let amount = (x % 50) as i64;
+                if from == to {
+                    continue;
+                }
+                let transfer = Arc::new(ProcedureFn::new("transfer", move |tx| {
+                    let balance = tx.get_int(from)?;
+                    if balance < amount {
+                        return Err(TxError::UserAbort { reason: "insufficient funds" });
+                    }
+                    tx.put(from, Value::Int(balance - amount))?;
+                    tx.add(to, amount)
+                }));
+                match handle.execute(transfer) {
+                    Outcome::Committed(_) | Outcome::Aborted(TxError::UserAbort { .. }) => {}
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }));
+    }
+
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total: i64 = (0..accounts)
+        .map(|a| engine.global_get(Key::raw(a)).unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(total, accounts as i64 * initial, "transfers must conserve money");
+    for a in 0..accounts {
+        assert!(
+            engine.global_get(Key::raw(a)).unwrap().as_int().unwrap() >= 0,
+            "no account may go negative"
+        );
+    }
+}
+
+/// Read-only transactions under 2PL see a consistent snapshot even while
+/// writers are running: a writer keeps two keys equal, a reader asserts it
+/// never sees them differ.
+#[test]
+fn readers_see_consistent_pairs() {
+    let engine = Arc::new(TwoplEngine::new(2, 16));
+    let a = Key::raw(1);
+    let b = Key::raw(2);
+    engine.load(a, Value::Int(0));
+    engine.load(b, Value::Int(0));
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let mut handle = engine.handle(0);
+            for i in 1..=3_000i64 {
+                let w = Arc::new(ProcedureFn::new("pair-write", move |tx| {
+                    tx.put(a, Value::Int(i))?;
+                    tx.put(b, Value::Int(i))
+                }));
+                assert!(handle.execute(w).is_committed());
+            }
+        })
+    };
+    let reader = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let mut handle = engine.handle(1);
+            for _ in 0..3_000 {
+                let observed = Arc::new(std::sync::Mutex::new((0i64, 0i64)));
+                let sink = Arc::clone(&observed);
+                let r = Arc::new(ProcedureFn::read_only("pair-read", move |tx| {
+                    let va = tx.get_int(Key::raw(1))?;
+                    let vb = tx.get_int(Key::raw(2))?;
+                    *sink.lock().unwrap() = (va, vb);
+                    Ok(())
+                }));
+                assert!(handle.execute(r).is_committed());
+                let (va, vb) = *observed.lock().unwrap();
+                assert_eq!(va, vb, "2PL readers must never see a half-applied pair");
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+}
+
+/// User aborts roll back cleanly: buffered writes are discarded and locks are
+/// released so later transactions proceed.
+#[test]
+fn user_abort_discards_buffered_writes() {
+    let engine = TwoplEngine::new(1, 16);
+    engine.load(Key::raw(1), Value::Int(5));
+    let mut handle = engine.handle(0);
+    let aborting = Arc::new(ProcedureFn::new("abort", |tx| {
+        tx.put(Key::raw(1), Value::Int(999))?;
+        tx.add(Key::raw(2), 1)?;
+        Err(TxError::UserAbort { reason: "changed my mind" })
+    }));
+    assert!(matches!(handle.execute(aborting), Outcome::Aborted(TxError::UserAbort { .. })));
+    assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(5)));
+    assert_eq!(engine.global_get(Key::raw(2)), None);
+    // The record locks were released: a follow-up transaction commits.
+    let ok = Arc::new(ProcedureFn::new("after", |tx| tx.add(Key::raw(1), 1)));
+    assert!(handle.execute(ok).is_committed());
+    assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(6)));
+}

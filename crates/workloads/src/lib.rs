@@ -1,0 +1,30 @@
+//! Workload generators and the benchmark driver.
+//!
+//! This crate reproduces the workloads of the paper's evaluation (§7–§8):
+//!
+//! * [`zipf`] — the Zipfian key-popularity distribution used throughout §8
+//!   (and the exact probabilities behind Table 1);
+//! * [`incr`] — the INCR1 and INCRZ microbenchmarks (Figures 8–11);
+//! * [`like`] — the LIKE social-network benchmark (Figures 12–14, Table 3);
+//! * [`driver`] — the multi-threaded measurement harness: per-core workers
+//!   that generate transactions, execute them against any
+//!   [`doppel_common::Engine`], retry aborts with exponential backoff, track
+//!   stashed-transaction completions and record read/write latencies —
+//!   mirroring the methodology described in §8.1;
+//! * [`hist`] — latency histograms (mean and 99th percentile);
+//! * [`report`] — typed results and plain-text / JSON rendering of the
+//!   tables and series the paper reports.
+
+pub mod driver;
+pub mod hist;
+pub mod incr;
+pub mod like;
+pub mod report;
+pub mod zipf;
+
+pub use driver::{BenchOptions, BenchResult, Driver, GeneratedTxn, TxnGenerator, Workload};
+pub use hist::{Histogram, LatencySummary};
+pub use incr::{Incr1Workload, IncrZWorkload};
+pub use like::LikeWorkload;
+pub use report::{Cell, Table};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,267 @@
+//! The LIKE social-network benchmark (§7, §8.5–§8.7).
+//!
+//! "The LIKE application simulates a set of users 'liking' profile pages.
+//! Each update transaction writes a record inserting the user's like of a
+//! page, and then increments a per-page sum of likes. Each read transaction
+//! reads the user's last like and reads the total number of likes for some
+//! page." The database has 1 M users and 1 M pages; the user is chosen
+//! uniformly and the page from a Zipfian distribution, so the per-page like
+//! counters of popular pages are contended while the per-user rows are not.
+
+use crate::driver::{GeneratedTxn, TxnGenerator, Workload};
+use crate::zipf::ZipfSampler;
+use doppel_common::{Engine, Key, Procedure, Table, Tx, TxError, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Key of a user's "last like" row.
+pub fn user_key(user: u64) -> Key {
+    Key::new(Table::User, user, 0)
+}
+
+/// Key of a page's like counter.
+pub fn page_key(page: u64) -> Key {
+    Key::new(Table::Page, page, 0)
+}
+
+/// Key of the individual like row a write transaction inserts.
+pub fn like_row_key(user: u64, seq: u32) -> Key {
+    Key::new(Table::Like, user, seq)
+}
+
+/// Write transaction: user likes a page.
+pub struct LikeWrite {
+    /// The liking user.
+    pub user: u64,
+    /// The liked page.
+    pub page: u64,
+    /// Per-user sequence number for the inserted like row.
+    pub seq: u32,
+}
+
+impl Procedure for LikeWrite {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        // Insert the like row (never contended: keyed by user).
+        tx.put(
+            like_row_key(self.user, self.seq),
+            Value::Int(self.page as i64),
+        )?;
+        // Update the user's "last like" row (rarely contended).
+        tx.put(user_key(self.user), Value::Int(self.page as i64))?;
+        // Increment the page's like counter (contended for popular pages, and
+        // commutative — exactly what Doppel splits).
+        tx.add(page_key(self.page), 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "LIKE-write"
+    }
+}
+
+/// Read transaction: read the user's last like and a page's like count.
+pub struct LikeRead {
+    /// The user whose last like is read.
+    pub user: u64,
+    /// The page whose like count is read.
+    pub page: u64,
+}
+
+impl Procedure for LikeRead {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _last_like = tx.get(user_key(self.user))?;
+        let _count = tx.get_int(page_key(self.page))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "LIKE-read"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// The LIKE workload: a mix of read and write transactions over users and
+/// pages.
+pub struct LikeWorkload {
+    /// Number of users (1 M in the paper).
+    pub users: u64,
+    /// Number of pages (1 M in the paper).
+    pub pages: u64,
+    /// Fraction of transactions that write, in `[0, 1]` (0.5 in Table 3).
+    pub write_fraction: f64,
+    /// Zipf parameter for page popularity (`0.0` = the paper's "uniform"
+    /// workload, `1.4` = the paper's "skewed" workload).
+    pub alpha: f64,
+    sampler: Arc<ZipfSampler>,
+}
+
+impl LikeWorkload {
+    /// Builds a LIKE workload.
+    pub fn new(users: u64, pages: u64, write_fraction: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&write_fraction), "write_fraction must be in [0,1]");
+        LikeWorkload {
+            users,
+            pages,
+            write_fraction,
+            alpha,
+            sampler: Arc::new(ZipfSampler::new(pages, alpha)),
+        }
+    }
+
+    /// The paper's uniform LIKE workload (50% writes, uniform pages).
+    pub fn uniform(users: u64, pages: u64) -> Self {
+        LikeWorkload::new(users, pages, 0.5, 0.0)
+    }
+
+    /// The paper's skewed LIKE workload (50% writes, α = 1.4).
+    pub fn skewed(users: u64, pages: u64) -> Self {
+        LikeWorkload::new(users, pages, 0.5, 1.4)
+    }
+
+    /// The paper's skewed write-heavy LIKE workload (90% writes, α = 1.4).
+    pub fn skewed_write_heavy(users: u64, pages: u64) -> Self {
+        LikeWorkload::new(users, pages, 0.9, 1.4)
+    }
+}
+
+impl Workload for LikeWorkload {
+    fn name(&self) -> String {
+        format!("LIKE(writes={:.0}%, alpha={:.2})", self.write_fraction * 100.0, self.alpha)
+    }
+
+    fn load(&self, engine: &dyn Engine) {
+        for u in 0..self.users {
+            engine.load(user_key(u), Value::Int(-1));
+        }
+        for p in 0..self.pages {
+            engine.load(page_key(p), Value::Int(0));
+        }
+    }
+
+    fn generator(&self, core: usize, seed: u64) -> Box<dyn TxnGenerator> {
+        Box::new(LikeGenerator {
+            users: self.users,
+            write_fraction: self.write_fraction,
+            sampler: Arc::clone(&self.sampler),
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(core as u64).wrapping_mul(0x9E3779B9)),
+            seq: 0,
+            core: core as u32,
+        })
+    }
+}
+
+struct LikeGenerator {
+    users: u64,
+    write_fraction: f64,
+    sampler: Arc<ZipfSampler>,
+    rng: SmallRng,
+    seq: u32,
+    core: u32,
+}
+
+impl TxnGenerator for LikeGenerator {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let user = self.rng.gen_range(0..self.users);
+        let page = self.sampler.sample(&mut self.rng);
+        if self.rng.gen::<f64>() < self.write_fraction {
+            self.seq = self.seq.wrapping_add(1);
+            // Make the like-row key unique per (core, seq) so concurrent
+            // workers never insert the same row.
+            let seq = (self.core << 24) | (self.seq & 0x00FF_FFFF);
+            GeneratedTxn { proc: Arc::new(LikeWrite { user, page, seq }), is_write: true }
+        } else {
+            GeneratedTxn { proc: Arc::new(LikeRead { user, page }), is_write: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BenchOptions, Driver};
+    use std::time::Duration;
+
+    #[test]
+    fn like_write_updates_counter_and_rows() {
+        let engine = doppel_occ::OccEngine::new(1, 64);
+        let w = LikeWorkload::uniform(16, 16);
+        w.load(&engine);
+        let mut h = engine.handle(0);
+        let txn = Arc::new(LikeWrite { user: 3, page: 7, seq: 1 });
+        assert!(h.execute(txn).is_committed());
+        assert_eq!(engine.global_get(page_key(7)), Some(Value::Int(1)));
+        assert_eq!(engine.global_get(user_key(3)), Some(Value::Int(7)));
+        assert_eq!(engine.global_get(like_row_key(3, 1)), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn like_read_is_read_only() {
+        let r = LikeRead { user: 1, page: 1 };
+        assert!(r.is_read_only());
+        let w = LikeWrite { user: 1, page: 1, seq: 0 };
+        use doppel_common::Procedure;
+        assert!(!w.is_read_only());
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let w = LikeWorkload::new(100, 100, 0.25, 0.0);
+        let mut gen = w.generator(0, 42);
+        let n = 10_000;
+        let writes = (0..n).filter(|_| gen.next_txn().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn mix_presets_match_paper() {
+        assert_eq!(LikeWorkload::uniform(10, 10).alpha, 0.0);
+        assert_eq!(LikeWorkload::skewed(10, 10).alpha, 1.4);
+        assert_eq!(LikeWorkload::skewed_write_heavy(10, 10).write_fraction, 0.9);
+    }
+
+    #[test]
+    fn full_run_page_counts_match_committed_writes() {
+        let engine = doppel_occ::OccEngine::new(2, 128);
+        let w = LikeWorkload::new(64, 64, 1.0, 1.4);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(80)));
+        let mut total_likes = 0i64;
+        for p in 0..64 {
+            total_likes += engine.global_get(page_key(p)).unwrap().as_int().unwrap();
+        }
+        assert_eq!(total_likes as u64, result.committed);
+        assert_eq!(result.write_latency.count, result.committed);
+    }
+
+    #[test]
+    fn doppel_splits_hot_page_under_contention() {
+        // Multi-worker Doppel run on a tiny, highly skewed LIKE workload: the
+        // hottest page counter should end up split, and the final counts must
+        // still equal the number of committed writes.
+        let cfg = doppel_common::DoppelConfig {
+            workers: 2,
+            phase_len: Duration::from_millis(4),
+            split_min_conflicts: 2,
+            split_conflict_fraction: 0.0,
+            unsplit_write_fraction: 0.0,
+            ..Default::default()
+        };
+        let engine = doppel_db::DoppelDb::start(cfg);
+        let w = LikeWorkload::new(32, 8, 1.0, 1.8);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(200)));
+        let mut total_likes = 0i64;
+        for p in 0..8 {
+            total_likes += engine.global_get(page_key(p)).unwrap().as_int().unwrap();
+        }
+        assert_eq!(total_likes as u64, result.committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_fraction")]
+    fn invalid_write_fraction_panics() {
+        let _ = LikeWorkload::new(10, 10, 2.0, 1.0);
+    }
+}

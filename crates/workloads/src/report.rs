@@ -1,0 +1,196 @@
+//! Result tables for the benchmark binaries.
+//!
+//! Every experiment binary regenerates one table or figure of the paper; this
+//! module provides a small typed table that renders as aligned plain text
+//! (what the binaries print) and as JSON (what `EXPERIMENTS.md` tooling and
+//! tests consume).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One table cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Free-form text (row labels, engine names).
+    Text(String),
+    /// An integer quantity (counts).
+    Int(i64),
+    /// A floating-point quantity rendered with 3 significant decimals.
+    Float(f64),
+    /// A throughput rendered in millions of transactions per second.
+    Mtps(f64),
+    /// A latency in microseconds.
+    Micros(f64),
+    /// An empty cell.
+    Empty,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Int(n) => write!(f, "{n}"),
+            Cell::Float(x) => write!(f, "{x:.3}"),
+            Cell::Mtps(x) => write!(f, "{:.3}M", x / 1e6),
+            Cell::Micros(x) => write!(f, "{x:.0}us"),
+            Cell::Empty => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Float(x)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(n: i64) -> Self {
+        Cell::Int(n)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(n: u64) -> Self {
+        Cell::Int(n as i64)
+    }
+}
+
+/// A titled table with a header row and data rows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. "Figure 8: INCR1 throughput vs % hot-key writes").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each row should have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match column count");
+        self.rows.push(row);
+    }
+
+    /// Serialises the table to JSON (pretty-printed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation cannot fail")
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &rendered_rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::Text("x".into()).to_string(), "x");
+        assert_eq!(Cell::Int(5).to_string(), "5");
+        assert_eq!(Cell::Float(1.23456).to_string(), "1.235");
+        assert_eq!(Cell::Mtps(12_300_000.0).to_string(), "12.300M");
+        assert_eq!(Cell::Micros(20_000.0).to_string(), "20000us");
+        assert_eq!(Cell::Empty.to_string(), "");
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from("a"), Cell::Text("a".into()));
+        assert_eq!(Cell::from(3i64), Cell::Int(3));
+        assert_eq!(Cell::from(3u64), Cell::Int(3));
+        assert_eq!(Cell::from(0.5), Cell::Float(0.5));
+    }
+
+    #[test]
+    fn table_render_and_json() {
+        let mut t = Table::new("Figure X", &["engine", "throughput"]);
+        t.push_row(vec!["Doppel".into(), Cell::Mtps(30e6)]);
+        t.push_row(vec!["OCC".into(), Cell::Mtps(1e6)]);
+        let text = t.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("Doppel"));
+        assert!(text.contains("30.000M"));
+        let json = t.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.columns, vec!["engine".to_string(), "throughput".to_string()]);
+        // Display delegates to render.
+        assert_eq!(format!("{t}"), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Zipfian key-popularity distribution.
+//!
+//! The paper's skewed workloads draw keys from "a Zipfian distribution of
+//! popularity, in which the kth most popular item is accessed in proportion
+//! to 1/k^α" (§8.4). Table 1 reports the exact probability of the 1st, 2nd,
+//! 10th and 100th most popular keys for various α with 1 M keys; the
+//! [`ZipfSampler::probability`] method reproduces those numbers.
+//!
+//! The sampler precomputes the cumulative distribution once (O(N) time,
+//! O(N) memory, shared between workers via `Arc`) and samples by binary
+//! search (O(log N) per draw), which keeps draws exact for every α including
+//! α = 0 (uniform).
+
+use rand::Rng;
+
+/// A sampler over ranks `0..n` where rank `k` (0-based) is drawn with
+/// probability proportional to `1 / (k+1)^alpha`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    alpha: f64,
+    /// Cumulative probabilities; `cdf[k]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` keys with skew `alpha` (α = 0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `alpha` is negative / non-finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one key");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be a non-negative finite number");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(alpha);
+            cdf.push(total);
+        }
+        // Normalise.
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating-point drift in the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { n, alpha, cdf }
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Exact probability of drawing the key with 0-based popularity rank
+    /// `rank` (rank 0 = most popular). This is what Table 1 tabulates.
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!(rank < self.n, "rank {rank} out of range");
+        let prev = if rank == 0 { 0.0 } else { self.cdf[(rank - 1) as usize] };
+        self.cdf[rank as usize] - prev
+    }
+
+    /// Draws a 0-based popularity rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf value is > u,
+        // i.e. the smallest rank k with P(rank ≤ k) > u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx as u64).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = ZipfSampler::new(100, 0.0);
+        for rank in [0, 50, 99] {
+            assert!((z.probability(rank) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for alpha in [0.0, 0.4, 0.8, 1.0, 1.4, 2.0] {
+            let z = ZipfSampler::new(1_000, alpha);
+            let sum: f64 = (0..1_000).map(|r| z.probability(r)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha={alpha}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn matches_table1_of_the_paper() {
+        // Table 1: % of writes to the 1st / 2nd / 10th / 100th most popular
+        // keys, 1M keys. Spot-check a few cells (the paper rounds to 4
+        // significant digits).
+        let cases: &[(f64, u64, f64)] = &[
+            (1.0, 0, 0.06953),
+            (1.0, 1, 0.03476),
+            (1.0, 9, 0.006951),
+            (1.4, 0, 0.3230),
+            (1.4, 1, 0.1224),
+            (2.0, 0, 0.6080),
+            (2.0, 1, 0.1520),
+            (0.8, 0, 0.01337),
+        ];
+        for &(alpha, rank, expected) in cases {
+            let z = ZipfSampler::new(1_000_000, alpha);
+            let got = z.probability(rank);
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.01, "alpha={alpha} rank={rank}: got {got}, paper says {expected}");
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let z = ZipfSampler::new(1_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut hits0 = 0u64;
+        let mut hits1 = 0u64;
+        for _ in 0..draws {
+            match z.sample(&mut rng) {
+                0 => hits0 += 1,
+                1 => hits1 += 1,
+                _ => {}
+            }
+        }
+        let p0 = hits0 as f64 / draws as f64;
+        let p1 = hits1 as f64 / draws as f64;
+        assert!((p0 - z.probability(0)).abs() < 0.01, "p0={p0}");
+        assert!((p1 - z.probability(1)).abs() < 0.01, "p1={p1}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(10, 1.5);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let low = ZipfSampler::new(1_000_000, 0.8);
+        let high = ZipfSampler::new(1_000_000, 1.8);
+        assert!(high.probability(0) > low.probability(0));
+        assert!(high.probability(999_999) < low.probability(999_999));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn probability_out_of_range_panics() {
+        let z = ZipfSampler::new(10, 1.0);
+        let _ = z.probability(10);
+    }
+}

@@ -1,0 +1,98 @@
+//! A game leaderboard built on Doppel's splittable `TopKInsert`, `Max` and
+//! `Add` operations — the "top-k lists for news aggregators" use case the
+//! paper's introduction motivates.
+//!
+//! Several threads submit scores concurrently:
+//!
+//! * the global top-10 leaderboard is one `TopK` record updated with
+//!   `TopKInsert`;
+//! * the all-time best score is an integer record updated with `Max`;
+//! * the total number of submissions is a counter updated with `Add`.
+//!
+//! All three records are hot, commutative, and automatically split by the
+//! classifier once they start causing conflicts.
+//!
+//! Run with: `cargo run --release -p doppel-bench --example leaderboard`
+
+use doppel_common::{
+    DoppelConfig, Engine, Key, OrderKey, Outcome, ProcedureFn, Table, TxError, Value,
+};
+use doppel_db::DoppelDb;
+use std::sync::Arc;
+use std::time::Duration;
+
+const LEADERBOARD: Key = Key::new(Table::Raw, 1, 0);
+const BEST_SCORE: Key = Key::new(Table::Raw, 2, 0);
+const SUBMISSIONS: Key = Key::new(Table::Raw, 3, 0);
+const TOP_K: usize = 10;
+
+fn main() {
+    let workers = 4;
+    let db = Arc::new(DoppelDb::start(DoppelConfig {
+        workers,
+        phase_len: Duration::from_millis(5),
+        ..DoppelConfig::default()
+    }));
+    db.load(BEST_SCORE, Value::Int(0));
+    db.load(SUBMISSIONS, Value::Int(0));
+
+    let per_thread = 25_000u64;
+    let mut threads = Vec::new();
+    for core in 0..workers {
+        let db = Arc::clone(&db);
+        threads.push(std::thread::spawn(move || {
+            let mut worker = db.handle(core);
+            let mut committed = 0u64;
+            let mut rng_state = 0x1234_5678_u64 ^ ((core as u64 + 1) << 40);
+            while committed < per_thread {
+                // A cheap xorshift score generator.
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                let player = (core as u64) * 1_000_000 + committed;
+                let score = (rng_state % 1_000_000) as i64;
+                let submit = Arc::new(ProcedureFn::new("submit-score", move |tx| {
+                    tx.topk_insert(
+                        LEADERBOARD,
+                        OrderKey::from(score),
+                        player.to_le_bytes().to_vec().into(),
+                        TOP_K,
+                    )?;
+                    tx.max(BEST_SCORE, score)?;
+                    tx.add(SUBMISSIONS, 1)
+                }));
+                match worker.execute(submit) {
+                    Outcome::Committed(_) => committed += 1,
+                    Outcome::Aborted(TxError::Shutdown) => break,
+                    Outcome::Aborted(_) => {}
+                    Outcome::Stashed(_) => unreachable!("submissions never read split data"),
+                }
+            }
+            committed
+        }));
+    }
+    let committed: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    db.shutdown();
+
+    let submissions = db.global_get(SUBMISSIONS).unwrap().as_int().unwrap();
+    let best = db.global_get(BEST_SCORE).unwrap().as_int().unwrap();
+    let board = db.global_get(LEADERBOARD).unwrap();
+    let board = board.as_topk().unwrap();
+
+    println!("submissions committed = {committed} (counter says {submissions})");
+    println!("best score            = {best}");
+    println!("top-{TOP_K} leaderboard:");
+    for (rank, entry) in board.iter().enumerate() {
+        let player = u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap());
+        println!("  #{:<2} score {:>7}  player {}", rank + 1, entry.order.primary(), player);
+    }
+    let stats = db.stats();
+    println!(
+        "split phases {}, records ever split {}, slice ops {}",
+        stats.split_phases, stats.total_splits, stats.slice_ops
+    );
+
+    assert_eq!(submissions as u64, committed);
+    assert_eq!(board.max().unwrap().order.primary(), best, "leaderboard head equals best score");
+    assert!(board.len() <= TOP_K);
+}

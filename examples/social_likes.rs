@@ -1,0 +1,56 @@
+//! The LIKE workload from the paper (§7): users "like" pages, the counters of
+//! popular pages become contended, and Doppel splits them.
+//!
+//! This example runs the same LIKE workload on Doppel and on plain OCC
+//! through the shared benchmark driver and prints a side-by-side comparison,
+//! including the latency price Doppel pays on reads of split data (Table 3's
+//! trade-off).
+//!
+//! Run with: `cargo run --release -p doppel-bench --example social_likes`
+
+use doppel_bench::{build_engine, EngineKind};
+use doppel_bench::engines::EngineParams;
+use doppel_workloads::driver::{BenchOptions, Driver};
+use doppel_workloads::like::LikeWorkload;
+use std::time::Duration;
+
+fn main() {
+    let workers = 4;
+    let users = 50_000;
+    let pages = 50_000;
+    // 50% reads / 50% writes with heavily skewed page popularity: the
+    // counters of the top few pages receive most of the writes.
+    let workload = LikeWorkload::skewed(users, pages);
+    let options = BenchOptions::new(workers, Duration::from_secs(1));
+
+    println!("LIKE workload: {users} users, {pages} pages, alpha=1.4, 50% writes, {workers} workers\n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>14} {:>14}",
+        "engine", "txns/sec", "aborts", "stashed", "mean read", "mean write"
+    );
+
+    for kind in [EngineKind::Doppel, EngineKind::Occ, EngineKind::Twopl] {
+        let params = EngineParams {
+            workers,
+            phase_len: Duration::from_millis(10),
+            ..EngineParams::default()
+        };
+        let engine = build_engine(kind, &params);
+        let result = Driver::run(engine.as_ref(), &workload, &options);
+        println!(
+            "{:<8} {:>12.0} {:>10} {:>10} {:>12.0}us {:>12.0}us",
+            result.engine,
+            result.throughput,
+            result.aborts,
+            result.stashed,
+            result.read_latency.mean_us,
+            result.write_latency.mean_us,
+        );
+        engine.shutdown();
+    }
+
+    println!(
+        "\nDoppel's reads of hot pages wait for the next joined phase (higher read latency), \
+         in exchange for conflict-free parallel writes to the hot counters."
+    );
+}

@@ -1,0 +1,128 @@
+//! All four engines implement the same transactional semantics: a
+//! deterministic single-worker transaction stream must leave every engine's
+//! store in the same state (the Atomic baseline included, because with one
+//! worker there is no concurrency for it to mis-handle).
+
+use doppel_bench::engines::{build_engine, EngineKind, EngineParams};
+use doppel_common::{Engine, Key, OrderKey, ProcedureFn, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs a deterministic mixed-operation workload on one worker.
+fn run_stream(engine: &dyn Engine) -> Vec<Option<Value>> {
+    for k in 0..16u64 {
+        engine.load(Key::raw(k), Value::Int(0));
+    }
+    let mut handle = engine.handle(0);
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for step in 0..2_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = Key::raw(x % 16);
+        let arg = (x % 1_000) as i64;
+        let proc: Arc<dyn doppel_common::Procedure> = match step % 5 {
+            0 => Arc::new(ProcedureFn::new("add", move |tx| tx.add(key, arg))),
+            1 => Arc::new(ProcedureFn::new("max", move |tx| tx.max(key, arg))),
+            2 => Arc::new(ProcedureFn::new("min", move |tx| tx.min(key, -arg))),
+            3 => Arc::new(ProcedureFn::new("rmw", move |tx| {
+                let current = tx.get_int(key)?;
+                tx.put(key, Value::Int(current / 2 + arg))
+            })),
+            _ => Arc::new(ProcedureFn::new("combo", move |tx| {
+                tx.add(key, 1)?;
+                tx.add(Key::raw((key.id() + 1) % 16), arg % 10)
+            })),
+        };
+        let outcome = handle.execute(proc);
+        assert!(outcome.is_committed(), "single-worker transactions never conflict: {outcome:?}");
+    }
+    (0..16u64).map(|k| engine.global_get(Key::raw(k))).collect()
+}
+
+#[test]
+fn all_engines_agree_on_a_deterministic_stream() {
+    let params = EngineParams { workers: 1, ..EngineParams::default() };
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let engine = build_engine(*kind, &params);
+        let state = run_stream(engine.as_ref());
+        engine.shutdown();
+        results.push((kind.label(), state));
+    }
+    let (reference_name, reference) = &results[0];
+    for (name, state) in &results[1..] {
+        assert_eq!(
+            state, reference,
+            "{name} diverged from {reference_name} on a deterministic stream"
+        );
+    }
+}
+
+#[test]
+fn doppel_with_and_without_splitting_agree() {
+    // Ablation: disabling splitting must not change results, only performance.
+    let enabled = build_engine(EngineKind::Doppel, &EngineParams { workers: 1, ..Default::default() });
+    let disabled = build_engine(
+        EngineKind::Doppel,
+        &EngineParams { workers: 1, disable_splitting: true, ..Default::default() },
+    );
+    let a = run_stream(enabled.as_ref());
+    let b = run_stream(disabled.as_ref());
+    enabled.shutdown();
+    disabled.shutdown();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ordered_tuple_and_topk_operations_agree_across_transactional_engines() {
+    // OPut / TopKInsert are not supported by the Atomic baseline's fast path
+    // in a meaningful way, so compare the three transactional engines.
+    let params = EngineParams { workers: 1, ..EngineParams::default() };
+    let mut states = Vec::new();
+    for kind in EngineKind::TRANSACTIONAL {
+        let engine = build_engine(*kind, &params);
+        let mut handle = engine.handle(0);
+        for i in 0..200u64 {
+            let order = ((i * 37) % 101) as i64;
+            let proc = Arc::new(ProcedureFn::new("board", move |tx| {
+                tx.topk_insert(
+                    Key::raw(0),
+                    OrderKey::from(order),
+                    order.to_le_bytes().to_vec().into(),
+                    8,
+                )?;
+                tx.oput(
+                    Key::raw(1),
+                    OrderKey::pair(order, i as i64),
+                    i.to_le_bytes().to_vec().into(),
+                )
+            }));
+            assert!(handle.execute(proc).is_committed());
+        }
+        states.push((kind.label(), engine.global_get(Key::raw(0)), engine.global_get(Key::raw(1))));
+        engine.shutdown();
+    }
+    for window in states.windows(2) {
+        assert_eq!(window[0].1, window[1].1, "{} vs {}", window[0].0, window[1].0);
+        assert_eq!(window[0].2, window[1].2, "{} vs {}", window[0].0, window[1].0);
+    }
+}
+
+#[test]
+fn doppel_phase_cycling_does_not_change_single_worker_results() {
+    // Run the same deterministic stream with an aggressive 1 ms phase length
+    // so many phase transitions happen mid-stream; results must match the
+    // OCC reference exactly.
+    let occ = build_engine(EngineKind::Occ, &EngineParams { workers: 1, ..Default::default() });
+    let reference = run_stream(occ.as_ref());
+    occ.shutdown();
+
+    let doppel = build_engine(
+        EngineKind::Doppel,
+        &EngineParams { workers: 1, phase_len: Duration::from_millis(1), ..Default::default() },
+    );
+    let cycled = run_stream(doppel.as_ref());
+    doppel.shutdown();
+    assert_eq!(cycled, reference);
+}

@@ -1,0 +1,264 @@
+//! End-to-end tests of the phase reconciliation machinery: manual phase
+//! control, automatic classification, stashing, reconciliation, and the
+//! feedback behaviours described in §5.4–§5.5 of the paper.
+
+use doppel_common::{
+    DoppelConfig, Engine, Key, OpKind, OrderKey, Outcome, ProcedureFn, TxError, Value,
+};
+use doppel_db::{DoppelDb, Phase};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn manual_db(workers: usize) -> DoppelDb {
+    DoppelDb::new(DoppelConfig {
+        workers,
+        split_min_conflicts: 1,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.0,
+        ..DoppelConfig::default()
+    })
+}
+
+/// Drives a full joined → split → joined cycle by hand and checks each
+/// intermediate state, including that the split-phase writes are invisible
+/// until reconciliation.
+#[test]
+fn manual_phase_cycle_with_all_splittable_operations() {
+    let db = manual_db(1);
+    let counter = Key::raw(1);
+    let maximum = Key::raw(2);
+    let minimum = Key::raw(3);
+    let board = Key::raw(4);
+    let slot = Key::raw(5);
+    db.load(counter, Value::Int(10));
+    db.load(maximum, Value::Int(100));
+    db.load(minimum, Value::Int(100));
+    db.label_split(counter, OpKind::Add);
+    db.label_split(maximum, OpKind::Max);
+    db.label_split(minimum, OpKind::Min);
+    db.label_split(board, OpKind::TopKInsert);
+    db.label_split(slot, OpKind::OPut);
+
+    let mut w = db.handle(0);
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    assert_eq!(db.current_phase(), Phase::Split);
+    assert_eq!(db.split_count(), 5);
+
+    let writes = Arc::new(ProcedureFn::new("mixed", |tx| {
+        tx.add(Key::raw(1), 5)?;
+        tx.max(Key::raw(2), 250)?;
+        tx.min(Key::raw(3), 7)?;
+        tx.topk_insert(Key::raw(4), OrderKey::from(42), "player".into(), 4)?;
+        tx.oput(Key::raw(5), OrderKey::from(9), "winner".into())
+    }));
+    for _ in 0..10 {
+        assert!(w.execute(writes.clone()).is_committed());
+    }
+
+    // Nothing is visible in the global store yet: all updates sit in slices.
+    assert_eq!(db.global_get(counter), Some(Value::Int(10)));
+    assert_eq!(db.global_get(maximum), Some(Value::Int(100)));
+    assert_eq!(db.global_get(board), None);
+
+    db.request_phase(Phase::Joined);
+    w.safepoint();
+
+    assert_eq!(db.global_get(counter), Some(Value::Int(60)), "10 + 10×5");
+    assert_eq!(db.global_get(maximum), Some(Value::Int(250)));
+    assert_eq!(db.global_get(minimum), Some(Value::Int(7)));
+    let board_val = db.global_get(board).unwrap();
+    assert_eq!(board_val.as_topk().unwrap().len(), 1);
+    let slot_val = db.global_get(slot).unwrap();
+    assert_eq!(slot_val.as_tuple().unwrap().order, OrderKey::from(9));
+    assert_eq!(db.stats().split_phases, 1);
+    assert!(db.stats().slices_merged >= 4, "every touched slice must be merged");
+}
+
+/// A transaction that both writes split data and reads other split data is
+/// stashed as a whole and replayed atomically.
+#[test]
+fn mixed_split_access_is_stashed_whole() {
+    let db = manual_db(1);
+    let a = Key::raw(1);
+    let b = Key::raw(2);
+    db.load(a, Value::Int(0));
+    db.load(b, Value::Int(0));
+    db.label_split(a, OpKind::Add);
+    db.label_split(b, OpKind::Add);
+
+    let mut w = db.handle(0);
+    db.request_phase(Phase::Split);
+    w.safepoint();
+
+    // Writes the split key a (allowed) but also *reads* the split key b
+    // (not allowed) — the whole transaction must be stashed, and the write to
+    // a must not happen yet.
+    let proc = Arc::new(ProcedureFn::new("mixed", |tx| {
+        tx.add(Key::raw(1), 100)?;
+        let v = tx.get_int(Key::raw(2))?;
+        tx.add(Key::raw(1), v)
+    }));
+    let out = w.execute(proc);
+    assert!(out.is_stashed());
+    assert_eq!(w.stash_len(), 1);
+
+    db.request_phase(Phase::Joined);
+    w.safepoint();
+    let completions = w.take_completions();
+    assert_eq!(completions.len(), 1);
+    assert!(completions[0].result.is_ok());
+    // The replay ran once in the joined phase: a = 100 + b(=0).
+    assert_eq!(db.global_get(a), Some(Value::Int(100)));
+}
+
+/// Multi-worker automatic run: contention on a hot key triggers automatic
+/// splitting, and removing the contention triggers un-splitting (§5.5, the
+/// behaviour behind Figure 10).
+#[test]
+fn automatic_split_and_unsplit_follow_contention() {
+    let workers = 3;
+    let db = Arc::new(DoppelDb::start(DoppelConfig {
+        workers,
+        phase_len: Duration::from_millis(3),
+        split_min_conflicts: 2,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.02,
+        ..DoppelConfig::default()
+    }));
+    let hot = Key::raw(0);
+    db.load(hot, Value::Int(0));
+    for k in 1..=1000u64 {
+        db.load(Key::raw(k), Value::Int(0));
+    }
+
+    // Phase 1: hammer the hot key from all workers.
+    let mut handles = Vec::new();
+    for core in 0..workers {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut w = db.handle(core);
+            let proc = Arc::new(ProcedureFn::new("hot", move |tx| tx.add(hot, 1)));
+            let mut committed = 0u64;
+            while committed < 15_000 {
+                match w.execute(proc.clone()) {
+                    Outcome::Committed(_) => committed += 1,
+                    Outcome::Aborted(TxError::Shutdown) => break,
+                    _ => {}
+                }
+            }
+            // Phase 2: switch to uniform cold traffic so the hot key stops
+            // being written and gets un-split.
+            let mut i = 0u64;
+            let mut cold_committed = 0u64;
+            while cold_committed < 15_000 {
+                i += 1;
+                let key = Key::raw(1 + (i * (core as u64 + 1)) % 1000);
+                let proc = Arc::new(ProcedureFn::new("cold", move |tx| tx.add(key, 1)));
+                match w.execute(proc) {
+                    Outcome::Committed(_) => cold_committed += 1,
+                    Outcome::Aborted(TxError::Shutdown) => break,
+                    _ => {}
+                }
+            }
+            committed
+        }));
+    }
+    let hot_commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    db.shutdown();
+
+    let stats = db.stats();
+    assert_eq!(
+        db.global_get(hot).unwrap().as_int().unwrap() as u64,
+        hot_commits,
+        "hot-key increments survive splitting and reconciliation"
+    );
+    assert!(stats.total_splits >= 1, "the hot key should have been split at least once");
+    assert!(
+        stats.total_unsplits >= 1,
+        "after the traffic moved away the hot key should have been moved back"
+    );
+    assert!(stats.slice_ops > 0, "some increments should have used the split fast path");
+}
+
+/// The ablation flag (`enable_splitting = false`) keeps Doppel correct while
+/// never splitting, so any throughput difference in the benchmarks is
+/// attributable to splitting itself.
+#[test]
+fn splitting_disabled_never_splits_under_contention() {
+    let workers = 2;
+    let db = Arc::new(DoppelDb::start(DoppelConfig {
+        workers,
+        phase_len: Duration::from_millis(3),
+        enable_splitting: false,
+        ..DoppelConfig::default()
+    }));
+    let hot = Key::raw(0);
+    db.load(hot, Value::Int(0));
+    let mut handles = Vec::new();
+    for core in 0..workers {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut w = db.handle(core);
+            let proc = Arc::new(ProcedureFn::new("hot", move |tx| tx.add(hot, 1)));
+            let mut committed = 0u64;
+            while committed < 10_000 {
+                match w.execute(proc.clone()) {
+                    Outcome::Committed(_) => committed += 1,
+                    Outcome::Aborted(TxError::Shutdown) => break,
+                    _ => {}
+                }
+            }
+            committed
+        }));
+    }
+    let commits: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    db.shutdown();
+    assert_eq!(db.global_get(hot).unwrap().as_int().unwrap() as u64, commits);
+    assert_eq!(db.stats().total_splits, 0);
+    assert_eq!(db.stats().slice_ops, 0);
+}
+
+/// Selected-operation switching: if a split key keeps being hit with a
+/// different splittable operation, the classifier reassigns the selected
+/// operation rather than un-splitting (§4 guideline 3).
+#[test]
+fn selected_operation_can_change_between_phases() {
+    let db = DoppelDb::new(DoppelConfig {
+        workers: 1,
+        split_min_conflicts: 1,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.0,
+        unsplit_stash_ratio: 1000.0,
+        ..DoppelConfig::default()
+    });
+    let key = Key::raw(1);
+    db.load(key, Value::Int(0));
+    db.label_split(key, OpKind::Max);
+    let mut w = db.handle(0);
+
+    // Split phase where the workload only issues Add: every Add is stashed.
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    let add = Arc::new(ProcedureFn::new("add", move |tx| tx.add(Key::raw(1), 1)));
+    let mut stashed = 0;
+    for _ in 0..50 {
+        if w.execute(add.clone()).is_stashed() {
+            stashed += 1;
+        }
+    }
+    assert_eq!(stashed, 50);
+
+    // Back to joined: the stashed Adds replay, and the classifier switches
+    // the selected operation to Add for the next split phase.
+    db.request_phase(Phase::Joined);
+    w.safepoint();
+    assert_eq!(db.global_get(key), Some(Value::Int(50)));
+    assert_eq!(db.split_keys(), vec![(key, OpKind::Add)]);
+
+    // Next split phase: Adds now take the split fast path.
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    assert!(w.execute(add).is_committed());
+    assert!(db.stats().slice_ops >= 1);
+}

@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) of the core invariants the paper's
+//! correctness argument relies on (§4, §5.6):
+//!
+//! * splittable operations commute with themselves;
+//! * applying operations to per-core slices and merging equals applying them
+//!   directly to the global value, for any partition of the operations across
+//!   cores;
+//! * the OCC engine is linearisable for single-worker streams (checked
+//!   against a simple model);
+//! * a Doppel phase cycle (joined → split → reconcile) produces the same
+//!   final state as executing the same operations directly.
+
+use doppel_common::{
+    DoppelConfig, Engine, Key, Op, OpKind, OrderKey, ProcedureFn, TopKSet, Value,
+};
+use doppel_db::{DoppelDb, Phase, Slice};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Strategy: an argument for an integer operation.
+fn int_arg() -> impl Strategy<Value = i64> {
+    -1_000i64..1_000
+}
+
+/// Strategy: a splittable integer operation.
+fn int_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        int_arg().prop_map(Op::Add),
+        int_arg().prop_map(Op::Max),
+        int_arg().prop_map(Op::Min),
+    ]
+}
+
+/// Applies `ops` directly to `initial` through the global-store semantics.
+fn apply_direct(initial: i64, ops: &[Op]) -> Value {
+    ops.iter().fold(Value::Int(initial), |acc, op| op.apply_to(Some(&acc)).unwrap())
+}
+
+proptest! {
+    /// §4 guideline 1: each splittable integer operation commutes with
+    /// itself — any permutation of a homogeneous batch gives the same result.
+    #[test]
+    fn homogeneous_batches_commute(
+        initial in int_arg(),
+        args in prop::collection::vec(int_arg(), 1..20),
+        kind in prop_oneof![Just(OpKind::Add), Just(OpKind::Max), Just(OpKind::Min), Just(OpKind::Mult)],
+    ) {
+        let make = |n: i64| match kind {
+            OpKind::Add => Op::Add(n),
+            OpKind::Max => Op::Max(n),
+            OpKind::Min => Op::Min(n),
+            OpKind::Mult => Op::Mult(n % 7), // keep products in range
+            _ => unreachable!(),
+        };
+        let forward: Vec<Op> = args.iter().map(|&n| make(n)).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        prop_assert_eq!(apply_direct(initial, &forward), apply_direct(initial, &reversed));
+    }
+
+    /// The heart of §4: applying a homogeneous batch of operations to
+    /// per-core slices and merging the slices equals applying the batch
+    /// directly, for any assignment of operations to cores.
+    #[test]
+    fn slice_then_merge_equals_direct(
+        initial in int_arg(),
+        ops_with_core in prop::collection::vec((int_arg(), 0usize..4), 1..40),
+        kind in prop_oneof![Just(OpKind::Add), Just(OpKind::Max), Just(OpKind::Min)],
+    ) {
+        let make = |n: i64| match kind {
+            OpKind::Add => Op::Add(n),
+            OpKind::Max => Op::Max(n),
+            OpKind::Min => Op::Min(n),
+            _ => unreachable!(),
+        };
+        let direct = apply_direct(initial, &ops_with_core.iter().map(|&(n, _)| make(n)).collect::<Vec<_>>());
+
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(kind, 8)).collect();
+        for &(n, core) in &ops_with_core {
+            slices[core].apply(&make(n)).unwrap();
+        }
+        let mut merged = Value::Int(initial);
+        for slice in slices {
+            for op in slice.into_merge_ops() {
+                merged = op.apply_to(Some(&merged)).unwrap();
+            }
+        }
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// Top-K sets: inserting through per-core slices and merging produces the
+    /// same set as inserting everything into one set, regardless of how the
+    /// inserts are distributed across cores.
+    #[test]
+    fn topk_slice_merge_equals_direct(
+        entries in prop::collection::vec((0i64..200, 0usize..4), 1..60),
+        k in 1usize..8,
+    ) {
+        let mut direct = TopKSet::new(k);
+        for (order, core) in &entries {
+            direct.insert(OrderKey::from(*order), *core, order.to_le_bytes().to_vec());
+        }
+
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(OpKind::TopKInsert, k)).collect();
+        for (order, core) in &entries {
+            slices[*core]
+                .apply(&Op::TopKInsert {
+                    order: OrderKey::from(*order),
+                    core: *core,
+                    payload: order.to_le_bytes().to_vec().into(),
+                    k,
+                })
+                .unwrap();
+        }
+        let mut merged_value = Value::TopK(TopKSet::new(k));
+        for slice in slices {
+            for op in slice.into_merge_ops() {
+                merged_value = op.apply_to(Some(&merged_value)).unwrap();
+            }
+        }
+        prop_assert_eq!(merged_value.as_topk().unwrap(), &direct);
+    }
+
+    /// OPut: the winning tuple is the one with the lexicographically largest
+    /// (order, core), however the writes are interleaved or partitioned.
+    #[test]
+    fn oput_winner_is_order_core_maximum(
+        entries in prop::collection::vec((0i64..100, 0usize..4), 1..30),
+    ) {
+        let expected = entries
+            .iter()
+            .max_by_key(|(order, core)| (*order, *core))
+            .copied()
+            .unwrap();
+
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(OpKind::OPut, 8)).collect();
+        for (order, core) in &entries {
+            slices[*core]
+                .apply(&Op::OPut {
+                    order: OrderKey::from(*order),
+                    core: *core,
+                    payload: format!("{order}/{core}").into_bytes().into(),
+                })
+                .unwrap();
+        }
+        let mut merged = None;
+        for slice in slices {
+            for op in slice.into_merge_ops() {
+                merged = Some(op.apply_to(merged.as_ref()).unwrap());
+            }
+        }
+        let tuple = merged.unwrap();
+        let tuple = tuple.as_tuple().unwrap();
+        prop_assert_eq!(tuple.order.primary(), expected.0);
+        prop_assert_eq!(tuple.core, expected.1);
+    }
+
+    /// The OCC engine agrees with a simple sequential model on single-worker
+    /// operation streams over a small key space.
+    #[test]
+    fn occ_matches_sequential_model(
+        steps in prop::collection::vec((0u64..6, int_op()), 1..60),
+    ) {
+        let engine = doppel_occ::OccEngine::new(1, 16);
+        let mut model: HashMap<u64, i64> = HashMap::new();
+        for k in 0..6u64 {
+            engine.load(Key::raw(k), Value::Int(0));
+            model.insert(k, 0);
+        }
+        let mut handle = engine.handle(0);
+        for (key, op) in &steps {
+            let cur = model[key];
+            let new = op.apply_to(Some(&Value::Int(cur))).unwrap().as_int().unwrap();
+            model.insert(*key, new);
+
+            let key_copy = Key::raw(*key);
+            let op_copy = op.clone();
+            let proc = Arc::new(ProcedureFn::new("step", move |tx| {
+                tx.write_op(key_copy, op_copy.clone())
+            }));
+            prop_assert!(handle.execute(proc).is_committed());
+        }
+        for (k, expected) in model {
+            prop_assert_eq!(engine.global_get(Key::raw(k)), Some(Value::Int(expected)));
+        }
+    }
+
+    /// A full Doppel phase cycle over randomly generated homogeneous updates
+    /// to split keys produces the same final values as the sequential model.
+    #[test]
+    fn doppel_phase_cycle_matches_model(
+        steps in prop::collection::vec((0u64..3, int_arg()), 1..50),
+    ) {
+        let db = DoppelDb::new(DoppelConfig {
+            workers: 1,
+            split_min_conflicts: 1,
+            split_conflict_fraction: 0.0,
+            unsplit_write_fraction: 0.0,
+            ..DoppelConfig::default()
+        });
+        let mut model: HashMap<u64, i64> = HashMap::new();
+        for k in 0..3u64 {
+            db.load(Key::raw(k), Value::Int(0));
+            db.label_split(Key::raw(k), OpKind::Add);
+            model.insert(k, 0);
+        }
+        let mut w = db.handle(0);
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        for (key, amount) in &steps {
+            *model.get_mut(key).unwrap() += amount;
+            let key_copy = Key::raw(*key);
+            let amount = *amount;
+            let proc = Arc::new(ProcedureFn::new("add", move |tx| tx.add(key_copy, amount)));
+            prop_assert!(w.execute(proc).is_committed());
+        }
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+        for (k, expected) in model {
+            prop_assert_eq!(db.global_get(Key::raw(k)), Some(Value::Int(expected)));
+        }
+    }
+}
