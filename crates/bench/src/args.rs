@@ -14,10 +14,82 @@ pub struct Args {
     flags: Vec<String>,
 }
 
+/// The flags the measured-experiment binaries share, as (flag, help line)
+/// pairs (the values come from
+/// [`crate::experiment::ExperimentConfig::from_args`] and
+/// [`crate::output::emit`]). Kept as individual entries so a binary that
+/// sweeps one of these parameters can exclude just that flag from its
+/// `--help` instead of advertising a flag it ignores.
+pub const COMMON_FLAGS: &[(&str, &str)] = &[
+    ("full", "  --full           paper-scale parameters (default: laptop-scale, seconds per point)"),
+    ("cores", "  --cores N        worker threads per engine"),
+    ("seconds", "  --seconds S      measured seconds per (engine, workload) point"),
+    ("keys", "  --keys N         number of records in the store"),
+    ("phase-ms", "  --phase-ms MS    Doppel phase length in milliseconds"),
+    ("shards", "  --shards N       store shard count"),
+    ("out", "  --out DIR        also write the table as DIR/<slug>.{json,txt}"),
+];
+
 impl Args {
     /// Parses the process arguments (everything after the binary name).
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Like [`Args::from_env`], but `--help`/`-h` prints a usage message and
+    /// exits. `summary` is a one-line description of the binary;
+    /// `extra_flags` lists binary-specific flags (formatted like
+    /// [`COMMON_FLAGS`] lines) appended to the common flag set.
+    pub fn from_env_or_usage(summary: &str, extra_flags: &[&str]) -> Self {
+        Self::from_env_or_usage_excluding(summary, &[], extra_flags)
+    }
+
+    /// Like [`Args::from_env_or_usage`] for binaries that sweep one of the
+    /// common parameters: the flags named in `excluded` are dropped from the
+    /// `--help` output so a swept (and therefore ignored) flag is never
+    /// advertised.
+    pub fn from_env_or_usage_excluding(
+        summary: &str,
+        excluded: &[&str],
+        extra_flags: &[&str],
+    ) -> Self {
+        let common: Vec<&str> = COMMON_FLAGS
+            .iter()
+            .filter(|(name, _)| !excluded.contains(name))
+            .map(|(_, line)| *line)
+            .collect();
+        Self::usage_with_flag_lines(summary, &common, extra_flags)
+    }
+
+    /// Like [`Args::from_env_or_usage`] but without the common flag set, for
+    /// binaries that don't run measured experiments (e.g. purely analytic
+    /// tables) and would otherwise advertise flags they ignore.
+    pub fn from_env_or_custom_usage(summary: &str, flags: &[&str]) -> Self {
+        Self::usage_with_flag_lines(summary, &[], flags)
+    }
+
+    fn usage_with_flag_lines(summary: &str, blocks: &[&str], lines: &[&str]) -> Self {
+        if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+            let bin = std::env::args()
+                .next()
+                .map(|p| {
+                    std::path::Path::new(&p)
+                        .file_name()
+                        .map(|f| f.to_string_lossy().into_owned())
+                        .unwrap_or(p)
+                })
+                .unwrap_or_else(|| "experiment".to_string());
+            println!("{bin}: {summary}\n\nUsage: {bin} [FLAGS]\n\nFlags:");
+            for block in blocks {
+                println!("{block}");
+            }
+            for line in lines {
+                println!("{line}");
+            }
+            println!("  --help           print this message");
+            std::process::exit(0);
+        }
+        Self::from_env()
     }
 
     /// Parses an explicit argument list (used by tests).

@@ -12,8 +12,8 @@
 //! the difference between the last two isolates the cost of the phase
 //! machinery when it is not needed.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin ablation [--full]
-//! [--cores N] [--seconds S] [--keys N] [--hot F] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin ablation -- --help`)
+//! for the full flag list.
 
 use doppel_bench::engines::EngineParams;
 use doppel_bench::{build_engine, emit, Args, EngineKind, ExperimentConfig};
@@ -22,7 +22,10 @@ use doppel_workloads::incr::Incr1Workload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Ablation: INCR1 hot-key throughput with splitting disabled or forced",
+        &[],
+    );
     let config = ExperimentConfig::from_args(&args);
     let hot_fractions: Vec<f64> = if args.flag("full") {
         vec![0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]

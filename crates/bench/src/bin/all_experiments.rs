@@ -4,8 +4,8 @@
 //! each child binary prints its table and, when `--out DIR` is given, writes
 //! `DIR/<experiment>.{txt,json}`.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin all_experiments
-//! [--full] [--cores N] [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin all_experiments -- --help`)
+//! for the full flag list.
 
 use std::process::Command;
 
@@ -17,6 +17,17 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    if forwarded.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "all_experiments: run every figure/table binary in sequence with shared settings\n\n\
+             Usage: all_experiments [FLAGS]\n\nFlags (forwarded to each experiment):"
+        );
+        for (_, line) in doppel_bench::args::COMMON_FLAGS {
+            println!("{line}");
+        }
+        println!("  --help           print this message");
+        return;
+    }
     let current = std::env::current_exe().expect("cannot locate current executable");
     let bin_dir = current.parent().expect("executable has a parent directory").to_path_buf();
 

@@ -3,8 +3,8 @@
 //! paper). Shows how quickly Doppel's classifier adapts: throughput dips when
 //! the hot key moves, then recovers once the new key is split.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig10 [--full]
-//! [--seconds S] [--rotate-secs R] [--hot F] [--cores N] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig10 -- --help`)
+//! for the full flag list.
 //!
 //! `--hot` sets the fraction of transactions that write the rotating hot key
 //! (0.10 in the paper). On hosts with few physical cores a higher fraction
@@ -18,7 +18,13 @@ use doppel_workloads::report::{Cell, Table};
 use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Figure 10: INCR1 throughput over time as the hot key rotates",
+        &[
+            "  --rotate-secs S  rotate the hot key every S seconds",
+            "  --hot F          fraction of transactions writing the hot key",
+        ],
+    );
     let mut config = ExperimentConfig::from_args(&args);
     // The paper runs ~90 s with a 5 s rotation; the quick configuration
     // compresses both so the adaptation is still visible.
@@ -67,13 +73,13 @@ fn main() {
         series.push(points);
     }
 
-    let rows = series.iter().map(|s| s.len()).min().unwrap_or(0);
-    for i in 0..rows {
+    // `zip` truncates to the shortest series, keeping the rows aligned.
+    for ((a, b), c) in series[0].iter().zip(&series[1]).zip(&series[2]) {
         table.push_row(vec![
-            Cell::Float(series[0][i].0),
-            Cell::Mtps(series[0][i].1),
-            Cell::Mtps(series[1][i].1),
-            Cell::Mtps(series[2][i].1),
+            Cell::Float(a.0),
+            Cell::Mtps(a.1),
+            Cell::Mtps(b.1),
+            Cell::Mtps(c.1),
         ]);
     }
 

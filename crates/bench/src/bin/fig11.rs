@@ -1,15 +1,18 @@
 //! Figure 11: total INCRZ throughput as a function of the Zipfian skew
 //! parameter α, for Doppel, OCC, 2PL and Atomic.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig11 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig11 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::IncrZWorkload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Figure 11: INCRZ throughput vs Zipfian skew alpha",
+        &[],
+    );
     let config = ExperimentConfig::from_args(&args);
     let alphas: Vec<f64> = if args.flag("full") {
         (0..=10).map(|i| i as f64 * 0.2).collect()

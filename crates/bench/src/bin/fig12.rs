@@ -2,15 +2,18 @@
 //! transactions that write, with Zipfian page popularity (α = 1.4), for
 //! Doppel, OCC and 2PL.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig12 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--alpha A] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig12 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::like::LikeWorkload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Figure 12: LIKE throughput vs write fraction (Zipfian pages, alpha = 1.4)",
+        &["  --alpha A        Zipf skew of page popularity"],
+    );
     let config = ExperimentConfig::from_args(&args);
     let alpha = args.get_f64("alpha", 1.4);
     let write_percentages: Vec<u64> = if args.flag("full") {

@@ -3,8 +3,8 @@
 //! 50% writes, and skewed 90% writes. Longer phases mean stashed reads wait
 //! longer for the next joined phase.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig13 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig13 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::driver::Workload;
@@ -13,7 +13,12 @@ use doppel_workloads::report::{Cell, Table};
 use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
+    // The phase length is swept, so --phase-ms would be ignored: exclude it.
+    let args = Args::from_env_or_usage_excluding(
+        "Figure 13: Doppel read latency vs phase length on three LIKE workloads",
+        &["phase-ms"],
+        &[],
+    );
     let mut config = ExperimentConfig::from_args(&args);
     let phase_lengths_ms: Vec<u64> = if args.flag("full") {
         vec![1, 2, 5, 10, 20, 40, 60, 80, 100]

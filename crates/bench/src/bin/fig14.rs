@@ -2,8 +2,8 @@
 //! same three LIKE workloads as Figure 13. Very short phases lose throughput
 //! to phase-change overhead; long phases amortise it.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig14 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig14 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::driver::Workload;
@@ -12,7 +12,12 @@ use doppel_workloads::report::{Cell, Table};
 use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
+    // The phase length is swept, so --phase-ms would be ignored: exclude it.
+    let args = Args::from_env_or_usage_excluding(
+        "Figure 14: Doppel throughput vs phase length on three LIKE workloads",
+        &["phase-ms"],
+        &[],
+    );
     let mut config = ExperimentConfig::from_args(&args);
     let phase_lengths_ms: Vec<u64> = if args.flag("full") {
         vec![1, 2, 5, 10, 20, 40, 60, 80, 100]

@@ -2,15 +2,23 @@
 //! parameter α, for Doppel, OCC and 2PL. Doppel matches OCC at low skew and
 //! pulls ahead once popular auctions make StoreBid contended.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig15 [--full] [--cores N]
-//! [--seconds S] [--users N] [--items N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig15 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_rubis::{RubisScale, RubisWorkload, TxnStyle};
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    // RUBiS tables are sized by --users/--items; --keys would be ignored.
+    let args = Args::from_env_or_usage_excluding(
+        "Figure 15: RUBiS-C throughput vs Zipfian item-popularity alpha",
+        &["keys"],
+        &[
+            "  --users N        RUBiS user-table size",
+            "  --items N        RUBiS item-table size",
+        ],
+    );
     let config = ExperimentConfig::from_args(&args);
     let alphas: Vec<f64> = if args.flag("full") {
         (0..=10).map(|i| i as f64 * 0.2).collect()

@@ -2,15 +2,18 @@
 //! transactions that increment the single hot key, for Doppel, OCC, 2PL and
 //! Atomic.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig8 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig8 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::Incr1Workload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Figure 8: INCR1 throughput vs % of transactions writing the single hot key",
+        &[],
+    );
     let config = ExperimentConfig::from_args(&args);
     // The paper sweeps 0–100%; the quick configuration uses fewer points.
     let hot_percentages: Vec<u64> = if args.flag("full") {

@@ -2,15 +2,20 @@
 //! same single key, as the number of cores grows. Perfect scalability would
 //! be a horizontal line; serialized schemes decay as 1/x.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin fig9 [--full]
-//! [--max-cores N] [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin fig9 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::Incr1Workload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    // The worker count is swept, so --cores would be ignored: exclude it.
+    let args = Args::from_env_or_usage_excluding(
+        "Figure 9: per-core INCR1 throughput on one contended key as cores grow",
+        &["cores"],
+        &["  --max-cores N    sweep worker counts from 1 up to N"],
+    );
     let mut config = ExperimentConfig::from_args(&args);
     let max_cores = args.get_usize("max-cores", if args.flag("full") { 80 } else { 8 });
     let core_counts: Vec<usize> = {

@@ -5,14 +5,23 @@
 //! validates that the workload generator used by INCRZ, LIKE and RUBiS-C
 //! reproduces exactly the distributions the paper evaluated.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin table1 [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin table1 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, Args};
 use doppel_workloads::report::{Cell, Table};
 use doppel_workloads::zipf::ZipfSampler;
 
 fn main() {
-    let args = Args::from_env();
+    // Purely analytic: no engines run, so only the flags actually read are
+    // advertised (the common measurement flags would be ignored).
+    let args = Args::from_env_or_custom_usage(
+        "Table 1: Zipf write concentration on the most popular keys",
+        &[
+            "  --keys N         size of the key space (default 1000000)",
+            "  --out DIR        also write the table as DIR/table1.{json,txt}",
+        ],
+    );
     let keys = args.get_u64("keys", 1_000_000);
     let alphas = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0];
     let ranks = [0u64, 1, 9, 99];

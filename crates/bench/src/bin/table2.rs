@@ -4,8 +4,8 @@
 //! The split decision is sampled while the run is in progress (split keys are
 //! a property of Doppel's classifier state, which adapts every phase).
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin table2 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin table2 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, sample_during_run, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::IncrZWorkload;
@@ -13,7 +13,10 @@ use doppel_workloads::report::{Cell, Table};
 use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Table 2: keys Doppel splits on INCRZ and the request share they cover",
+        &[],
+    );
     let config = ExperimentConfig::from_args(&args);
     let alphas: Vec<f64> = if args.flag("full") {
         vec![0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0]

@@ -7,15 +7,18 @@
 //! exchange for the highest throughput: that trade-off is the point of the
 //! table.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin table3 [--full] [--cores N]
-//! [--seconds S] [--keys N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin table3 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::like::LikeWorkload;
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_or_usage(
+        "Table 3: LIKE latency and throughput for Doppel, OCC and 2PL",
+        &[],
+    );
     let config = ExperimentConfig::from_args(&args);
     let users = config.keys;
     let pages = config.keys;

@@ -1,15 +1,24 @@
 //! Table 4: RUBiS-B (uniform bidding mix) and RUBiS-C (50% bids with Zipfian
 //! item popularity, α = 1.8) throughput for Doppel, OCC and 2PL.
 //!
-//! Usage: `cargo run --release -p doppel-bench --bin table4 [--full] [--cores N]
-//! [--seconds S] [--alpha A] [--users N] [--items N] [--out DIR]`
+//! Run with `--help` (`cargo run --release --bin table4 -- --help`)
+//! for the full flag list.
 
 use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
 use doppel_rubis::{RubisScale, RubisWorkload, TxnStyle};
 use doppel_workloads::report::{Cell, Table};
 
 fn main() {
-    let args = Args::from_env();
+    // RUBiS tables are sized by --users/--items; --keys would be ignored.
+    let args = Args::from_env_or_usage_excluding(
+        "Table 4: RUBiS-B and RUBiS-C throughput for Doppel, OCC and 2PL",
+        &["keys"],
+        &[
+            "  --alpha A        Zipf skew of item popularity for RUBiS-C",
+            "  --users N        RUBiS user-table size",
+            "  --items N        RUBiS item-table size",
+        ],
+    );
     let config = ExperimentConfig::from_args(&args);
     let alpha = args.get_f64("alpha", 1.8);
     let scale = rubis_scale(&args);

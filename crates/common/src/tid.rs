@@ -101,6 +101,10 @@ impl TidGenerator {
 
     /// Returns a fresh TID greater than anything previously produced locally
     /// (used when the transaction read nothing).
+    //
+    // Named after Silo's TID-generation step, not `Iterator::next` — the
+    // generator is infinite and fallible iteration semantics don't apply.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Tid {
         self.next_after(std::iter::empty())
     }

@@ -214,6 +214,7 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
+    #[allow(clippy::type_complexity)] // spelled out once; the tests only name the Arc
     fn incr(key: u64, n: i64) -> Arc<ProcedureFn<impl Fn(&mut dyn doppel_common::Tx) -> Result<(), TxError> + Send + Sync>> {
         Arc::new(ProcedureFn::new("incr", move |tx| tx.add(Key::raw(key), n)))
     }
@@ -423,7 +424,7 @@ mod tests {
                 committed
             }));
         }
-        let committed: i64 = joins.into_iter().map(|j| j.join().unwrap() as i64).sum();
+        let committed: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
         db.shutdown();
         assert_eq!(committed, total);
         // Every committed increment is reflected exactly once after shutdown

@@ -76,12 +76,10 @@ impl<'s> DoppelTx<'s> {
     pub fn intent_for(&self, key: &Key) -> OpKind {
         let mut found = OpKind::Get;
         for (k, op) in &self.intents {
-            if k == key {
-                if op.is_write() {
-                    found = *op;
-                } else if found == OpKind::Get {
-                    found = *op;
-                }
+            // Writes always take precedence; a read only registers while no
+            // write has been seen yet.
+            if k == key && (op.is_write() || found == OpKind::Get) {
+                found = *op;
             }
         }
         found

@@ -257,7 +257,7 @@ impl TxnGenerator for RubisGenerator {
                 let item = self.pick_item();
                 let bidder = self.pick_user();
                 // Bid above the initial price so max-bid keeps advancing.
-                let amount = 1_000 + self.rng.gen_range(0..1_000_000);
+                let amount = 1_000 + self.rng.gen_range(0..1_000_000i64);
                 Arc::new(StoreBid {
                     bid_id: self.fresh_id(),
                     bidder,

@@ -79,7 +79,7 @@ impl TxHandle for ScriptedHandle {
             self.attempts_left -= 1;
             return Outcome::Aborted(TxError::Conflict { key: Key::raw(0) });
         }
-        if self.stash_every > 0 && self.seen % self.stash_every == 0 {
+        if self.stash_every > 0 && self.seen.is_multiple_of(self.stash_every) {
             self.next_ticket += 1;
             let ticket = Ticket(self.next_ticket);
             self.pending.push(ticket);
@@ -134,7 +134,7 @@ impl Procedure for NoopProc {
 impl TxnGenerator for NoopGenerator {
     fn next_txn(&mut self) -> GeneratedTxn {
         self.n += 1;
-        GeneratedTxn { proc: Arc::new(NoopProc), is_write: self.n % 2 == 0 }
+        GeneratedTxn { proc: Arc::new(NoopProc), is_write: self.n.is_multiple_of(2) }
     }
 }
 

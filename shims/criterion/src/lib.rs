@@ -1,0 +1,207 @@
+//! Offline shim of `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, the
+//! `Criterion` builder, benchmark groups, `BenchmarkId` and `black_box`, so
+//! the workspace's benches compile and run under `cargo bench` without the
+//! real crate. Measurement is deliberately simple: after a short warm-up,
+//! each benchmark closure is timed in batches for a bounded interval and the
+//! best batch's mean ns/iteration is printed. There is no statistical
+//! analysis, plotting, or HTML report — this harness answers "did the bench
+//! link and roughly how fast is it", not "is this a significant regression".
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.into().0, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+pub struct Bencher {
+    /// (iterations, elapsed) per measured batch.
+    samples: Vec<(u64, Duration)>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        let batch_budget =
+            self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let batch_iters = (batch_budget / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            self.samples.push((batch_iters, start.elapsed()));
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        // Cap the configured times so a full `cargo bench` stays quick even
+        // with real-criterion-sized configs like 2 s per measurement.
+        warm_up_time: config.warm_up_time.min(Duration::from_millis(100)),
+        measurement_time: config.measurement_time.min(Duration::from_millis(300)),
+        sample_size: config.sample_size.min(10),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<45} (no samples)");
+        return;
+    }
+    let best = bencher
+        .samples
+        .iter()
+        .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+        .fold(f64::INFINITY, f64::min);
+    let total: u64 = bencher.samples.iter().map(|(i, _)| i).sum();
+    println!("{label:<45} {best:>12.1} ns/iter (best of {} batches, {total} iters)",
+        bencher.samples.len());
+}
+
+/// `criterion_group!(name = g; config = …; targets = a, b)` or
+/// `criterion_group!(g, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| count += 1));
+        assert!(count > 0, "the benchmark closure must have been executed");
+
+        let mut group = c.benchmark_group("group");
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

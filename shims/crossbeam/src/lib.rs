@@ -1,0 +1,68 @@
+//! Offline shim of `crossbeam`, reduced to `utils::CachePadded`.
+
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so that two `CachePadded`
+    /// values never share a cache line (128 covers adjacent-line
+    /// prefetching on modern x86 and the 128-byte lines on some ARM parts,
+    /// matching the real crossbeam's choice).
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded").field("value", &self.value).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn alignment_and_deref() {
+            let x = CachePadded::new(3u64);
+            assert_eq!(*x, 3);
+            assert_eq!(std::mem::align_of_val(&x), 128);
+            let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+            let a = &*arr[0] as *const u8 as usize;
+            let b = &*arr[1] as *const u8 as usize;
+            assert!(b - a >= 128);
+        }
+    }
+}

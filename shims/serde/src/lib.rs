@@ -1,0 +1,298 @@
+//! Offline shim of `serde`.
+//!
+//! This workspace builds without network access, so the real serde cannot be
+//! fetched. The code in this repository only ever serializes through
+//! `serde_json`, which lets the shim collapse serde's data-model machinery
+//! into a single owned JSON tree ([`Json`]) plus two object-safe-free traits:
+//!
+//! * [`Serialize`] — convert `self` into a [`Json`] tree;
+//! * [`Deserialize`] — reconstruct `Self` from a [`Json`] tree.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the in-tree `serde_derive`
+//! shim and targets these traits. The encoding follows real serde's JSON
+//! conventions (structs as objects, unit variants as strings, data-carrying
+//! variants as single-key objects) so output remains human-readable, but
+//! cross-version compatibility with real serde is explicitly not a goal —
+//! everything written by this shim is read back by it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// An owned JSON value.
+///
+/// Numbers keep three representations so that every integer width used in
+/// the workspace (up to `u128`) round-trips exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Uint(u128),
+    Float(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by deserialization (and by serialization of non-finite
+/// floats, the one value JSON cannot represent).
+#[derive(Debug, Clone)]
+pub struct JsonError(String);
+
+impl JsonError {
+    pub fn msg(m: &str) -> Self {
+        JsonError(m.to_string())
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+pub trait Serialize {
+    fn serialize_json(&self) -> Json;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError>;
+}
+
+pub mod de {
+    //! Mirror of `serde::de` for the one item the workspace imports from it.
+    //!
+    //! The shim's [`Deserialize`](crate::Deserialize) produces owned values,
+    //! so `DeserializeOwned` is simply the same trait under serde's name.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Looks up `name` in a JSON object and deserializes it; used by the derive
+/// macro for struct fields.
+pub fn get_field<T: Deserialize>(fields: &[(String, Json)], name: &str) -> Result<T, JsonError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_json(v),
+        None => Err(JsonError(format!("missing field `{name}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self) -> Json {
+        (**self).serialize_json()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::msg("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+                let n: i128 = match j {
+                    Json::Int(n) => *n,
+                    Json::Uint(n) => i128::try_from(*n)
+                        .map_err(|_| JsonError::msg("integer out of range"))?,
+                    _ => return Err(JsonError::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Json {
+                Json::Uint(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+                let n: u128 = match j {
+                    Json::Uint(n) => *n,
+                    Json::Int(n) => u128::try_from(*n)
+                        .map_err(|_| JsonError::msg("integer out of range"))?,
+                    _ => return Err(JsonError::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, i128, isize);
+impl_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Json {
+                Json::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+                match j {
+                    Json::Float(f) => Ok(*f as $t),
+                    Json::Int(n) => Ok(*n as $t),
+                    Json::Uint(n) => Ok(*n as $t),
+                    _ => Err(JsonError::msg("expected number")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::String(s) => Ok(s.clone()),
+            _ => Err(JsonError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(JsonError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Array(a) => a.iter().map(T::deserialize_json).collect(),
+            _ => Err(JsonError::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self) -> Json {
+        match self {
+            Some(v) => v.serialize_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self) -> Json {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        T::deserialize_json(j).map(Box::new)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self) -> Json {
+        // Real serde's encoding: an object with whole seconds and the
+        // sub-second nanosecond remainder.
+        Json::Object(vec![
+            ("secs".to_string(), Json::Uint(self.as_secs() as u128)),
+            ("nanos".to_string(), Json::Uint(self.subsec_nanos() as u128)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        let fields = j.as_object().ok_or_else(|| JsonError::msg("expected object for Duration"))?;
+        let secs: u64 = get_field(fields, "secs")?;
+        let nanos: u32 = get_field(fields, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Generates implementations of the in-tree `serde` shim's `Serialize` /
+//! `Deserialize` traits (which map values to and from an owned JSON tree)
+//! for the type shapes this workspace actually uses: structs with named
+//! fields, tuple structs, and enums with unit, newtype, tuple and
+//! struct-like variants. Generics and `#[serde(...)]` attributes are not
+//! supported; hitting either is a compile error rather than silent
+//! misbehaviour.
+//!
+//! The implementation parses the raw `proc_macro::TokenStream` by hand —
+//! `syn`/`quote` are unavailable offline — and emits code by formatting
+//! strings and re-parsing them, which is entirely adequate for the small
+//! grammar involved.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Splits a token stream on top-level commas, treating `<…>` nesting as one
+/// level so types like `HashMap<K, V>` do not split a field in half.
+fn split_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i64;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    if parts.last().map(|p| p.is_empty()).unwrap_or(false) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Consumes leading attributes (`#[…]`) and a visibility (`pub`,
+/// `pub(crate)`, …) from the front of a token slice, returning the rest.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' then [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+fn named_field_names(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .iter()
+        .map(|part| {
+            let rest = skip_attrs_and_vis(part);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    let mut it = rest.iter();
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type {name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match next {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_commas(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match next {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: unexpected enum body {other:?}"),
+            };
+            let variants = split_commas(body)
+                .iter()
+                .map(|part| {
+                    let rest = skip_attrs_and_vis(part);
+                    let vname = match rest.first() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde shim derive: expected variant name, got {other:?}"),
+                    };
+                    let fields = match rest.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Fields::Tuple(split_commas(g.stream()).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(named_field_names(g.stream()))
+                        }
+                        // `Variant` or `Variant = discriminant`.
+                        _ => Fields::Unit,
+                    };
+                    (vname, fields)
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for a `{other}` item"),
+    }
+}
+
+fn gen_serialize_fields_obj(receiver: &str, names: &[String]) -> String {
+    let mut s = String::from("{ let mut obj: Vec<(String, ::serde::Json)> = Vec::new(); ");
+    for f in names {
+        s.push_str(&format!(
+            "obj.push((\"{f}\".to_string(), ::serde::Serialize::serialize_json(&{receiver}{f}))); "
+        ));
+    }
+    s.push_str("::serde::Json::Object(obj) }");
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = match &fields {
+                Fields::Unit => "::serde::Json::Null".to_string(),
+                Fields::Named(names) => gen_serialize_fields_obj("self.", names),
+                Fields::Tuple(1) => "::serde::Serialize::serialize_json(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_json(&self.{i})"))
+                        .collect();
+                    format!("::serde::Json::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn serialize_json(&self) -> ::serde::Json {{ {expr} }}\n                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Json::String(\"{v}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize_json(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Json::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let mut inner = String::from(
+                            "{ let mut obj: Vec<(String, ::serde::Json)> = Vec::new(); ",
+                        );
+                        for f in names {
+                            inner.push_str(&format!(
+                                "obj.push((\"{f}\".to_string(), ::serde::Serialize::serialize_json({f}))); "
+                            ));
+                        }
+                        inner.push_str("::serde::Json::Object(obj) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Json::Object(vec![(\"{v}\".to_string(), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn serialize_json(&self) -> ::serde::Json {{ match self {{ {arms} }} }}\n                }}"
+            )
+        }
+    };
+    body.parse().expect("serde shim derive: generated Serialize impl must parse")
+}
+
+fn gen_deserialize_named(path: &str, names: &[String]) -> String {
+    let inits: Vec<String> =
+        names.iter().map(|f| format!("{f}: ::serde::get_field(fields, \"{f}\")?")).collect();
+    format!(
+        "{{ let fields = inner.as_object().ok_or_else(|| ::serde::JsonError::msg(\"expected object for {path}\"))?; Ok({path} {{ {} }}) }}",
+        inits.join(", ")
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = match &fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Named(names) => {
+                    let inner = gen_deserialize_named(&name, names);
+                    format!("{{ let inner = j; {inner} }}")
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize_json(j)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::deserialize_json(arr.get({i}).ok_or_else(|| ::serde::JsonError::msg(\"missing tuple element\"))?)?")
+                        })
+                        .collect();
+                    format!(
+                        "{{ let arr = j.as_array().ok_or_else(|| ::serde::JsonError::msg(\"expected array for {name}\"))?; Ok({name}({})) }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                    fn deserialize_json(j: &::serde::Json) -> ::core::result::Result<Self, ::serde::JsonError> {{ {expr} }}\n                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n")),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize_json(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_json(arr.get({i}).ok_or_else(|| ::serde::JsonError::msg(\"missing tuple element\"))?)?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let arr = inner.as_array().ok_or_else(|| ::serde::JsonError::msg(\"expected array for {name}::{v}\"))?; Ok({name}::{v}({})) }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inner = gen_deserialize_named(&format!("{name}::{v}"), names);
+                        tagged_arms.push_str(&format!("\"{v}\" => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                    fn deserialize_json(j: &::serde::Json) -> ::core::result::Result<Self, ::serde::JsonError> {{\n                        match j {{\n                            ::serde::Json::String(s) => match s.as_str() {{\n                                {unit_arms}\n                                other => Err(::serde::JsonError::msg(&format!(\"unknown variant {{other}} for {name}\"))),\n                            }},\n                            ::serde::Json::Object(o) if o.len() == 1 => {{\n                                let (tag, inner) = &o[0];\n                                let _ = inner;\n                                match tag.as_str() {{\n                                    {tagged_arms}\n                                    other => Err(::serde::JsonError::msg(&format!(\"unknown variant {{other}} for {name}\"))),\n                                }}\n                            }}\n                            _ => Err(::serde::JsonError::msg(\"expected string or single-key object for enum {name}\")),\n                        }}\n                    }}\n                }}"
+            )
+        }
+    };
+    body.parse().expect("serde shim derive: generated Deserialize impl must parse")
+}

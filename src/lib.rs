@@ -1,0 +1,16 @@
+//! Workspace root package.
+//!
+//! This package exists to host the cross-engine integration tests in
+//! `tests/` and the runnable examples in `examples/`. It re-exports the
+//! workspace crates so a single `use doppel_repro::…` works from scratch
+//! buffers, but the tests and examples import the member crates directly.
+
+pub use doppel_atomic;
+pub use doppel_bench;
+pub use doppel_common;
+pub use doppel_db;
+pub use doppel_occ;
+pub use doppel_rubis;
+pub use doppel_store;
+pub use doppel_twopl;
+pub use doppel_workloads;

@@ -1,0 +1,77 @@
+//! Smoke test: every example in `examples/` must run to completion.
+//!
+//! `cargo test` builds all examples before running integration tests, so the
+//! binaries are guaranteed to exist next to this test's own binary:
+//! `target/<profile>/deps/examples_smoke-*` → `target/<profile>/examples/*`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &["quickstart", "leaderboard", "social_likes", "auction_bidding"];
+
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary has a path");
+    dir.pop(); // the test binary's file name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+/// A full `cargo test` builds the examples as a side effect, but a filtered
+/// `cargo test --test examples_smoke` does not — build them on demand so the
+/// test works either way.
+fn ensure_examples_built(dir: &std::path::Path) {
+    if EXAMPLES.iter().all(|name| dir.join(name).exists()) {
+        return;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.arg("build").arg("--examples");
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("failed to spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed with {status:?}");
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let dir = examples_dir();
+    ensure_examples_built(&dir);
+    for name in EXAMPLES {
+        let path = dir.join(name);
+        assert!(
+            path.exists(),
+            "example binary {} not found — did an example get renamed without updating this list?",
+            path.display()
+        );
+        let output = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+/// The list above must stay in sync with the files in `examples/`.
+#[test]
+fn example_list_is_complete() {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir.join("examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(listed, on_disk, "EXAMPLES list is out of sync with examples/*.rs");
+}

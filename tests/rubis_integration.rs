@@ -22,6 +22,7 @@ fn small_scale() -> RubisScale {
 ///    (or its initial price if it never received a higher bid);
 /// 3. every user rating equals the sum of the ratings of the comments about
 ///    that user.
+#[allow(clippy::type_complexity)] // a named alias for the scan callback would obscure more than it helps
 fn check_invariants(engine: &dyn Engine, store_scan: &dyn Fn(&mut dyn FnMut(Key, Value))) {
     use std::collections::HashMap;
     let mut bids_per_item: HashMap<u64, (i64, i64)> = HashMap::new(); // item -> (count, max amount)
