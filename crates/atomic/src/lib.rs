@@ -140,6 +140,20 @@ impl Tx for AtomicTx<'_> {
                 self.store.int_cell(k).fetch_min(n, Ordering::Relaxed);
                 Ok(())
             }
+            Op::BitOr(n) => {
+                self.store.int_cell(k).fetch_or(n, Ordering::Relaxed);
+                Ok(())
+            }
+            Op::BoundedAdd { n, bound } => {
+                // No single hardware instruction saturates at an arbitrary
+                // bound; a CAS loop keeps the update lock-free.
+                let _ = self.store.int_cell(k).fetch_update(
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                    |v| Some(v.saturating_add(n.max(0)).min(bound)),
+                );
+                Ok(())
+            }
             Op::Put(v) => {
                 match v {
                     Value::Int(n) => self.store.int_cell(k).store(n, Ordering::Relaxed),
@@ -220,6 +234,37 @@ mod tests {
         h.execute(p);
         assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(50)));
         assert_eq!(engine.global_get(Key::raw(2)), Some(Value::Int(-5)));
+    }
+
+    #[test]
+    fn atomic_bitor_and_bounded_add() {
+        let engine = AtomicEngine::new(1);
+        engine.load(Key::raw(1), Value::Int(0b0001));
+        engine.load(Key::raw(2), Value::Int(8));
+        let mut h = engine.handle(0);
+        let p = Arc::new(ProcedureFn::new("flags", |tx| {
+            tx.bit_or(Key::raw(1), 0b0110)?;
+            tx.bounded_add(Key::raw(2), 5, 10)?;
+            tx.bounded_add(Key::raw(2), 5, 10)
+        }));
+        assert!(h.execute(p).is_committed());
+        assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(0b0111)));
+        assert_eq!(engine.global_get(Key::raw(2)), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn atomic_set_union_uses_side_map() {
+        let engine = AtomicEngine::new(1);
+        engine.load(Key::raw(5), Value::Set(doppel_common::IntSet::new()));
+        let mut h = engine.handle(0);
+        let p = Arc::new(ProcedureFn::new("visit", |tx| {
+            tx.set_insert(Key::raw(5), 42)?;
+            tx.set_insert(Key::raw(5), 42)?;
+            tx.set_insert(Key::raw(5), 7)
+        }));
+        assert!(h.execute(p).is_committed());
+        let v = engine.global_get(Key::raw(5)).unwrap();
+        assert_eq!(v.as_set().unwrap().iter().collect::<Vec<_>>(), vec![7, 42]);
     }
 
     #[test]

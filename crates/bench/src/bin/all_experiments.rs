@@ -9,10 +9,11 @@
 
 use std::process::Command;
 
-/// The experiments, in the order they appear in the paper.
+/// The experiments, in the order they appear in the paper, plus the
+/// beyond-the-paper `scenarios` suite (new splittable operations).
 const EXPERIMENTS: &[&str] = &[
     "fig8", "fig9", "fig10", "fig11", "table1", "table2", "fig12", "table3", "fig13", "fig14",
-    "table4", "fig15", "ablation",
+    "table4", "fig15", "ablation", "scenarios",
 ];
 
 fn main() {

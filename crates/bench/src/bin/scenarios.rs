@@ -1,0 +1,70 @@
+//! Beyond-the-paper scenarios: the FLAGS (fraud flagging, `BitOr` +
+//! `BoundedAdd`) and VISITORS (unique audience, `SetUnion`) workloads across
+//! the three transactional engines, at uniform and skewed account/page
+//! popularity.
+//!
+//! These workloads exercise the splittable operations added on top of the
+//! paper's §4 set, showing that new commutative operations registered in the
+//! splittable-operation framework get the same contention relief as the
+//! built-ins.
+//!
+//! Run with `--help` (`cargo run --release --bin scenarios -- --help`)
+//! for the full flag list.
+
+use doppel_bench::{emit, run_point, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::driver::Workload;
+use doppel_workloads::flags::FlagsWorkload;
+use doppel_workloads::report::{Cell, Table};
+use doppel_workloads::visitors::VisitorsWorkload;
+
+fn main() {
+    let args = Args::from_env_or_usage(
+        "Scenarios: FLAGS (BitOr/BoundedAdd) and VISITORS (SetUnion) throughput",
+        &[
+            "  --alpha A        Zipf skew of the skewed points (default 1.4)",
+            "  --writes PCT     write percentage of both mixes (default 90)",
+        ],
+    );
+    let config = ExperimentConfig::from_args(&args);
+    let alpha = args.get_f64("alpha", 1.4);
+    let write_fraction = args.get_u64("writes", 90) as f64 / 100.0;
+    let accounts = config.keys;
+    let strike_cap = 1_000_000;
+
+    let mut table = Table::new(
+        format!(
+            "Scenarios: throughput (txns/sec) of the new-operation workloads ({} cores, {} \
+             accounts/pages, {:.0}% writes, {:.1}s per point)",
+            config.cores,
+            accounts,
+            write_fraction * 100.0,
+            config.seconds
+        ),
+        &["workload", "Doppel", "OCC", "2PL"],
+    );
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(FlagsWorkload::new(accounts, write_fraction, 0.0, strike_cap)),
+        Box::new(FlagsWorkload::new(accounts, write_fraction, alpha, strike_cap)),
+        Box::new(VisitorsWorkload::new(accounts, accounts, write_fraction, 0.0)),
+        Box::new(VisitorsWorkload::new(accounts, accounts, write_fraction, alpha)),
+    ];
+
+    for workload in &workloads {
+        let mut row: Vec<Cell> = vec![Cell::Text(workload.name())];
+        for kind in EngineKind::TRANSACTIONAL {
+            let result = run_point(*kind, workload.as_ref(), &config);
+            eprintln!(
+                "  {} {}: {:.0} txns/sec ({} stashed)",
+                workload.name(),
+                kind.label(),
+                result.throughput,
+                result.stashed
+            );
+            row.push(Cell::Mtps(result.throughput));
+        }
+        table.push_row(row);
+    }
+
+    emit(&table, "scenarios", &args);
+}

@@ -76,8 +76,6 @@ pub struct DoppelConfig {
     pub enable_splitting: bool,
     /// Coordinator feedback parameters.
     pub feedback: PhaseFeedback,
-    /// Capacity used when `TopKInsert` creates a missing top-K record.
-    pub default_topk_capacity: usize,
 }
 
 impl Default for DoppelConfig {
@@ -94,7 +92,6 @@ impl Default for DoppelConfig {
             max_split_records: 1024,
             enable_splitting: true,
             feedback: PhaseFeedback::default(),
-            default_topk_capacity: 32,
         }
     }
 }
@@ -138,9 +135,6 @@ impl DoppelConfig {
         if self.phase_len.is_zero() {
             return Err("phase_len must be non-zero".into());
         }
-        if self.default_topk_capacity == 0 {
-            return Err("default_topk_capacity must be at least 1".into());
-        }
         Ok(())
     }
 }
@@ -178,9 +172,6 @@ mod tests {
             .validate()
             .is_err());
         assert!(DoppelConfig { phase_len: Duration::ZERO, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(DoppelConfig { default_topk_capacity: 0, ..Default::default() }
             .validate()
             .is_err());
         assert!(DoppelConfig { workers: 5000, ..Default::default() }.validate().is_err());

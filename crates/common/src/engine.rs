@@ -84,6 +84,24 @@ pub trait Tx {
         self.write_op(k, Op::TopKInsert { order, core, payload, k: k_cap })
     }
 
+    /// `v[k] ← v[k] | n` (splittable): accumulates flag bits.
+    fn bit_or(&mut self, k: Key, n: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::BitOr(n))
+    }
+
+    /// `v[k] ← min(bound, v[k] + max(n, 0))` (splittable): a counter that
+    /// saturates at `bound` (rate limiting). All `bounded_add` calls on one
+    /// key must use the same bound.
+    fn bounded_add(&mut self, k: Key, n: i64, bound: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::BoundedAdd { n, bound })
+    }
+
+    /// `v[k] ← v[k] ∪ {elem}` (splittable): records a distinct element
+    /// (e.g. a unique visitor id).
+    fn set_insert(&mut self, k: Key, elem: i64) -> Result<(), TxError> {
+        self.write_op(k, Op::SetUnion(crate::IntSet::singleton(elem)))
+    }
+
     /// Reads an integer record, treating a missing record as 0.
     fn get_int(&mut self, k: Key) -> Result<i64, TxError> {
         match self.get(k)? {
@@ -303,8 +321,17 @@ mod tests {
         tx.put(Key::raw(5), Value::Int(1)).unwrap();
         tx.oput(Key::raw(6), OrderKey::from(10), "x".into()).unwrap();
         tx.topk_insert(Key::raw(7), OrderKey::from(10), "y".into(), 8).unwrap();
-        assert_eq!(tx.1.len(), 7);
+        tx.bit_or(Key::raw(8), 0b100).unwrap();
+        tx.bounded_add(Key::raw(9), 1, 50).unwrap();
+        tx.set_insert(Key::raw(10), 77).unwrap();
+        assert_eq!(tx.1.len(), 10);
         assert_eq!(tx.1[0].1.kind(), OpKind::Add);
+        assert_eq!(tx.1[7].1, Op::BitOr(0b100));
+        assert_eq!(tx.1[8].1, Op::BoundedAdd { n: 1, bound: 50 });
+        match &tx.1[9].1 {
+            Op::SetUnion(s) => assert!(s.contains(77)),
+            other => panic!("unexpected op {other:?}"),
+        }
         // The core id is threaded into OPut / TopKInsert automatically.
         match &tx.1[5].1 {
             Op::OPut { core, .. } => assert_eq!(*core, 3),

@@ -24,6 +24,16 @@ pub enum Table {
     Page = 2,
     /// LIKE benchmark: individual "like" rows inserted by write transactions.
     Like = 3,
+    /// FLAGS benchmark: per-account fraud-flag bitmasks.
+    AccountFlags = 4,
+    /// FLAGS benchmark: per-account saturating strike counters.
+    AccountStrikes = 5,
+    /// FLAGS benchmark: individual flag-event rows.
+    FlagEvent = 6,
+    /// VISITORS benchmark: per-page distinct-visitor sets.
+    Audience = 7,
+    /// VISITORS benchmark: per-page view counters.
+    PageViews = 8,
     /// RUBiS: users table.
     RubisUser = 16,
     /// RUBiS: items table.
@@ -65,6 +75,11 @@ impl Table {
         Table::User,
         Table::Page,
         Table::Like,
+        Table::AccountFlags,
+        Table::AccountStrikes,
+        Table::FlagEvent,
+        Table::Audience,
+        Table::PageViews,
         Table::RubisUser,
         Table::RubisItem,
         Table::RubisCategory,

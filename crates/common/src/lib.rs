@@ -25,6 +25,7 @@ pub mod engine;
 pub mod error;
 pub mod key;
 pub mod ops;
+pub mod split_op;
 pub mod stats;
 pub mod tid;
 pub mod value;
@@ -33,10 +34,11 @@ pub use config::{DoppelConfig, PhaseFeedback};
 pub use engine::{Completion, Engine, Outcome, Procedure, ProcedureFn, Ticket, Tx, TxHandle};
 pub use error::TxError;
 pub use key::{Key, Table};
-pub use ops::{Op, OpKind, OrderKey};
+pub use ops::{EmptyOrderKey, Op, OpKind, OrderKey};
+pub use split_op::{split_ops, SplitOp, SplitOpRegistry};
 pub use stats::{EngineStats, StatsSnapshot};
 pub use tid::{Tid, TidGenerator};
-pub use value::{OrderedTuple, TopKSet, Value, ValueKind};
+pub use value::{IntSet, OrderedTuple, TopKSet, Value, ValueKind};
 
 /// Identifier of the logical core / worker a transaction executes on.
 ///

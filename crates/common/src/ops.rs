@@ -11,11 +11,28 @@
 //! * the per-core slice they produce has size independent of how many
 //!   operations were applied.
 
-use crate::value::{OrderedTuple, Value};
+use crate::value::{IntSet, Value};
 use crate::CoreId;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Error returned when an [`OrderKey`] is constructed from no components.
+///
+/// Order keys are compared lexicographically, so an empty key would compare
+/// below every other key and `primary()` would have nothing to return.
+/// Workload code building keys from external data should handle this error
+/// instead of panicking inside a worker thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptyOrderKey;
+
+impl fmt::Display for EmptyOrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order key must have at least one component")
+    }
+}
+
+impl std::error::Error for EmptyOrderKey {}
 
 /// A lexicographic order key used by `OPut` and `TopKInsert`.
 ///
@@ -28,9 +45,15 @@ pub struct OrderKey(Vec<i64>);
 
 impl OrderKey {
     /// Creates an order key from its components (compared lexicographically).
-    pub fn new(components: Vec<i64>) -> Self {
-        assert!(!components.is_empty(), "order key must have at least one component");
-        OrderKey(components)
+    ///
+    /// Returns [`EmptyOrderKey`] when `components` is empty, so that
+    /// malformed workload data surfaces as an error the caller can handle
+    /// rather than a panic that aborts a worker thread.
+    pub fn new(components: Vec<i64>) -> Result<Self, EmptyOrderKey> {
+        if components.is_empty() {
+            return Err(EmptyOrderKey);
+        }
+        Ok(OrderKey(components))
     }
 
     /// Creates a two-component order key.
@@ -39,8 +62,12 @@ impl OrderKey {
     }
 
     /// The first (most significant) component.
+    ///
+    /// Construction guarantees at least one component; a key deserialized
+    /// from corrupt data could violate that, so absence is reported as the
+    /// lowest possible order instead of a panic.
     pub fn primary(&self) -> i64 {
-        self.0[0]
+        self.0.first().copied().unwrap_or(i64::MIN)
     }
 
     /// All components.
@@ -87,17 +114,24 @@ pub enum OpKind {
     OPut,
     /// Insert into a bounded top-K set.
     TopKInsert,
+    /// OR the argument's bits into an integer (flag accumulation).
+    BitOr,
+    /// Add the argument to an integer, saturating at a per-record bound
+    /// (rate-limiting counters).
+    BoundedAdd,
+    /// Union the argument's elements into a distinct-integer set.
+    SetUnion,
 }
 
 impl OpKind {
     /// True if records may be split for this operation kind.
     ///
     /// Splittable operations commute with themselves and return nothing (§4).
+    /// The answer is delegated to the [`crate::split_op`] registry: an
+    /// operation kind is splittable exactly when a [`crate::SplitOp`]
+    /// implementation is registered for it.
     pub fn splittable(&self) -> bool {
-        matches!(
-            self,
-            OpKind::Max | OpKind::Min | OpKind::Add | OpKind::Mult | OpKind::OPut | OpKind::TopKInsert
-        )
+        crate::split_op::split_ops().is_splittable(*self)
     }
 
     /// True if the operation modifies the database.
@@ -115,6 +149,9 @@ impl OpKind {
         OpKind::Mult,
         OpKind::OPut,
         OpKind::TopKInsert,
+        OpKind::BitOr,
+        OpKind::BoundedAdd,
+        OpKind::SetUnion,
     ];
 }
 
@@ -162,6 +199,23 @@ pub enum Op {
         /// Capacity of the top-K set (used when the record is created lazily).
         k: usize,
     },
+    /// `v[k] ← v[k] | n` on integer records (bitwise OR).
+    BitOr(i64),
+    /// `v[k] ← min(bound, v[k] + max(n, 0))` on integer records: a counter
+    /// that saturates at `bound`.
+    ///
+    /// Negative deltas are treated as 0 — only non-negative increments keep
+    /// the saturating semantics commutative. Like `TopKInsert`'s capacity,
+    /// the bound is a static property of the record: all `BoundedAdd`
+    /// operations on one key must agree on it.
+    BoundedAdd {
+        /// The (non-negative) increment.
+        n: i64,
+        /// The saturation bound.
+        bound: i64,
+    },
+    /// `v[k] ← v[k] ∪ elems` on distinct-integer-set records.
+    SetUnion(IntSet),
 }
 
 impl Op {
@@ -175,6 +229,9 @@ impl Op {
             Op::Mult(_) => OpKind::Mult,
             Op::OPut { .. } => OpKind::OPut,
             Op::TopKInsert { .. } => OpKind::TopKInsert,
+            Op::BitOr(_) => OpKind::BitOr,
+            Op::BoundedAdd { .. } => OpKind::BoundedAdd,
+            Op::SetUnion(_) => OpKind::SetUnion,
         }
     }
 
@@ -194,53 +251,19 @@ impl Op {
     /// the OCC / 2PL baselines; the split phase applies operations to
     /// per-core slices instead and merges them later, with the same overall
     /// effect (§4).
+    ///
+    /// For every operation except `Put`, the semantics live in the
+    /// operation's [`crate::SplitOp`] implementation, so the global-store
+    /// path, the per-core slice path and the reconciliation merge are
+    /// guaranteed to agree — a new splittable operation defines all three in
+    /// one place.
     pub fn apply_to(&self, current: Option<&Value>) -> Result<Value, crate::TxError> {
-        use crate::TxError;
         match self {
             Op::Put(v) => Ok(v.clone()),
-            Op::Max(n) => match current {
-                None => Ok(Value::Int(*n)),
-                Some(Value::Int(cur)) => Ok(Value::Int((*cur).max(*n))),
-                Some(v) => Err(TxError::type_mismatch(OpKind::Max, v.kind())),
-            },
-            Op::Min(n) => match current {
-                None => Ok(Value::Int(*n)),
-                Some(Value::Int(cur)) => Ok(Value::Int((*cur).min(*n))),
-                Some(v) => Err(TxError::type_mismatch(OpKind::Min, v.kind())),
-            },
-            Op::Add(n) => match current {
-                None => Ok(Value::Int(*n)),
-                Some(Value::Int(cur)) => Ok(Value::Int(cur.wrapping_add(*n))),
-                Some(v) => Err(TxError::type_mismatch(OpKind::Add, v.kind())),
-            },
-            Op::Mult(n) => match current {
-                None => Ok(Value::Int(*n)),
-                Some(Value::Int(cur)) => Ok(Value::Int(cur.wrapping_mul(*n))),
-                Some(v) => Err(TxError::type_mismatch(OpKind::Mult, v.kind())),
-            },
-            Op::OPut { order, core, payload } => {
-                let new = OrderedTuple::new(order.clone(), *core, payload.clone());
-                match current {
-                    None => Ok(Value::Tuple(new)),
-                    Some(Value::Tuple(cur)) => {
-                        if new.supersedes(cur) {
-                            Ok(Value::Tuple(new))
-                        } else {
-                            Ok(Value::Tuple(cur.clone()))
-                        }
-                    }
-                    Some(v) => Err(TxError::type_mismatch(OpKind::OPut, v.kind())),
-                }
-            }
-            Op::TopKInsert { order, core, payload, k } => {
-                let mut set = match current {
-                    None => crate::TopKSet::new(*k),
-                    Some(Value::TopK(cur)) => cur.clone(),
-                    Some(v) => return Err(TxError::type_mismatch(OpKind::TopKInsert, v.kind())),
-                };
-                set.insert(order.clone(), *core, payload.clone());
-                Ok(Value::TopK(set))
-            }
+            op => crate::split_op::split_ops()
+                .get(op.kind())
+                .expect("every non-Put operation has a registered SplitOp implementation")
+                .apply(op, current),
         }
     }
 }
@@ -257,6 +280,9 @@ impl fmt::Display for Op {
             Op::TopKInsert { order, core, k, .. } => {
                 write!(f, "TopKInsert(order={order}, core={core}, k={k})")
             }
+            Op::BitOr(n) => write!(f, "BitOr({n:#x})"),
+            Op::BoundedAdd { n, bound } => write!(f, "BoundedAdd({n}, bound={bound})"),
+            Op::SetUnion(s) => write!(f, "SetUnion[{}]", s.len()),
         }
     }
 }
@@ -272,19 +298,30 @@ mod tests {
         assert!(OrderKey::pair(2, 1) < OrderKey::pair(2, 3));
         assert_eq!(OrderKey::from(5).primary(), 5);
         assert_eq!(OrderKey::pair(5, 6).components(), &[5, 6]);
+        assert_eq!(OrderKey::new(vec![4, 2]).unwrap(), OrderKey::pair(4, 2));
     }
 
     #[test]
-    #[should_panic(expected = "at least one component")]
-    fn empty_order_key_panics() {
-        let _ = OrderKey::new(vec![]);
+    fn empty_order_key_is_an_error_not_a_panic() {
+        assert_eq!(OrderKey::new(vec![]), Err(EmptyOrderKey));
+        assert!(format!("{EmptyOrderKey}").contains("at least one component"));
     }
 
     #[test]
     fn splittability_matches_paper() {
         assert!(!OpKind::Get.splittable());
         assert!(!OpKind::Put.splittable());
-        for k in [OpKind::Max, OpKind::Min, OpKind::Add, OpKind::Mult, OpKind::OPut, OpKind::TopKInsert] {
+        for k in [
+            OpKind::Max,
+            OpKind::Min,
+            OpKind::Add,
+            OpKind::Mult,
+            OpKind::OPut,
+            OpKind::TopKInsert,
+            OpKind::BitOr,
+            OpKind::BoundedAdd,
+            OpKind::SetUnion,
+        ] {
             assert!(k.splittable(), "{k} must be splittable");
         }
     }
@@ -307,6 +344,37 @@ mod tests {
         assert_eq!(Op::Add(5).apply_to(None).unwrap(), Value::Int(5));
         assert_eq!(Op::Mult(5).apply_to(Some(&Value::Int(3))).unwrap(), Value::Int(15));
         assert_eq!(Op::Mult(5).apply_to(None).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn apply_bitor_accumulates_flags() {
+        assert_eq!(Op::BitOr(0b0101).apply_to(None).unwrap(), Value::Int(0b0101));
+        assert_eq!(
+            Op::BitOr(0b0011).apply_to(Some(&Value::Int(0b0101))).unwrap(),
+            Value::Int(0b0111)
+        );
+        let err = Op::BitOr(1).apply_to(Some(&Value::from("str"))).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn apply_bounded_add_saturates() {
+        let op = |n| Op::BoundedAdd { n, bound: 10 };
+        assert_eq!(op(4).apply_to(None).unwrap(), Value::Int(4));
+        assert_eq!(op(4).apply_to(Some(&Value::Int(4))).unwrap(), Value::Int(8));
+        assert_eq!(op(4).apply_to(Some(&Value::Int(8))).unwrap(), Value::Int(10));
+        assert_eq!(op(4).apply_to(Some(&Value::Int(10))).unwrap(), Value::Int(10));
+        // Negative deltas are clamped to 0 to preserve commutativity.
+        assert_eq!(op(-7).apply_to(Some(&Value::Int(3))).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn apply_set_union_deduplicates() {
+        let v = Op::SetUnion(IntSet::singleton(3)).apply_to(None).unwrap();
+        let v = Op::SetUnion([3, 8].into_iter().collect()).apply_to(Some(&v)).unwrap();
+        assert_eq!(v.as_set().unwrap().iter().collect::<Vec<_>>(), vec![3, 8]);
+        let err = Op::SetUnion(IntSet::new()).apply_to(Some(&Value::Int(1))).unwrap_err();
+        assert!(matches!(err, TxError::TypeMismatch { .. }));
     }
 
     #[test]
@@ -369,12 +437,21 @@ mod tests {
         assert_eq!(format!("{}", OpKind::Max), "Max");
     }
 
-    /// Property: Max/Min/Add/Mult commute with themselves — applying a batch
-    /// in any order yields the same final value (§4 guideline 1).
+    /// Property: the integer splittable operations commute with themselves —
+    /// applying a batch in any order yields the same final value (§4
+    /// guideline 1). The full battery lives in `tests/split_op_laws.rs`.
     #[test]
     fn commutativity_smoke() {
         let args = [3i64, -7, 42, 0, 13];
-        for make in [Op::Max, Op::Min, Op::Add, Op::Mult] {
+        let makers: [fn(i64) -> Op; 6] = [
+            Op::Max,
+            Op::Min,
+            Op::Add,
+            Op::Mult,
+            Op::BitOr,
+            |n| Op::BoundedAdd { n, bound: 40 },
+        ];
+        for make in makers {
             let forward = args.iter().fold(Value::Int(1), |acc, &n| {
                 make(n).apply_to(Some(&acc)).unwrap()
             });

@@ -43,13 +43,17 @@ impl OrderedTuple {
     }
 
     /// Returns true if `self` should replace `other` under `OPut` semantics:
-    /// strictly greater order, or equal order and strictly greater core id.
+    /// strictly greater `(order, core, payload)`, compared lexicographically.
+    ///
+    /// The core id is the cross-core commutativity tie-breaker (§4); the
+    /// payload comparison extends the tie-break to tuples the *same* core
+    /// wrote with equal order, so that replacement is a total order on
+    /// distinct tuples and `OPut` / `TopKInsert` commute unconditionally —
+    /// without it, the first-applied tuple would win and the outcome would
+    /// depend on application order.
     pub fn supersedes(&self, other: &OrderedTuple) -> bool {
-        match self.order.cmp(&other.order) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Equal => self.core > other.core,
-            std::cmp::Ordering::Less => false,
-        }
+        (&self.order, self.core, self.payload.as_ref())
+            > (&other.order, other.core, other.payload.as_ref())
     }
 }
 
@@ -110,9 +114,10 @@ impl TopKSet {
 
     /// Inserts an already-constructed tuple. See [`TopKSet::insert`].
     pub fn insert_tuple(&mut self, tuple: OrderedTuple) -> bool {
-        // Dedup by order: keep the tuple with the highest core id.
+        // Dedup by order: keep the superseding tuple (highest core id, ties
+        // broken by payload so insertion order never matters).
         if let Some(pos) = self.entries.iter().position(|e| e.order == tuple.order) {
-            if tuple.core > self.entries[pos].core {
+            if tuple.supersedes(&self.entries[pos]) {
                 self.entries[pos] = tuple;
                 return true;
             }
@@ -155,6 +160,113 @@ impl TopKSet {
     }
 }
 
+/// A sorted set of 64-bit integers, as used by `SetUnion`.
+///
+/// `SetUnion` makes distinct-element accumulation (unique visitors, distinct
+/// badge holders, …) a splittable operation: set union is commutative,
+/// associative and idempotent, so per-core partial sets can be merged in any
+/// order. The set's size is bounded by the number of *distinct* elements ever
+/// inserted, not by the number of operations, which keeps reconciliation cost
+/// independent of the split phase's operation count (§4 guideline 4).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntSet {
+    /// Elements in ascending order, no duplicates.
+    elems: Vec<i64>,
+}
+
+impl IntSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntSet::default()
+    }
+
+    /// Creates a set holding exactly one element.
+    pub fn singleton(e: i64) -> Self {
+        IntSet { elems: vec![e] }
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// True if `e` is in the set.
+    pub fn contains(&self, e: i64) -> bool {
+        self.elems.binary_search(&e).is_ok()
+    }
+
+    /// Inserts an element; returns `true` if the set changed.
+    pub fn insert(&mut self, e: i64) -> bool {
+        match self.elems.binary_search(&e) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.elems.insert(pos, e);
+                true
+            }
+        }
+    }
+
+    /// Unions another set into this one.
+    pub fn union_with(&mut self, other: &IntSet) {
+        if other.elems.is_empty() {
+            return;
+        }
+        if self.elems.is_empty() {
+            self.elems = other.elems.clone();
+            return;
+        }
+        // Single-element unions (the common `set_insert` case) stay a binary
+        // search + insert; larger ones get a linear two-way sorted merge
+        // instead of per-element O(n) vector shifts.
+        if other.elems.len() == 1 {
+            self.insert(other.elems[0]);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.elems.len() + other.elems.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.elems[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.elems[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.elems[i..]);
+        merged.extend_from_slice(&other.elems[j..]);
+        self.elems = merged;
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.elems.iter().copied()
+    }
+}
+
+impl FromIterator<i64> for IntSet {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Self {
+        let mut set = IntSet::new();
+        for e in iter {
+            set.insert(e);
+        }
+        set
+    }
+}
+
 /// Discriminant of a [`Value`], used in error reporting and type checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ValueKind {
@@ -166,6 +278,8 @@ pub enum ValueKind {
     Tuple,
     /// Bounded top-K set of ordered tuples.
     TopK,
+    /// Sorted set of distinct 64-bit integers.
+    Set,
 }
 
 /// A typed record value.
@@ -179,6 +293,8 @@ pub enum Value {
     Tuple(OrderedTuple),
     /// Bounded top-K set written by `TopKInsert`.
     TopK(TopKSet),
+    /// Distinct-integer set written by `SetUnion`.
+    Set(IntSet),
 }
 
 impl Value {
@@ -192,6 +308,7 @@ impl Value {
             Value::Bytes(_) => ValueKind::Bytes,
             Value::Tuple(_) => ValueKind::Tuple,
             Value::TopK(_) => ValueKind::TopK,
+            Value::Set(_) => ValueKind::Set,
         }
     }
 
@@ -227,6 +344,14 @@ impl Value {
         }
     }
 
+    /// Returns the integer set, if this is a [`Value::Set`].
+    pub fn as_set(&self) -> Option<&IntSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Approximate in-memory size in bytes, used by store statistics.
     pub fn approx_size(&self) -> usize {
         match self {
@@ -234,6 +359,7 @@ impl Value {
             Value::Bytes(b) => b.len(),
             Value::Tuple(t) => 24 + t.payload.len(),
             Value::TopK(t) => t.entries.iter().map(|e| 24 + e.payload.len()).sum::<usize>() + 16,
+            Value::Set(s) => 8 * s.len() + 16,
         }
     }
 }
@@ -245,6 +371,7 @@ impl fmt::Display for Value {
             Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
             Value::Tuple(t) => write!(f, "tuple(order={:?}, core={})", t.order, t.core),
             Value::TopK(t) => write!(f, "topk[{}/{}]", t.len(), t.capacity()),
+            Value::Set(s) => write!(f, "set[{}]", s.len()),
         }
     }
 }
@@ -363,6 +490,50 @@ mod tests {
     }
 
     #[test]
+    fn int_set_semantics() {
+        let mut s = IntSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(!s.insert(5), "duplicate insert does not change the set");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5], "iteration is sorted");
+
+        let other: IntSet = [5, 9, -3].into_iter().collect();
+        s.union_with(&other);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![-3, 1, 5, 9]);
+
+        // Union into an empty set clones the other side.
+        let mut empty = IntSet::new();
+        empty.union_with(&s);
+        assert_eq!(empty, s);
+        assert_eq!(IntSet::singleton(7).iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn int_set_union_is_commutative() {
+        let a: IntSet = [1, 2, 3].into_iter().collect();
+        let b: IntSet = [3, 4].into_iter().collect();
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn set_value_accessors() {
+        let v = Value::Set(IntSet::singleton(4));
+        assert_eq!(v.kind(), ValueKind::Set);
+        assert!(v.as_set().unwrap().contains(4));
+        assert!(v.as_int().is_none());
+        assert_eq!(format!("{v}"), "set[1]");
+        assert_eq!(v.approx_size(), 24);
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let vals = vec![
             Value::Int(-4),
@@ -373,6 +544,7 @@ mod tests {
                 t.insert(ord(1), 0, "x");
                 t
             }),
+            Value::Set([3, 1, 4].into_iter().collect()),
         ];
         for v in vals {
             let s = serde_json::to_string(&v).unwrap();

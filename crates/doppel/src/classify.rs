@@ -18,7 +18,7 @@
 //! maintains the persistent per-key split decisions.
 
 use crate::split_registry::SplitSet;
-use doppel_common::{DoppelConfig, Key, OpKind};
+use doppel_common::{split_ops, DoppelConfig, Key, OpKind};
 use std::collections::HashMap;
 
 /// Per-worker contention sample, reset at every phase transition.
@@ -124,7 +124,10 @@ pub struct Classifier {
 }
 
 impl Classifier {
-    /// Creates a classifier with no split records.
+    /// Creates a classifier with no split records. Decisions are validated
+    /// against the process-wide [`split_ops`] registry — the same registry
+    /// the slices and every engine's apply path resolve semantics from, so
+    /// classification and execution can never disagree about an operation.
     pub fn new(config: DoppelConfig) -> Self {
         Classifier { config, current: HashMap::new() }
     }
@@ -166,7 +169,7 @@ impl Classifier {
         let mut candidates: Vec<(&(Key, OpKind), &u64)> = sample
             .conflicts
             .iter()
-            .filter(|((_, op), count)| op.splittable() && **count >= threshold)
+            .filter(|((_, op), count)| split_ops().is_splittable(*op) && **count >= threshold)
             .collect();
         candidates.sort_by(|a, b| b.1.cmp(a.1));
 
@@ -225,7 +228,7 @@ impl Classifier {
             if let Some((&(_, dominant_op), &dominant_count)) = sample
                 .stashes
                 .iter()
-                .filter(|((k, op), _)| *k == key && op.splittable())
+                .filter(|((k, op), _)| *k == key && split_ops().is_splittable(*op))
                 .max_by_key(|(_, v)| **v)
             {
                 if dominant_count > writes {
@@ -240,7 +243,10 @@ impl Classifier {
     /// Forces a manual split decision ("Doppel also supports manual data
     /// labeling", §5.5).
     pub fn label_split(&mut self, key: Key, op: OpKind) {
-        assert!(op.splittable(), "cannot label {key} split for unsplittable {op}");
+        assert!(
+            split_ops().is_splittable(op),
+            "cannot label {key} split for unsplittable {op}"
+        );
         self.current.insert(key, op);
     }
 

@@ -11,25 +11,32 @@
 //! * operations on slices are fast (a single in-place update);
 //! * the size of a slice is independent of the number of operations applied
 //!   to it (guideline 4), so merging costs O(cores), not O(operations).
+//!
+//! A [`Slice`] is no longer an enum with one arm per operation: it is a
+//! generic accumulator driven by the operation's
+//! [`doppel_common::SplitOp`] implementation from the
+//! [`doppel_common::split_ops`] registry. The fold logic ("slice-apply" in
+//! Figure 3) and the merge logic ("merge-apply" in Figure 4 / the merge
+//! functions of Figure 5) both live on the trait, so registering a new
+//! splittable operation automatically gives it a working slice.
 
-use doppel_common::{Op, OpKind, OrderedTuple, TopKSet, TxError, ValueKind};
+use doppel_common::{split_ops, Op, OpKind, SplitOp, TxError, Value};
 
 /// A per-core slice of one split record, specialised to the record's selected
 /// operation for the current split phase.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Slice {
-    /// Running maximum of all `Max` arguments seen this phase.
-    Max(Option<i64>),
-    /// Running minimum of all `Min` arguments seen this phase.
-    Min(Option<i64>),
-    /// Sum of all `Add` arguments (the delta to add at merge time).
-    Add(i64),
-    /// Product of all `Mult` arguments (the factor to apply at merge time).
-    Mult(i64),
-    /// The winning ordered tuple among all `OPut`s executed on this core.
-    OPut(Option<OrderedTuple>),
-    /// A local top-K set absorbing all `TopKInsert`s executed on this core.
-    TopK(TopKSet),
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// The selected operation's semantics, resolved from the registry once at
+    /// slice creation.
+    op: &'static dyn SplitOp,
+    /// The folded accumulator; `None` until the first operation arrives
+    /// (the operation's identity).
+    state: Option<Value>,
+    /// A copy of the first folded operation: carries static parameters the
+    /// merge needs (top-K capacity, `BoundedAdd` bound).
+    first: Option<Op>,
+    /// Number of operations folded into this slice.
+    count: u64,
 }
 
 impl Slice {
@@ -37,30 +44,29 @@ impl Slice {
     ///
     /// # Panics
     ///
-    /// Panics if `kind` is not splittable — the classifier never selects such
-    /// operations (§4 guideline 1).
-    pub fn identity(kind: OpKind, topk_capacity: usize) -> Slice {
-        match kind {
-            OpKind::Max => Slice::Max(None),
-            OpKind::Min => Slice::Min(None),
-            OpKind::Add => Slice::Add(0),
-            OpKind::Mult => Slice::Mult(1),
-            OpKind::OPut => Slice::OPut(None),
-            OpKind::TopKInsert => Slice::TopK(TopKSet::new(topk_capacity)),
-            other => panic!("operation {other} is not splittable"),
-        }
+    /// Panics if `kind` has no registered [`SplitOp`] — the classifier never
+    /// selects such operations (§4 guideline 1).
+    pub fn new(kind: OpKind) -> Slice {
+        let op = split_ops()
+            .get(kind)
+            .unwrap_or_else(|| panic!("operation {kind} is not splittable"));
+        Slice { op, state: None, first: None, count: 0 }
     }
 
     /// The operation kind this slice accepts.
     pub fn kind(&self) -> OpKind {
-        match self {
-            Slice::Max(_) => OpKind::Max,
-            Slice::Min(_) => OpKind::Min,
-            Slice::Add(_) => OpKind::Add,
-            Slice::Mult(_) => OpKind::Mult,
-            Slice::OPut(_) => OpKind::OPut,
-            Slice::TopK(_) => OpKind::TopKInsert,
-        }
+        self.op.kind()
+    }
+
+    /// Number of operations folded into this slice.
+    pub fn op_count(&self) -> u64 {
+        self.count
+    }
+
+    /// The current accumulator state (`None` before the first fold). Exposed
+    /// for tests and diagnostics.
+    pub fn state(&self) -> Option<&Value> {
+        self.state.as_ref()
     }
 
     /// Applies one operation to the slice ("slice-apply" in Figure 3).
@@ -70,121 +76,83 @@ impl Slice {
     /// matched the record's selected kind, so a mismatch indicates a logic
     /// error upstream.
     pub fn apply(&mut self, op: &Op) -> Result<(), TxError> {
-        match (self, op) {
-            (Slice::Max(cur), Op::Max(n)) => {
-                *cur = Some(cur.map_or(*n, |c| c.max(*n)));
-                Ok(())
-            }
-            (Slice::Min(cur), Op::Min(n)) => {
-                *cur = Some(cur.map_or(*n, |c| c.min(*n)));
-                Ok(())
-            }
-            (Slice::Add(sum), Op::Add(n)) => {
-                *sum = sum.wrapping_add(*n);
-                Ok(())
-            }
-            (Slice::Mult(prod), Op::Mult(n)) => {
-                *prod = prod.wrapping_mul(*n);
-                Ok(())
-            }
-            (Slice::OPut(cur), Op::OPut { order, core, payload }) => {
-                let candidate = OrderedTuple::new(order.clone(), *core, payload.clone());
-                let replace = match cur.as_ref() {
-                    None => true,
-                    Some(existing) => candidate.supersedes(existing),
-                };
-                if replace {
-                    *cur = Some(candidate);
-                }
-                Ok(())
-            }
-            (Slice::TopK(set), Op::TopKInsert { order, core, payload, .. }) => {
-                set.insert(order.clone(), *core, payload.clone());
-                Ok(())
-            }
-            (slice, op) => Err(TxError::type_mismatch(op.kind(), slice_value_kind(slice))),
+        if op.kind() != self.op.kind() {
+            return Err(TxError::type_mismatch(op.kind(), self.op.value_kind()));
         }
+        debug_assert!(
+            self.first.as_ref().is_none_or(|first| self.op.params_match(first, op)),
+            "{op} disagrees with this slice's first operation on a static per-record \
+             parameter (e.g. BoundedAdd bound, TopKInsert capacity)"
+        );
+        // `fold` mutates in place and leaves the state untouched on error, so
+        // a rejected operation cannot discard previously folded updates.
+        self.op.fold(&mut self.state, op)?;
+        if self.first.is_none() {
+            self.first = Some(op.clone());
+        }
+        self.count += 1;
+        Ok(())
     }
 
     /// Converts the slice into the operations to apply to the global record
     /// at reconciliation ("merge-apply" in Figure 4 / the merge functions of
-    /// Figure 5). Returns an empty vector if no operation was applied to this
-    /// slice — merging it would be a no-op.
-    ///
-    /// Every slice kind except `TopK` merges with a single operation; a
-    /// `TopK` slice merges by re-inserting its (at most K) retained tuples,
-    /// so the merge cost is still independent of how many operations executed
-    /// during the split phase (§4 guideline 4).
+    /// Figure 5). Returns an empty vector if the accumulator is still (or has
+    /// returned to) the operation's absorbing identity — merging it would be
+    /// a no-op.
     pub fn into_merge_ops(self) -> Vec<Op> {
-        match self {
-            Slice::Max(Some(n)) => vec![Op::Max(n)],
-            Slice::Min(Some(n)) => vec![Op::Min(n)],
-            Slice::Add(0) => Vec::new(),
-            Slice::Add(n) => vec![Op::Add(n)],
-            Slice::Mult(1) => Vec::new(),
-            Slice::Mult(n) => vec![Op::Mult(n)],
-            Slice::OPut(Some(t)) => {
-                vec![Op::OPut { order: t.order, core: t.core, payload: t.payload }]
-            }
-            Slice::Max(None) | Slice::Min(None) | Slice::OPut(None) => Vec::new(),
-            Slice::TopK(set) => {
-                let k = set.capacity();
-                set.iter()
-                    .map(|t| Op::TopKInsert {
-                        order: t.order.clone(),
-                        core: t.core,
-                        payload: t.payload.clone(),
-                        k,
-                    })
-                    .collect()
-            }
+        match (self.state, self.first) {
+            (Some(state), Some(first)) => self.op.merge_ops(state, &first),
+            _ => Vec::new(),
         }
-    }
-}
-
-/// The value kind a slice logically operates on, for error reporting.
-fn slice_value_kind(slice: &Slice) -> ValueKind {
-    match slice {
-        Slice::Max(_) | Slice::Min(_) | Slice::Add(_) | Slice::Mult(_) => ValueKind::Int,
-        Slice::OPut(_) => ValueKind::Tuple,
-        Slice::TopK(_) => ValueKind::TopK,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doppel_common::{OrderKey, Value};
+    use doppel_common::{IntSet, OrderKey, Value};
 
     #[test]
     fn identity_slices() {
-        assert_eq!(Slice::identity(OpKind::Max, 8), Slice::Max(None));
-        assert_eq!(Slice::identity(OpKind::Min, 8), Slice::Min(None));
-        assert_eq!(Slice::identity(OpKind::Add, 8), Slice::Add(0));
-        assert_eq!(Slice::identity(OpKind::Mult, 8), Slice::Mult(1));
-        assert_eq!(Slice::identity(OpKind::OPut, 8), Slice::OPut(None));
-        assert_eq!(Slice::identity(OpKind::TopKInsert, 4).kind(), OpKind::TopKInsert);
+        for kind in [
+            OpKind::Max,
+            OpKind::Min,
+            OpKind::Add,
+            OpKind::Mult,
+            OpKind::OPut,
+            OpKind::TopKInsert,
+            OpKind::BitOr,
+            OpKind::BoundedAdd,
+            OpKind::SetUnion,
+        ] {
+            let s = Slice::new(kind);
+            assert_eq!(s.kind(), kind);
+            assert_eq!(s.op_count(), 0);
+            assert!(s.state().is_none());
+            assert!(s.into_merge_ops().is_empty(), "empty {kind} slice merges to nothing");
+        }
     }
 
     #[test]
     #[should_panic(expected = "not splittable")]
     fn identity_of_put_panics() {
-        let _ = Slice::identity(OpKind::Put, 8);
+        let _ = Slice::new(OpKind::Put);
     }
 
     #[test]
     fn max_slice_accumulates() {
-        let mut s = Slice::identity(OpKind::Max, 8);
+        let mut s = Slice::new(OpKind::Max);
         assert!(s.clone().into_merge_ops().is_empty(), "empty slice merges to nothing");
         s.apply(&Op::Max(5)).unwrap();
         s.apply(&Op::Max(3)).unwrap();
         s.apply(&Op::Max(9)).unwrap();
+        assert_eq!(s.op_count(), 3);
         assert_eq!(s.into_merge_ops(), vec![Op::Max(9)]);
     }
 
     #[test]
     fn min_slice_accumulates() {
-        let mut s = Slice::identity(OpKind::Min, 8);
+        let mut s = Slice::new(OpKind::Min);
         s.apply(&Op::Min(5)).unwrap();
         s.apply(&Op::Min(12)).unwrap();
         s.apply(&Op::Min(-2)).unwrap();
@@ -193,14 +161,14 @@ mod tests {
 
     #[test]
     fn add_slice_sums_deltas() {
-        let mut s = Slice::identity(OpKind::Add, 8);
+        let mut s = Slice::new(OpKind::Add);
         for _ in 0..100 {
             s.apply(&Op::Add(2)).unwrap();
         }
         s.apply(&Op::Add(-50)).unwrap();
         assert_eq!(s.into_merge_ops(), vec![Op::Add(150)]);
         // A zero-sum slice merges to nothing.
-        let mut z = Slice::identity(OpKind::Add, 8);
+        let mut z = Slice::new(OpKind::Add);
         z.apply(&Op::Add(4)).unwrap();
         z.apply(&Op::Add(-4)).unwrap();
         assert!(z.into_merge_ops().is_empty());
@@ -208,16 +176,16 @@ mod tests {
 
     #[test]
     fn mult_slice_multiplies_factors() {
-        let mut s = Slice::identity(OpKind::Mult, 8);
+        let mut s = Slice::new(OpKind::Mult);
         s.apply(&Op::Mult(2)).unwrap();
         s.apply(&Op::Mult(3)).unwrap();
         assert_eq!(s.into_merge_ops(), vec![Op::Mult(6)]);
-        assert!(Slice::identity(OpKind::Mult, 8).into_merge_ops().is_empty());
+        assert!(Slice::new(OpKind::Mult).into_merge_ops().is_empty());
     }
 
     #[test]
     fn oput_slice_keeps_winning_tuple() {
-        let mut s = Slice::identity(OpKind::OPut, 8);
+        let mut s = Slice::new(OpKind::OPut);
         s.apply(&Op::OPut { order: OrderKey::from(5), core: 1, payload: "a".into() }).unwrap();
         s.apply(&Op::OPut { order: OrderKey::from(3), core: 2, payload: "b".into() }).unwrap();
         s.apply(&Op::OPut { order: OrderKey::from(5), core: 3, payload: "c".into() }).unwrap();
@@ -233,7 +201,7 @@ mod tests {
 
     #[test]
     fn topk_slice_bounds_size() {
-        let mut s = Slice::identity(OpKind::TopKInsert, 3);
+        let mut s = Slice::new(OpKind::TopKInsert);
         for i in 0..50 {
             s.apply(&Op::TopKInsert {
                 order: OrderKey::from(i),
@@ -259,10 +227,52 @@ mod tests {
     }
 
     #[test]
+    fn bitor_slice_ors_flags() {
+        let mut s = Slice::new(OpKind::BitOr);
+        s.apply(&Op::BitOr(0b0001)).unwrap();
+        s.apply(&Op::BitOr(0b0100)).unwrap();
+        s.apply(&Op::BitOr(0b0001)).unwrap();
+        assert_eq!(s.into_merge_ops(), vec![Op::BitOr(0b0101)]);
+        // An all-zero slice merges to nothing.
+        let mut z = Slice::new(OpKind::BitOr);
+        z.apply(&Op::BitOr(0)).unwrap();
+        assert!(z.into_merge_ops().is_empty());
+    }
+
+    #[test]
+    fn bounded_add_slice_defers_clamping_to_merge() {
+        let mut s = Slice::new(OpKind::BoundedAdd);
+        for _ in 0..5 {
+            s.apply(&Op::BoundedAdd { n: 4, bound: 10 }).unwrap();
+        }
+        // The accumulator is the raw sum (20), above the bound.
+        assert_eq!(s.state(), Some(&Value::Int(20)));
+        let ops = s.into_merge_ops();
+        assert_eq!(ops, vec![Op::BoundedAdd { n: 20, bound: 10 }]);
+        // Merging clamps exactly once.
+        assert_eq!(ops[0].apply_to(Some(&Value::Int(3))).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn set_union_slice_accumulates_distinct_elements() {
+        let mut s = Slice::new(OpKind::SetUnion);
+        for e in [3, 9, 3, 7, 9] {
+            s.apply(&Op::SetUnion(IntSet::singleton(e))).unwrap();
+        }
+        match s.into_merge_ops().as_slice() {
+            [Op::SetUnion(set)] => {
+                assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 7, 9]);
+            }
+            other => panic!("unexpected merge ops {other:?}"),
+        }
+    }
+
+    #[test]
     fn mismatched_op_is_rejected() {
-        let mut s = Slice::identity(OpKind::Add, 8);
+        let mut s = Slice::new(OpKind::Add);
         let err = s.apply(&Op::Max(3)).unwrap_err();
         assert!(matches!(err, TxError::TypeMismatch { .. }));
+        assert_eq!(s.op_count(), 0, "a rejected op must not count as folded");
     }
 
     /// The core commutativity property (§4): applying a set of operations to
@@ -276,7 +286,7 @@ mod tests {
             .fold(Value::Int(100), |acc, op| op.apply_to(Some(&acc)).unwrap());
 
         // Distribute across 3 "cores" in an arbitrary pattern.
-        let mut slices = vec![Slice::identity(OpKind::Add, 8); 3];
+        let mut slices = vec![Slice::new(OpKind::Add); 3];
         for (i, op) in ops.iter().enumerate() {
             slices[i % 3].apply(op).unwrap();
         }

@@ -11,11 +11,20 @@
 //! phase uses; it is rebuilt by the classifier during each joined→split
 //! transition and read (via a cheap `Arc` clone) by every worker when it
 //! enters the split phase.
+//!
+//! Which operations *may* be selected is an open set: the splittable
+//! operations themselves are [`SplitOp`] implementations held in a
+//! [`SplitOpRegistry`] (re-exported here from `doppel_common::split_op`,
+//! where the baseline engines share the same semantics). The split set
+//! validates its decisions against that registry, so a freshly registered
+//! operation becomes selectable without touching this module.
 
-use doppel_common::{Key, OpKind};
+use doppel_common::{split_ops, Key, OpKind};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+pub use doppel_common::split_op::{SplitOp, SplitOpRegistry};
 
 /// Immutable snapshot of split decisions for one split phase.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -33,11 +42,12 @@ impl SplitSet {
     ///
     /// # Panics
     ///
-    /// Debug-asserts that every selected operation is splittable.
+    /// Debug-asserts that every selected operation has a registered
+    /// [`SplitOp`] implementation.
     pub fn from_decisions(decisions: impl IntoIterator<Item = (Key, OpKind)>) -> SplitSet {
         let selected: HashMap<Key, OpKind> = decisions.into_iter().collect();
         debug_assert!(
-            selected.values().all(|op| op.splittable()),
+            selected.values().all(|op| split_ops().is_splittable(*op)),
             "split set contains an unsplittable operation"
         );
         SplitSet { selected }

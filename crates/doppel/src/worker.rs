@@ -42,8 +42,8 @@ pub struct DoppelWorker {
     local_phase: Phase,
     acked_seq: u64,
     split_set: Arc<SplitSet>,
-    /// Per-core slices for split records: key → (slice, ops applied).
-    slices: HashMap<Key, (Slice, u64)>,
+    /// Per-core slices for split records.
+    slices: HashMap<Key, Slice>,
     stash: VecDeque<StashedTxn>,
     completions: Vec<Completion>,
     next_ticket: u64,
@@ -160,17 +160,12 @@ impl DoppelWorker {
                 // Apply the split write set to the per-core slices (Figure 3,
                 // part 3). Slices are invisible to other cores, so no locks
                 // or version checks are needed.
-                let topk_cap = self.shared.config.default_topk_capacity;
                 for (key, op) in tx.take_split_writes() {
-                    let entry = self
-                        .slices
-                        .entry(key)
-                        .or_insert_with(|| (Slice::identity(op.kind(), topk_cap), 0));
-                    entry
-                        .0
+                    let slice =
+                        self.slices.entry(key).or_insert_with(|| Slice::new(op.kind()));
+                    slice
                         .apply(&op)
                         .expect("selected operation always matches its slice kind");
-                    entry.1 += 1;
                     EngineStats::bump(&self.shared.stats.slice_ops);
                     self.shared.samplers[self.core].lock().record_split_write(key);
                 }
@@ -211,7 +206,7 @@ impl DoppelWorker {
             return;
         }
         let slices = std::mem::take(&mut self.slices);
-        for (key, (slice, _ops)) in slices {
+        for (key, slice) in slices {
             let merge_ops = slice.into_merge_ops();
             if merge_ops.is_empty() {
                 continue;

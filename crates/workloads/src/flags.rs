@@ -1,0 +1,279 @@
+//! The FLAGS fraud-flagging benchmark.
+//!
+//! A fraud-detection pipeline evaluates rules against accounts. Each *flag*
+//! transaction ORs the triggered rule's bit into the account's flag bitmask
+//! (`BitOr`), bumps the account's saturating strike counter (`BoundedAdd` —
+//! after `strike_cap` strikes the account is frozen, so counting further adds
+//! no information), and inserts an immutable event row for the audit trail.
+//! Each *check* transaction reads an account's flags and strike count (e.g.
+//! a login-risk check).
+//!
+//! Accounts are chosen from a Zipfian distribution: a few compromised
+//! accounts receive most of the flag traffic, so their bitmask and strike
+//! records become contended — and both update operations commute, which is
+//! exactly the shape Doppel's phase reconciliation exploits. This workload
+//! exists to exercise the `BitOr` and `BoundedAdd` splittable operations
+//! end-to-end through the shared benchmark driver.
+
+use crate::driver::{GeneratedTxn, TxnGenerator, Workload};
+use crate::zipf::ZipfSampler;
+use doppel_common::{Engine, Key, Procedure, Table, Tx, TxError, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Number of distinct fraud rules (one flag bit each).
+pub const RULES: u32 = 48;
+
+/// Key of an account's flag bitmask.
+pub fn flags_key(account: u64) -> Key {
+    Key::new(Table::AccountFlags, account, 0)
+}
+
+/// Key of an account's saturating strike counter.
+pub fn strikes_key(account: u64) -> Key {
+    Key::new(Table::AccountStrikes, account, 0)
+}
+
+/// Key of the audit-trail row a flag transaction inserts. `row` is a
+/// globally unique event id (the generator packs `core << 32 | seq`, which
+/// cannot collide across cores or wrap within a run).
+pub fn event_key(row: u64) -> Key {
+    Key::new(Table::FlagEvent, row, 0)
+}
+
+/// Write transaction: a rule fires against an account.
+pub struct FlagRaise {
+    /// The flagged account.
+    pub account: u64,
+    /// The rule that fired (`0..RULES`).
+    pub rule: u32,
+    /// Strike-counter saturation bound.
+    pub strike_cap: i64,
+    /// Unique id of the audit row.
+    pub row: u64,
+}
+
+impl Procedure for FlagRaise {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        // Audit row (never contended: the row id is unique per event).
+        tx.put(event_key(self.row), Value::Int(self.rule as i64))?;
+        // Flag bit (contended for hot accounts, commutative).
+        tx.bit_or(flags_key(self.account), 1 << (self.rule % RULES))?;
+        // Strike counter, saturating at the freeze threshold.
+        tx.bounded_add(strikes_key(self.account), 1, self.strike_cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "FLAGS-raise"
+    }
+}
+
+/// Read transaction: a risk check reads flags and strikes.
+pub struct FlagCheck {
+    /// The account being checked.
+    pub account: u64,
+}
+
+impl Procedure for FlagCheck {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _flags = tx.get_int(flags_key(self.account))?;
+        let _strikes = tx.get_int(strikes_key(self.account))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "FLAGS-check"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// The FLAGS workload: a mix of flag-raise and risk-check transactions over
+/// Zipf-popular accounts.
+pub struct FlagsWorkload {
+    /// Number of accounts.
+    pub accounts: u64,
+    /// Fraction of transactions that raise a flag, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Zipf parameter for account popularity (how concentrated the fraud
+    /// traffic is on a few compromised accounts).
+    pub alpha: f64,
+    /// Strike-counter saturation bound.
+    pub strike_cap: i64,
+    sampler: Arc<ZipfSampler>,
+}
+
+impl FlagsWorkload {
+    /// Builds a FLAGS workload.
+    pub fn new(accounts: u64, write_fraction: f64, alpha: f64, strike_cap: i64) -> Self {
+        assert!((0.0..=1.0).contains(&write_fraction), "write_fraction must be in [0,1]");
+        assert!(strike_cap > 0, "strike_cap must be positive");
+        FlagsWorkload {
+            accounts,
+            write_fraction,
+            alpha,
+            strike_cap,
+            sampler: Arc::new(ZipfSampler::new(accounts, alpha)),
+        }
+    }
+
+    /// A skewed write-heavy mix: a fraud wave hammering a few accounts.
+    pub fn fraud_wave(accounts: u64) -> Self {
+        FlagsWorkload::new(accounts, 0.9, 1.4, 1_000_000)
+    }
+}
+
+impl Workload for FlagsWorkload {
+    fn name(&self) -> String {
+        format!(
+            "FLAGS(writes={:.0}%, alpha={:.2}, cap={})",
+            self.write_fraction * 100.0,
+            self.alpha,
+            self.strike_cap
+        )
+    }
+
+    fn load(&self, engine: &dyn Engine) {
+        for a in 0..self.accounts {
+            engine.load(flags_key(a), Value::Int(0));
+            engine.load(strikes_key(a), Value::Int(0));
+        }
+    }
+
+    fn generator(&self, core: usize, seed: u64) -> Box<dyn TxnGenerator> {
+        Box::new(FlagsGenerator {
+            write_fraction: self.write_fraction,
+            strike_cap: self.strike_cap,
+            sampler: Arc::clone(&self.sampler),
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(core as u64).wrapping_mul(0x9E3779B9)),
+            seq: 0,
+            core: core as u32,
+        })
+    }
+}
+
+struct FlagsGenerator {
+    write_fraction: f64,
+    strike_cap: i64,
+    sampler: Arc<ZipfSampler>,
+    rng: SmallRng,
+    seq: u32,
+    core: u32,
+}
+
+impl TxnGenerator for FlagsGenerator {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let account = self.sampler.sample(&mut self.rng);
+        if self.rng.gen::<f64>() < self.write_fraction {
+            self.seq += 1;
+            // Audit rows are keyed per (core, seq) so concurrent workers
+            // never insert the same row, with no wraparound within a run.
+            let row = ((self.core as u64) << 32) | u64::from(self.seq);
+            let rule = self.rng.gen_range(0..RULES);
+            GeneratedTxn {
+                proc: Arc::new(FlagRaise { account, rule, strike_cap: self.strike_cap, row }),
+                is_write: true,
+            }
+        } else {
+            GeneratedTxn { proc: Arc::new(FlagCheck { account }), is_write: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BenchOptions, Driver};
+    use std::time::Duration;
+
+    #[test]
+    fn flag_raise_updates_all_three_records() {
+        let engine = doppel_occ::OccEngine::new(1, 64);
+        let w = FlagsWorkload::new(16, 1.0, 0.0, 5);
+        w.load(&engine);
+        let mut h = engine.handle(0);
+        let txn = Arc::new(FlagRaise { account: 3, rule: 2, strike_cap: 5, row: 1 });
+        assert!(h.execute(txn).is_committed());
+        assert_eq!(engine.global_get(flags_key(3)), Some(Value::Int(0b100)));
+        assert_eq!(engine.global_get(strikes_key(3)), Some(Value::Int(1)));
+        assert_eq!(engine.global_get(event_key(1)), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn strike_counter_saturates_at_cap() {
+        let engine = doppel_occ::OccEngine::new(1, 64);
+        let w = FlagsWorkload::new(4, 1.0, 0.0, 3);
+        w.load(&engine);
+        let mut h = engine.handle(0);
+        for row in 0..10 {
+            let txn = Arc::new(FlagRaise { account: 0, rule: 1, strike_cap: 3, row });
+            assert!(h.execute(txn).is_committed());
+        }
+        assert_eq!(engine.global_get(strikes_key(0)), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn full_run_strike_totals_match_committed_writes() {
+        // With a cap far above the commit count, every committed raise adds
+        // exactly one strike, so the strike sum equals the committed count.
+        let engine = doppel_occ::OccEngine::new(2, 128);
+        let w = FlagsWorkload::new(64, 1.0, 1.4, 1_000_000_000);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(80)));
+        let mut strikes = 0i64;
+        for a in 0..64 {
+            strikes += engine.global_get(strikes_key(a)).unwrap().as_int().unwrap();
+            let flags = engine.global_get(flags_key(a)).unwrap().as_int().unwrap();
+            assert_eq!(flags & !((1i64 << RULES) - 1), 0, "only rule bits may be set");
+        }
+        assert_eq!(strikes as u64, result.committed);
+        assert_eq!(result.write_latency.count, result.committed);
+    }
+
+    #[test]
+    fn doppel_runs_flags_under_contention_to_completion() {
+        // Acceptance: a new workload runs through the shared driver on
+        // Doppel with aggressive splitting, and the commutative updates
+        // survive splitting + reconciliation exactly.
+        let cfg = doppel_common::DoppelConfig {
+            workers: 2,
+            phase_len: Duration::from_millis(4),
+            split_min_conflicts: 2,
+            split_conflict_fraction: 0.0,
+            unsplit_write_fraction: 0.0,
+            ..Default::default()
+        };
+        let engine = doppel_db::DoppelDb::start(cfg);
+        let w = FlagsWorkload::new(8, 1.0, 1.8, 1_000_000_000);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(200)));
+        let mut strikes = 0i64;
+        for a in 0..8 {
+            strikes += engine.global_get(strikes_key(a)).unwrap().as_int().unwrap();
+        }
+        assert_eq!(strikes as u64, result.committed);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let w = FlagsWorkload::new(100, 0.25, 0.0, 10);
+        let mut gen = w.generator(0, 42);
+        let n = 10_000;
+        let writes = (0..n).filter(|_| gen.next_txn().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn name_and_presets() {
+        assert!(FlagsWorkload::fraud_wave(10).name().contains("90%"));
+        assert_eq!(FlagsWorkload::fraud_wave(10).alpha, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_fraction")]
+    fn invalid_write_fraction_panics() {
+        let _ = FlagsWorkload::new(10, 2.0, 1.0, 10);
+    }
+}

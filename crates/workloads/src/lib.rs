@@ -6,6 +6,10 @@
 //!   (and the exact probabilities behind Table 1);
 //! * [`incr`] — the INCR1 and INCRZ microbenchmarks (Figures 8–11);
 //! * [`like`] — the LIKE social-network benchmark (Figures 12–14, Table 3);
+//! * [`flags`] — the FLAGS fraud-flagging benchmark exercising the `BitOr`
+//!   and `BoundedAdd` splittable operations (beyond the paper);
+//! * [`visitors`] — the VISITORS unique-audience benchmark exercising the
+//!   `SetUnion` splittable operation (beyond the paper);
 //! * [`driver`] — the multi-threaded measurement harness: per-core workers
 //!   that generate transactions, execute them against any
 //!   [`doppel_common::Engine`], retry aborts with exponential backoff, track
@@ -16,15 +20,19 @@
 //!   tables and series the paper reports.
 
 pub mod driver;
+pub mod flags;
 pub mod hist;
 pub mod incr;
 pub mod like;
 pub mod report;
+pub mod visitors;
 pub mod zipf;
 
 pub use driver::{BenchOptions, BenchResult, Driver, GeneratedTxn, TxnGenerator, Workload};
+pub use flags::FlagsWorkload;
 pub use hist::{Histogram, LatencySummary};
 pub use incr::{Incr1Workload, IncrZWorkload};
 pub use like::LikeWorkload;
 pub use report::{Cell, Table};
+pub use visitors::VisitorsWorkload;
 pub use zipf::ZipfSampler;

@@ -1,0 +1,236 @@
+//! The VISITORS unique-audience benchmark.
+//!
+//! An analytics service tracks, per page, the *set of distinct visitors*
+//! (audience measurement) next to a raw view counter. Each *visit*
+//! transaction inserts the visitor's id into the page's audience set
+//! (`SetUnion` — idempotent, so repeat visits are free) and increments the
+//! page's view counter (`Add`). Each *report* transaction reads a page's
+//! audience size and view count.
+//!
+//! Pages are chosen from a Zipfian distribution, so the audience sets and
+//! view counters of viral pages are heavily contended — and both update
+//! operations commute, letting Doppel split the same record for `SetUnion`
+//! in one phase. This workload exists to exercise the `SetUnion` splittable
+//! operation end-to-end through the shared benchmark driver.
+
+use crate::driver::{GeneratedTxn, TxnGenerator, Workload};
+use crate::zipf::ZipfSampler;
+use doppel_common::{Engine, IntSet, Key, Procedure, Table, Tx, TxError, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Key of a page's distinct-visitor set.
+pub fn audience_key(page: u64) -> Key {
+    Key::new(Table::Audience, page, 0)
+}
+
+/// Key of a page's raw view counter.
+pub fn views_key(page: u64) -> Key {
+    Key::new(Table::PageViews, page, 0)
+}
+
+/// Write transaction: a visitor views a page.
+pub struct Visit {
+    /// The visiting user.
+    pub visitor: u64,
+    /// The visited page.
+    pub page: u64,
+}
+
+impl Procedure for Visit {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        // Distinct-audience set (contended for viral pages, commutative and
+        // idempotent).
+        tx.set_insert(audience_key(self.page), self.visitor as i64)?;
+        // Raw view counter.
+        tx.add(views_key(self.page), 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "VISITORS-visit"
+    }
+}
+
+/// Read transaction: an audience report for one page.
+pub struct AudienceReport {
+    /// The reported page.
+    pub page: u64,
+}
+
+impl Procedure for AudienceReport {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let _audience = tx.get(audience_key(self.page))?;
+        let _views = tx.get_int(views_key(self.page))?;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "VISITORS-report"
+    }
+
+    fn is_read_only(&self) -> bool {
+        true
+    }
+}
+
+/// The VISITORS workload: a mix of visit and report transactions over
+/// Zipf-popular pages and uniformly chosen visitors.
+pub struct VisitorsWorkload {
+    /// Number of distinct visitors.
+    pub visitors: u64,
+    /// Number of pages.
+    pub pages: u64,
+    /// Fraction of transactions that are visits, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Zipf parameter for page popularity.
+    pub alpha: f64,
+    sampler: Arc<ZipfSampler>,
+}
+
+impl VisitorsWorkload {
+    /// Builds a VISITORS workload.
+    pub fn new(visitors: u64, pages: u64, write_fraction: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&write_fraction), "write_fraction must be in [0,1]");
+        VisitorsWorkload {
+            visitors,
+            pages,
+            write_fraction,
+            alpha,
+            sampler: Arc::new(ZipfSampler::new(pages, alpha)),
+        }
+    }
+
+    /// A viral-traffic preset: write-heavy, strongly skewed pages.
+    pub fn viral(visitors: u64, pages: u64) -> Self {
+        VisitorsWorkload::new(visitors, pages, 0.9, 1.4)
+    }
+}
+
+impl Workload for VisitorsWorkload {
+    fn name(&self) -> String {
+        format!(
+            "VISITORS(writes={:.0}%, alpha={:.2})",
+            self.write_fraction * 100.0,
+            self.alpha
+        )
+    }
+
+    fn load(&self, engine: &dyn Engine) {
+        for p in 0..self.pages {
+            engine.load(audience_key(p), Value::Set(IntSet::new()));
+            engine.load(views_key(p), Value::Int(0));
+        }
+    }
+
+    fn generator(&self, core: usize, seed: u64) -> Box<dyn TxnGenerator> {
+        Box::new(VisitorsGenerator {
+            visitors: self.visitors,
+            write_fraction: self.write_fraction,
+            sampler: Arc::clone(&self.sampler),
+            rng: SmallRng::seed_from_u64(seed.wrapping_add(core as u64).wrapping_mul(0x9E3779B9)),
+        })
+    }
+}
+
+struct VisitorsGenerator {
+    visitors: u64,
+    write_fraction: f64,
+    sampler: Arc<ZipfSampler>,
+    rng: SmallRng,
+}
+
+impl TxnGenerator for VisitorsGenerator {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let page = self.sampler.sample(&mut self.rng);
+        if self.rng.gen::<f64>() < self.write_fraction {
+            let visitor = self.rng.gen_range(0..self.visitors);
+            GeneratedTxn { proc: Arc::new(Visit { visitor, page }), is_write: true }
+        } else {
+            GeneratedTxn { proc: Arc::new(AudienceReport { page }), is_write: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BenchOptions, Driver};
+    use std::time::Duration;
+
+    #[test]
+    fn visit_updates_audience_and_views() {
+        let engine = doppel_occ::OccEngine::new(1, 64);
+        let w = VisitorsWorkload::new(16, 16, 1.0, 0.0);
+        w.load(&engine);
+        let mut h = engine.handle(0);
+        for visitor in [3, 5, 3] {
+            assert!(h.execute(Arc::new(Visit { visitor, page: 7 })).is_committed());
+        }
+        let audience = engine.global_get(audience_key(7)).unwrap();
+        assert_eq!(audience.as_set().unwrap().len(), 2, "repeat visits dedupe");
+        assert_eq!(engine.global_get(views_key(7)), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn full_run_views_match_committed_writes() {
+        let engine = doppel_occ::OccEngine::new(2, 128);
+        let w = VisitorsWorkload::new(64, 32, 1.0, 1.4);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(80)));
+        let mut views = 0i64;
+        for p in 0..32 {
+            views += engine.global_get(views_key(p)).unwrap().as_int().unwrap();
+            let audience = engine.global_get(audience_key(p)).unwrap();
+            assert!(audience.as_set().unwrap().len() <= 64, "audience bounded by visitors");
+        }
+        assert_eq!(views as u64, result.committed);
+    }
+
+    #[test]
+    fn doppel_runs_visitors_under_contention_to_completion() {
+        // Acceptance: the SetUnion-based workload runs through the shared
+        // driver on Doppel with aggressive splitting; the view counters must
+        // survive splitting + reconciliation exactly, and every audience
+        // member must be a real visitor id.
+        let cfg = doppel_common::DoppelConfig {
+            workers: 2,
+            phase_len: Duration::from_millis(4),
+            split_min_conflicts: 2,
+            split_conflict_fraction: 0.0,
+            unsplit_write_fraction: 0.0,
+            ..Default::default()
+        };
+        let engine = doppel_db::DoppelDb::start(cfg);
+        let w = VisitorsWorkload::new(32, 8, 1.0, 1.8);
+        let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(200)));
+        let mut views = 0i64;
+        for p in 0..8 {
+            views += engine.global_get(views_key(p)).unwrap().as_int().unwrap();
+            let audience = engine.global_get(audience_key(p)).unwrap();
+            assert!(audience.as_set().unwrap().iter().all(|v| (0..32).contains(&v)));
+        }
+        assert_eq!(views as u64, result.committed);
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let w = VisitorsWorkload::new(100, 100, 0.75, 0.0);
+        let mut gen = w.generator(0, 42);
+        let n = 10_000;
+        let writes = (0..n).filter(|_| gen.next_txn().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn name_and_presets() {
+        assert!(VisitorsWorkload::viral(10, 10).name().contains("90%"));
+        assert_eq!(VisitorsWorkload::viral(10, 10).alpha, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_fraction")]
+    fn invalid_write_fraction_panics() {
+        let _ = VisitorsWorkload::new(10, 10, -0.1, 1.0);
+    }
+}

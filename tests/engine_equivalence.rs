@@ -109,6 +109,82 @@ fn ordered_tuple_and_topk_operations_agree_across_transactional_engines() {
     }
 }
 
+/// Differential test over the new splittable operations: a deterministic
+/// random mix of `Add` / `Max` / `Min` / `BitOr` / `BoundedAdd` on integer
+/// records plus `SetUnion` on set records must leave **all four** engines —
+/// Doppel, OCC, 2PL and Atomic — with byte-identical final stores. (Every
+/// operation here maps to a lock-free update in the Atomic baseline, so
+/// unlike `Mult`/`OPut`/`TopKInsert` it participates meaningfully.)
+fn run_new_ops_stream(engine: &dyn Engine) -> String {
+    const INT_KEYS: u64 = 8;
+    const SET_KEYS: u64 = 4;
+    const BOUND: i64 = 500;
+    for k in 0..INT_KEYS {
+        engine.load(Key::raw(k), Value::Int(0));
+    }
+    for k in 0..SET_KEYS {
+        engine.load(Key::raw(100 + k), Value::Set(doppel_common::IntSet::new()));
+    }
+    let mut handle = engine.handle(0);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for step in 0..3_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = Key::raw(x % INT_KEYS);
+        let set_key = Key::raw(100 + x % SET_KEYS);
+        let arg = (x % 1_000) as i64 - 500;
+        let proc: Arc<dyn doppel_common::Procedure> = match step % 6 {
+            0 => Arc::new(ProcedureFn::new("add", move |tx| tx.add(key, arg))),
+            1 => Arc::new(ProcedureFn::new("max", move |tx| tx.max(key, arg))),
+            2 => Arc::new(ProcedureFn::new("min", move |tx| tx.min(key, arg))),
+            3 => Arc::new(ProcedureFn::new("flags", move |tx| tx.bit_or(key, arg & 0xFFFF))),
+            4 => Arc::new(ProcedureFn::new("rate", move |tx| {
+                tx.bounded_add(key, arg.rem_euclid(40), BOUND)
+            })),
+            _ => Arc::new(ProcedureFn::new("visit", move |tx| {
+                tx.set_insert(set_key, arg.rem_euclid(64))?;
+                tx.bit_or(key, 1 << (x % 48))
+            })),
+        };
+        let outcome = handle.execute(proc);
+        assert!(outcome.is_committed(), "single-worker transactions never conflict: {outcome:?}");
+    }
+    let final_values: Vec<Option<Value>> = (0..INT_KEYS)
+        .map(Key::raw)
+        .chain((0..SET_KEYS).map(|k| Key::raw(100 + k)))
+        .map(|k| engine.global_get(k))
+        .collect();
+    serde_json::to_string(&final_values).expect("final store serializes")
+}
+
+#[test]
+fn new_ops_agree_across_all_four_engines() {
+    let params = EngineParams { workers: 1, ..EngineParams::default() };
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let engine = build_engine(*kind, &params);
+        let state = run_new_ops_stream(engine.as_ref());
+        engine.shutdown();
+        results.push((kind.label(), state));
+    }
+    // Aggressive Doppel phase cycling must not change the outcome either.
+    let cycled = build_engine(
+        EngineKind::Doppel,
+        &EngineParams { workers: 1, phase_len: Duration::from_millis(1), ..Default::default() },
+    );
+    results.push(("Doppel(1ms phases)", run_new_ops_stream(cycled.as_ref())));
+    cycled.shutdown();
+
+    let (reference_name, reference) = &results[0];
+    for (name, state) in &results[1..] {
+        assert_eq!(
+            state, reference,
+            "{name} diverged from {reference_name} on the new-operation stream"
+        );
+    }
+}
+
 #[test]
 fn doppel_phase_cycling_does_not_change_single_worker_results() {
     // Run the same deterministic stream with an aggressive 1 ms phase length

@@ -7,7 +7,8 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: &[&str] = &["quickstart", "leaderboard", "social_likes", "auction_bidding"];
+const EXAMPLES: &[&str] =
+    &["quickstart", "leaderboard", "social_likes", "auction_bidding", "fraud_flags"];
 
 fn examples_dir() -> PathBuf {
     let mut dir = std::env::current_exe().expect("test binary has a path");

@@ -219,6 +219,147 @@ fn splitting_disabled_never_splits_under_contention() {
     assert_eq!(db.stats().slice_ops, 0);
 }
 
+/// Downgrade path 1 (§5.5): a key whose contention drops to zero moves
+/// split → reconciled within a bounded number of phases. The classifier uses
+/// write sampling during split phases, so a split key that stops being
+/// written is detected the first time a phase with real traffic ends.
+#[test]
+fn cold_split_key_is_unsplit_within_bounded_phases() {
+    const MAX_PHASES: usize = 3;
+    let db = DoppelDb::new(DoppelConfig {
+        workers: 1,
+        split_min_conflicts: 1,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.05,
+        ..DoppelConfig::default()
+    });
+    let hot = Key::raw(0);
+    db.load(hot, Value::Int(7));
+    for k in 1..=64u64 {
+        db.load(Key::raw(k), Value::Int(0));
+    }
+    db.label_split(hot, OpKind::Add);
+    let mut w = db.handle(0);
+
+    // The contention is gone: phases only carry uniform cold traffic.
+    let mut phases = 0;
+    while db.split_keys().iter().any(|(k, _)| *k == hot) {
+        assert!(
+            phases < MAX_PHASES,
+            "cold key still split after {phases} full split phases"
+        );
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        for i in 0..200u64 {
+            let key = Key::raw(1 + i % 64);
+            let proc = Arc::new(ProcedureFn::new("cold", move |tx| tx.add(key, 1)));
+            assert!(w.execute(proc).is_committed());
+        }
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+        phases += 1;
+    }
+    assert!(db.stats().total_unsplits >= 1);
+    assert_eq!(db.global_get(hot), Some(Value::Int(7)), "unsplitting must not corrupt the value");
+}
+
+/// Downgrade path 2 (§5.5): a split key whose split-phase traffic is
+/// dominated by *reads* (stashes) is moved back to reconciled — splitting
+/// only pays off when the selected operation dominates.
+#[test]
+fn read_stash_heavy_key_is_unsplit() {
+    let db = DoppelDb::new(DoppelConfig {
+        workers: 1,
+        split_min_conflicts: 1,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.0,
+        unsplit_stash_ratio: 2.0,
+        ..DoppelConfig::default()
+    });
+    let key = Key::raw(1);
+    db.load(key, Value::Int(0));
+    db.label_split(key, OpKind::Add);
+    let mut w = db.handle(0);
+
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    let write = Arc::new(ProcedureFn::new("add", move |tx| tx.add(Key::raw(1), 1)));
+    let read = Arc::new(ProcedureFn::read_only("get", move |tx| tx.get(Key::raw(1)).map(|_| ())));
+    for _ in 0..5 {
+        assert!(w.execute(write.clone()).is_committed());
+    }
+    let mut stashed = 0;
+    for _ in 0..40 {
+        if w.execute(read.clone()).is_stashed() {
+            stashed += 1;
+        }
+    }
+    assert_eq!(stashed, 40, "reads of split data must be stashed");
+
+    db.request_phase(Phase::Joined);
+    w.safepoint();
+    assert!(
+        db.split_keys().is_empty(),
+        "a read-dominated key must move back to reconciled"
+    );
+    assert!(db.stats().total_unsplits >= 1);
+    // All stashed reads replayed; the writes survived reconciliation.
+    assert_eq!(w.take_completions().len(), 40);
+    assert_eq!(db.global_get(key), Some(Value::Int(5)));
+}
+
+/// Downgrade path 3 with the new operations: a stash-heavy key whose stashes
+/// are a *different splittable* operation changes its assigned operation
+/// instead of un-splitting ("the operation for key k might be Min in one
+/// split phase, and Max in the next", §4) — here `BitOr` gives way to
+/// `BoundedAdd`.
+#[test]
+fn stash_heavy_key_switches_assigned_op_between_new_ops() {
+    let db = DoppelDb::new(DoppelConfig {
+        workers: 1,
+        split_min_conflicts: 1,
+        split_conflict_fraction: 0.0,
+        unsplit_write_fraction: 0.0,
+        unsplit_stash_ratio: 1000.0,
+        ..DoppelConfig::default()
+    });
+    let key = Key::raw(1);
+    db.load(key, Value::Int(0));
+    db.label_split(key, OpKind::BitOr);
+    let mut w = db.handle(0);
+
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    let or = Arc::new(ProcedureFn::new("or", move |tx| tx.bit_or(Key::raw(1), 0b10)));
+    let rate = Arc::new(ProcedureFn::new("rate", move |tx| tx.bounded_add(Key::raw(1), 1, 100)));
+    // A few BitOr writes take the split fast path…
+    for _ in 0..10 {
+        assert!(w.execute(or.clone()).is_committed());
+    }
+    // …but the workload has shifted: BoundedAdd dominates and gets stashed.
+    let mut stashed = 0;
+    for _ in 0..30 {
+        if w.execute(rate.clone()).is_stashed() {
+            stashed += 1;
+        }
+    }
+    assert_eq!(stashed, 30);
+
+    db.request_phase(Phase::Joined);
+    w.safepoint();
+    // The BitOr slice reconciled first (0 | 0b10 = 2), then the 30 stashed
+    // BoundedAdds replayed on top (2 + 30 = 32, under the bound), and the
+    // classifier switched the selected operation.
+    assert_eq!(db.global_get(key), Some(Value::Int(32)));
+    assert_eq!(db.split_keys(), vec![(key, OpKind::BoundedAdd)]);
+
+    // Next split phase: BoundedAdd takes the fast path, BitOr is stashed.
+    db.request_phase(Phase::Split);
+    w.safepoint();
+    assert!(w.execute(rate).is_committed());
+    assert!(w.execute(or).is_stashed());
+}
+
 /// Selected-operation switching: if a split key keeps being hit with a
 /// different splittable operation, the classifier reassigns the selected
 /// operation rather than un-splitting (§4 guideline 3).

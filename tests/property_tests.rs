@@ -76,7 +76,7 @@ proptest! {
         };
         let direct = apply_direct(initial, &ops_with_core.iter().map(|&(n, _)| make(n)).collect::<Vec<_>>());
 
-        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(kind, 8)).collect();
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::new(kind)).collect();
         for &(n, core) in &ops_with_core {
             slices[core].apply(&make(n)).unwrap();
         }
@@ -102,7 +102,7 @@ proptest! {
             direct.insert(OrderKey::from(*order), *core, order.to_le_bytes().to_vec());
         }
 
-        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(OpKind::TopKInsert, k)).collect();
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::new(OpKind::TopKInsert)).collect();
         for (order, core) in &entries {
             slices[*core]
                 .apply(&Op::TopKInsert {
@@ -134,7 +134,7 @@ proptest! {
             .copied()
             .unwrap();
 
-        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::identity(OpKind::OPut, 8)).collect();
+        let mut slices: Vec<Slice> = (0..4).map(|_| Slice::new(OpKind::OPut)).collect();
         for (order, core) in &entries {
             slices[*core]
                 .apply(&Op::OPut {

@@ -1,0 +1,216 @@
+//! Property battery for the splittable-operation laws (§4).
+//!
+//! Every operation registered in the [`doppel_common::split_ops`] registry
+//! must satisfy the laws Doppel's correctness argument (§5.6) rests on:
+//!
+//! * **commutativity**: applying a batch of operations of one kind in any
+//!   order yields the same final value;
+//! * **slice/merge equivalence**: folding the batch into per-core slices
+//!   (any assignment of operations to cores) and merging the slices equals
+//!   applying the batch directly;
+//! * **merge-order independence**: the order in which workers reconcile
+//!   their slices does not change the final record value.
+//!
+//! The tests enumerate the registry, so an operation registered tomorrow is
+//! automatically subjected to the battery — forgetting to think about its
+//! laws fails CI rather than silently corrupting split phases.
+
+use doppel_common::{split_ops, IntSet, Op, OpKind, OrderKey, Value};
+use doppel_db::Slice;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CORES: usize = 4;
+
+/// Raw material for one generated operation: interpreted per operation kind
+/// so that a single generated sequence exercises every registered kind.
+#[derive(Clone, Debug)]
+struct Seed {
+    arg: i64,
+    aux: i64,
+    core: usize,
+}
+
+fn arb_seeds() -> impl Strategy<Value = Vec<Seed>> {
+    prop::collection::vec((-1_000i64..1_000, -1_000i64..1_000, 0usize..CORES), 1..40)
+        .prop_map(|v| v.into_iter().map(|(arg, aux, core)| Seed { arg, aux, core }).collect())
+}
+
+/// Builds a concrete operation of `kind` from one seed.
+fn make_op(kind: OpKind, s: &Seed) -> Op {
+    match kind {
+        OpKind::Max => Op::Max(s.arg),
+        OpKind::Min => Op::Min(s.arg),
+        OpKind::Add => Op::Add(s.arg),
+        // Keep products within range so wrapping never masks a real bug.
+        OpKind::Mult => Op::Mult(s.arg.rem_euclid(7)),
+        OpKind::BitOr => Op::BitOr(s.arg & 0xFFFF),
+        OpKind::BoundedAdd => Op::BoundedAdd { n: s.arg.rem_euclid(50), bound: 300 },
+        OpKind::SetUnion => Op::SetUnion(IntSet::singleton(s.arg.rem_euclid(32))),
+        OpKind::OPut => Op::OPut {
+            order: OrderKey::pair(s.arg.rem_euclid(100), s.aux.rem_euclid(100)),
+            core: s.core,
+            payload: format!("{}/{}", s.arg, s.core).into_bytes().into(),
+        },
+        OpKind::TopKInsert => Op::TopKInsert {
+            order: OrderKey::pair(s.arg.rem_euclid(100), s.aux.rem_euclid(100)),
+            core: s.core,
+            payload: format!("{}/{}", s.arg, s.core).into_bytes().into(),
+            k: 5,
+        },
+        other => panic!("{other} is not a splittable kind"),
+    }
+}
+
+/// The starting record value for a kind's compatibility class. Integer
+/// records are pre-loaded (the benchmarks "pre-allocate all the records",
+/// §8.1, and identity merges may legitimately skip creating absent records);
+/// container records start absent to also exercise lazy creation.
+fn initial_value(kind: OpKind, initial: i64) -> Option<Value> {
+    match split_ops().get(kind).unwrap().value_kind() {
+        doppel_common::ValueKind::Int => Some(Value::Int(initial)),
+        _ => None,
+    }
+}
+
+/// Applies `ops` in order through the global-store semantics.
+fn apply_direct(initial: Option<Value>, ops: &[Op]) -> Option<Value> {
+    let mut cur = initial;
+    for op in ops {
+        cur = Some(op.apply_to(cur.as_ref()).expect("laws battery uses type-correct ops"));
+    }
+    cur
+}
+
+/// Folds each op into its core's slice, then merges the slices in
+/// `merge_order`.
+fn apply_via_slices(
+    initial: Option<Value>,
+    kind: OpKind,
+    ops_with_cores: &[(Op, usize)],
+    merge_order: &[usize],
+) -> Option<Value> {
+    let mut slices: HashMap<usize, Slice> = HashMap::new();
+    for (op, core) in ops_with_cores {
+        slices.entry(*core).or_insert_with(|| Slice::new(kind)).apply(op).unwrap();
+    }
+    let mut cur = initial;
+    for core in merge_order {
+        if let Some(slice) = slices.remove(core) {
+            for op in slice.into_merge_ops() {
+                cur = Some(op.apply_to(cur.as_ref()).unwrap());
+            }
+        }
+    }
+    assert!(slices.is_empty(), "merge order must cover every core");
+    cur
+}
+
+/// A deterministic permutation of `0..len` derived from `seed`
+/// (Fisher–Yates over an xorshift stream).
+fn permutation(len: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        perm.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    perm
+}
+
+proptest! {
+    /// §4 guideline 1, for every registered operation: any permutation of a
+    /// homogeneous batch yields the same final value.
+    #[test]
+    fn every_registered_op_commutes_with_itself(
+        seeds in arb_seeds(),
+        initial in -1_000i64..1_000,
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        for op_impl in split_ops().iter() {
+            let kind = op_impl.kind();
+            let ops: Vec<Op> = seeds.iter().map(|s| make_op(kind, s)).collect();
+            let shuffled: Vec<Op> =
+                permutation(ops.len(), perm_seed).into_iter().map(|i| ops[i].clone()).collect();
+            let forward = apply_direct(initial_value(kind, initial), &ops);
+            let permuted = apply_direct(initial_value(kind, initial), &shuffled);
+            prop_assert_eq!(forward, permuted, "{} is not commutative", kind);
+        }
+    }
+
+    /// The heart of §4, for every registered operation: folding a batch into
+    /// per-core slices and merging the slices — in *any* merge order — equals
+    /// applying the batch directly.
+    #[test]
+    fn slice_then_merge_is_schedule_independent(
+        seeds in arb_seeds(),
+        initial in -1_000i64..1_000,
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        for op_impl in split_ops().iter() {
+            let kind = op_impl.kind();
+            let ops_with_cores: Vec<(Op, usize)> =
+                seeds.iter().map(|s| (make_op(kind, s), s.core)).collect();
+            let direct = apply_direct(
+                initial_value(kind, initial),
+                &ops_with_cores.iter().map(|(op, _)| op.clone()).collect::<Vec<_>>(),
+            );
+
+            let forward_order: Vec<usize> = (0..CORES).collect();
+            let reverse_order: Vec<usize> = (0..CORES).rev().collect();
+            let random_order = permutation(CORES, perm_seed);
+            for order in [&forward_order, &reverse_order, &random_order] {
+                let merged =
+                    apply_via_slices(initial_value(kind, initial), kind, &ops_with_cores, order);
+                prop_assert_eq!(
+                    &merged, &direct,
+                    "{} slice/merge with merge order {:?} diverged from direct application",
+                    kind, order
+                );
+            }
+        }
+    }
+
+    /// Re-slicing the same batch under a *different* core assignment must
+    /// also converge: the final value is independent of which core executed
+    /// which operation.
+    #[test]
+    fn core_assignment_does_not_matter(
+        seeds in arb_seeds(),
+        initial in -1_000i64..1_000,
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        let order: Vec<usize> = (0..CORES).collect();
+        for op_impl in split_ops().iter() {
+            let kind = op_impl.kind();
+            let assigned: Vec<(Op, usize)> =
+                seeds.iter().map(|s| (make_op(kind, s), s.core)).collect();
+            // Reassign every op to a core derived from the permutation seed.
+            let reassigned: Vec<(Op, usize)> = assigned
+                .iter()
+                .enumerate()
+                .map(|(i, (op, _))| {
+                    (op.clone(), ((i as u64).wrapping_mul(perm_seed) % CORES as u64) as usize)
+                })
+                .collect();
+            let a = apply_via_slices(initial_value(kind, initial), kind, &assigned, &order);
+            let b = apply_via_slices(initial_value(kind, initial), kind, &reassigned, &order);
+            prop_assert_eq!(a, b, "{} result depends on the core assignment", kind);
+        }
+    }
+}
+
+/// The battery above only means something if it really covers the whole
+/// registry — pin the registered kinds so a new operation extends this file's
+/// `make_op` (compile-time reminder via the panic arm) and these tests.
+#[test]
+fn battery_covers_the_whole_registry() {
+    let kinds: Vec<OpKind> = split_ops().iter().map(|o| o.kind()).collect();
+    assert_eq!(kinds.len(), 9);
+    for kind in &kinds {
+        // make_op must be able to build every registered kind.
+        let op = make_op(*kind, &Seed { arg: 1, aux: 2, core: 0 });
+        assert_eq!(op.kind(), *kind);
+    }
+}
