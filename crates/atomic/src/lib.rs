@@ -11,13 +11,15 @@
 //! a serializable engine and must not be used as one.
 
 use doppel_common::{
-    Completion, CoreId, Engine, EngineStats, Key, Op, Outcome, Procedure, StatsSnapshot,
-    TidGenerator, Tx, TxError, TxHandle, Value,
+    CommitSink, Completion, CoreId, Engine, EngineStats, Key, Op, Outcome, Procedure,
+    StatsSnapshot, TidGenerator, Tx, TxError, TxHandle, Value,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+type SinkCell = Arc<RwLock<Option<Arc<dyn CommitSink>>>>;
 
 /// A store of per-key atomic integers.
 ///
@@ -51,6 +53,7 @@ impl AtomicStore {
 pub struct AtomicEngine {
     store: Arc<AtomicStore>,
     stats: Arc<EngineStats>,
+    sink: SinkCell,
     workers: usize,
 }
 
@@ -60,6 +63,7 @@ impl AtomicEngine {
         AtomicEngine {
             store: Arc::new(AtomicStore::default()),
             stats: Arc::new(EngineStats::new()),
+            sink: Arc::new(RwLock::new(None)),
             workers,
         }
     }
@@ -80,6 +84,9 @@ impl Engine for AtomicEngine {
             core,
             store: Arc::clone(&self.store),
             stats: Arc::clone(&self.stats),
+            // Captured once so the execute path carries no shared sink-cell
+            // read (attach must precede handle creation).
+            sink: self.sink.read().clone(),
             tid_gen: TidGenerator::new(core),
         })
     }
@@ -102,6 +109,29 @@ impl Engine for AtomicEngine {
             }
         }
     }
+
+    fn attach_commit_sink(&self, sink: Arc<dyn CommitSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(Key, &Value)) {
+        for (k, cell) in self.store.ints.read().iter() {
+            f(*k, &Value::Int(cell.load(Ordering::Relaxed)));
+        }
+        for (k, v) in self.store.others.read().iter() {
+            f(*k, v);
+        }
+    }
+
+    fn note_recovered(&self, records: u64) {
+        EngineStats::add(&self.stats.recovered_txns, records);
+    }
+
+    fn shutdown(&self) {
+        if let Some(sink) = self.sink.read().as_ref() {
+            self.stats.absorb_log(&sink.sync());
+        }
+    }
 }
 
 /// Per-worker handle for the Atomic engine.
@@ -109,12 +139,18 @@ pub struct AtomicHandle {
     core: CoreId,
     store: Arc<AtomicStore>,
     stats: Arc<EngineStats>,
+    sink: Option<Arc<dyn CommitSink>>,
     tid_gen: TidGenerator,
 }
 
 struct AtomicTx<'s> {
     core: CoreId,
     store: &'s AtomicStore,
+    /// `Some` when a commit sink is attached: the operations applied by this
+    /// procedure, captured for logging. Atomic applies writes eagerly and has
+    /// no rollback, so the log mirrors exactly what reached the store — even
+    /// when the procedure later returns an error.
+    captured: Option<Vec<(Key, Op)>>,
 }
 
 impl Tx for AtomicTx<'_> {
@@ -127,6 +163,19 @@ impl Tx for AtomicTx<'_> {
     }
 
     fn write_op(&mut self, k: Key, op: Op) -> Result<(), TxError> {
+        self.apply_op(k, op.clone())?;
+        // Captured only after a successful apply: a type-mismatched op never
+        // reaches the store, so logging it would poison replay with the same
+        // deterministic error.
+        if let Some(captured) = &mut self.captured {
+            captured.push((k, op));
+        }
+        Ok(())
+    }
+}
+
+impl AtomicTx<'_> {
+    fn apply_op(&mut self, k: Key, op: Op) -> Result<(), TxError> {
         match op {
             Op::Add(n) => {
                 self.store.int_cell(k).fetch_add(n, Ordering::Relaxed);
@@ -183,11 +232,25 @@ impl TxHandle for AtomicHandle {
     }
 
     fn execute(&mut self, proc: Arc<dyn Procedure>) -> Outcome {
-        let mut tx = AtomicTx { core: self.core, store: &self.store };
-        match proc.run(&mut tx) {
+        let sink = self.sink.as_ref();
+        let mut tx = AtomicTx {
+            core: self.core,
+            store: &self.store,
+            captured: sink.map(|_| Vec::new()),
+        };
+        let run = proc.run(&mut tx);
+        let captured = tx.captured.take().unwrap_or_default();
+        let tid = self.tid_gen.next();
+        // Applied operations are logged on both paths: Atomic has no
+        // rollback, so a failed procedure's earlier writes are store state
+        // and must be recoverable.
+        if let (Some(sink), false) = (&sink, captured.is_empty()) {
+            self.stats.absorb_log(&sink.log_commit(tid, &captured));
+        }
+        match run {
             Ok(()) => {
                 EngineStats::bump(&self.stats.commits);
-                Outcome::Committed(self.tid_gen.next())
+                Outcome::Committed(tid)
             }
             Err(e) => {
                 EngineStats::bump(&self.stats.user_aborts);
@@ -300,6 +363,42 @@ mod tests {
         }
         assert_eq!(engine.global_get(Key::raw(0)), Some(Value::Int(4000)));
         assert_eq!(engine.stats().commits, 4000);
+    }
+
+    #[test]
+    fn failed_ops_are_never_logged() {
+        use std::sync::atomic::AtomicU64;
+
+        #[derive(Default)]
+        struct CountingSink(AtomicU64);
+        impl CommitSink for CountingSink {
+            fn log_commit(&self, _tid: doppel_common::Tid, writes: &[(Key, Op)]) -> doppel_common::LogReceipt {
+                self.0.fetch_add(writes.len() as u64, Ordering::Relaxed);
+                doppel_common::LogReceipt::default()
+            }
+            fn log_merged_delta(&self, _tid: doppel_common::Tid, _key: Key, _ops: &[Op]) -> doppel_common::LogReceipt {
+                doppel_common::LogReceipt::default()
+            }
+            fn sync(&self) -> doppel_common::LogReceipt {
+                doppel_common::LogReceipt::default()
+            }
+        }
+
+        let engine = AtomicEngine::new(1);
+        let sink = Arc::new(CountingSink::default());
+        engine.attach_commit_sink(sink.clone());
+        engine.load(Key::raw(1), Value::from("bytes"));
+        let mut h = engine.handle(0);
+        // An applied op followed by a type-mismatched one: only the applied
+        // op may reach the log — replaying the failed op would deterministically
+        // fail recovery.
+        let p = Arc::new(ProcedureFn::new("mixed", |tx| {
+            tx.add(Key::raw(2), 5)?;
+            tx.set_insert(Key::raw(1), 7) // SetUnion on a Bytes record: type error
+        }));
+        assert!(matches!(h.execute(p), Outcome::Aborted(TxError::TypeMismatch { .. })));
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1, "only the successful Add is logged");
+        assert_eq!(engine.global_get(Key::raw(2)), Some(Value::Int(5)));
     }
 
     #[test]

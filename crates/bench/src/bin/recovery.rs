@@ -1,0 +1,143 @@
+//! Durability experiment: throughput-with-durability and recovery time for
+//! all four engines.
+//!
+//! For each engine the binary runs the INCR1 workload twice — once volatile,
+//! once with a write-ahead log attached (group commit per `--gc-batch` /
+//! `--gc-micros`) — then simulates a crash by dropping the durable engine,
+//! recovers the log into a fresh engine, and reports recovery time plus the
+//! WAL counters. The recovered store is validated against the crashed
+//! engine's final state.
+//!
+//! Run with `--help` (`cargo run --release --bin recovery -- --help`)
+//! for the full flag list.
+
+use doppel_bench::engines::{build_engine, EngineParams};
+use doppel_bench::{emit, Args, EngineKind, ExperimentConfig};
+use doppel_common::{DurabilityConfig, Engine, Key, Value};
+use doppel_wal::{checkpoint_engine, recover_into, TempWalDir, Wal};
+use doppel_workloads::driver::Driver;
+use doppel_workloads::incr::Incr1Workload;
+use doppel_workloads::report::{wal_stat_cells, Cell, Table, WAL_STAT_COLUMNS};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sum of all integer records, the INCR workload's commit-count invariant.
+fn int_sum(engine: &dyn Engine) -> i64 {
+    let mut sum = 0;
+    engine.for_each_record(&mut |_k: Key, v: &Value| {
+        if let Some(n) = v.as_int() {
+            sum += n;
+        }
+    });
+    sum
+}
+
+fn main() {
+    let args = Args::from_env_or_usage(
+        "Durability: throughput with write-ahead logging and crash-recovery time, all engines",
+        &[
+            "  --gc-batch N     group-commit batch size (records per fsync; default 32)",
+            "  --gc-micros US   group-commit interval in microseconds (default 200)",
+            "  --hot PCT        % of transactions writing the hot key (default 50)",
+            "  --checkpoint     take a checkpoint before the simulated crash",
+        ],
+    );
+    let config = ExperimentConfig::from_args(&args);
+    let durability = DurabilityConfig {
+        group_commit_batch: args.get_usize("gc-batch", 32),
+        group_commit_interval: Duration::from_micros(args.get_u64("gc-micros", 200)),
+        crash_at_byte: None,
+    }
+    .from_env();
+    let hot = args.get_f64("hot", 50.0) / 100.0;
+    let workload = Incr1Workload::new(config.keys, hot);
+    let params: EngineParams = config.engine_params();
+    let options = config.bench_options();
+
+    let mut table = Table::new(
+        format!(
+            "Durability: INCR1 throughput volatile vs durable (group commit {} recs / {}us) \
+             and recovery time ({} cores, {} keys, {:.1}s per point)",
+            durability.group_commit_batch,
+            durability.group_commit_interval.as_micros(),
+            config.cores,
+            config.keys,
+            config.seconds,
+        ),
+        &[
+            &["engine", "durable", "volatile", "overhead%"][..],
+            WAL_STAT_COLUMNS,
+            &["recovery_ms"][..],
+        ]
+        .concat(),
+    );
+
+    for kind in EngineKind::ALL {
+        // Volatile baseline.
+        let volatile = doppel_bench::run_point(*kind, &workload, &config);
+
+        // Durable run: same engine + workload with a WAL attached.
+        let wal_dir = TempWalDir::new(&format!("recovery-{}", kind.label()));
+        let wal = Arc::new(Wal::open(wal_dir.path(), durability.clone()).expect("open wal"));
+        let engine = build_engine(*kind, &params);
+        engine.attach_commit_sink(wal.clone());
+        let durable = Driver::run(engine.as_ref(), &workload, &options);
+        // A second shutdown syncs deltas reconciled while worker handles were
+        // dropped at the end of the measurement scope.
+        engine.shutdown();
+        if args.flag("checkpoint") {
+            checkpoint_engine(&wal, engine.as_ref()).expect("checkpoint");
+        }
+        let expected_sum = int_sum(engine.as_ref());
+        drop(engine); // the simulated crash: only the WAL directory survives
+        drop(wal);
+
+        // Recovery into a fresh engine.
+        let fresh = build_engine(*kind, &params);
+        let started = Instant::now();
+        let report = recover_into(fresh.as_ref(), wal_dir.path()).expect("recovery");
+        let recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+        let recovered_sum = int_sum(fresh.as_ref());
+        if recovered_sum != expected_sum {
+            eprintln!(
+                "  WARNING {}: recovered sum {} != pre-crash sum {}",
+                kind.label(),
+                recovered_sum,
+                expected_sum
+            );
+        }
+        let fresh_stats = fresh.stats();
+        fresh.shutdown();
+
+        eprintln!(
+            "  {}: durable {:.0} tx/s, volatile {:.0} tx/s, {} log records, \
+             recovered {} records (+{} from checkpoint) in {recovery_ms:.1} ms",
+            kind.label(),
+            durable.throughput,
+            volatile.throughput,
+            durable.engine_stats.log_records,
+            report.log_records(),
+            report.checkpoint_records,
+        );
+
+        let overhead = if durable.throughput > 0.0 {
+            (volatile.throughput / durable.throughput - 1.0) * 100.0
+        } else {
+            f64::INFINITY
+        };
+        // The run's WAL counters plus the fresh engine's recovery counter.
+        let mut wal_stats = durable.engine_stats;
+        wal_stats.recovered_txns = fresh_stats.recovered_txns;
+        let mut row: Vec<Cell> = vec![
+            kind.label().into(),
+            Cell::Mtps(durable.throughput),
+            Cell::Mtps(volatile.throughput),
+            Cell::Float(overhead),
+        ];
+        row.extend(wal_stat_cells(&wal_stats));
+        row.push(Cell::Micros(recovery_ms * 1e3));
+        table.push_row(row);
+    }
+
+    emit(&table, "recovery", &args);
+}

@@ -1,12 +1,36 @@
 //! Output handling shared by the experiment binaries.
 
 use crate::args::Args;
-use doppel_workloads::report::Table;
+use crate::engines::EngineKind;
+use doppel_workloads::report::{Cell, Table};
+use serde::Serialize;
 use std::fs;
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the cumulative benchmark-trajectory file inside an `--out`
+/// directory: every emitted table appends one JSON line per `(engine,
+/// throughput)` data point, so successive runs (and successive PRs running
+/// against the same directory) accumulate a comparable performance history.
+pub const TRAJECTORY_FILE: &str = "BENCH_results.json";
+
+/// One line of the benchmark trajectory.
+#[derive(Debug, Serialize)]
+struct TrajectoryEntry {
+    /// Experiment slug ("fig8", "recovery", …).
+    slug: String,
+    /// Engine name the throughput belongs to.
+    engine: String,
+    /// Transactions per second.
+    throughput: f64,
+    /// Seconds since the Unix epoch when the table was emitted.
+    unix_ts: u64,
+}
 
 /// Prints the table to stdout and, when `--out <dir>` was given, also writes
-/// `<dir>/<slug>.json` and `<dir>/<slug>.txt`.
+/// `<dir>/<slug>.json` and `<dir>/<slug>.txt` and appends the table's
+/// throughput points to `<dir>/BENCH_results.json` (one JSON object per
+/// line).
 pub fn emit(table: &Table, slug: &str, args: &Args) {
     println!("{table}");
     if let Some(dir) = args.get("out") {
@@ -23,25 +47,88 @@ pub fn emit(table: &Table, slug: &str, args: &Args) {
         if let Err(e) = fs::write(&txt_path, table.render()) {
             eprintln!("warning: could not write {}: {e}", txt_path.display());
         }
+        if let Err(e) = append_trajectory(&dir, slug, table) {
+            eprintln!("warning: could not append to {TRAJECTORY_FILE}: {e}");
+        }
         eprintln!("wrote {} and {}", json_path.display(), txt_path.display());
     }
+}
+
+/// Extracts `(engine, throughput)` points from a table. Two table shapes
+/// exist in this workspace:
+///
+/// * engine-per-row (a column headed "engine" holds the name; the row's first
+///   [`Cell::Mtps`] is its throughput) — e.g. `table1`, `recovery`;
+/// * engine-per-column (columns headed "Doppel" / "OCC" / "2PL" / "Atomic"
+///   hold [`Cell::Mtps`] cells) — e.g. `fig8`; every data point is reported.
+fn throughput_points(table: &Table) -> Vec<(String, f64)> {
+    let mut points = Vec::new();
+    let engine_col = table.columns.iter().position(|c| c.eq_ignore_ascii_case("engine"));
+    if let Some(e) = engine_col {
+        for row in &table.rows {
+            let Some(Cell::Text(engine)) = row.get(e) else { continue };
+            if let Some(tput) = row.iter().find_map(|c| match c {
+                Cell::Mtps(x) => Some(*x),
+                _ => None,
+            }) {
+                points.push((engine.clone(), tput));
+            }
+        }
+        return points;
+    }
+    for (i, col) in table.columns.iter().enumerate() {
+        if EngineKind::from_name(col).is_none() {
+            continue;
+        }
+        for row in &table.rows {
+            if let Some(Cell::Mtps(x)) = row.get(i) {
+                points.push((col.clone(), *x));
+            }
+        }
+    }
+    points
+}
+
+fn append_trajectory(dir: &Path, slug: &str, table: &Table) -> std::io::Result<()> {
+    let points = throughput_points(table);
+    if points.is_empty() {
+        return Ok(());
+    }
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut file =
+        fs::OpenOptions::new().create(true).append(true).open(dir.join(TRAJECTORY_FILE))?;
+    for (engine, throughput) in points {
+        let entry = TrajectoryEntry { slug: slug.to_string(), engine, throughput, unix_ts };
+        let line = serde_json::to_string(&entry).expect("trajectory entries always serialize");
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The previous test directory here was keyed on `process::id()` alone,
+    // which collides when several test binaries (or threads) run
+    // concurrently. `TempWalDir` is unique per use site and cleans up on
+    // drop, even when an assertion fails.
+    use doppel_wal::TempWalDir;
     use doppel_workloads::report::Cell;
 
     #[test]
     fn emit_writes_files_when_out_given() {
-        let dir = std::env::temp_dir().join(format!("doppel-bench-test-{}", std::process::id()));
+        let dir = TempWalDir::new("bench-emit");
         let mut table = Table::new("t", &["a"]);
         table.push_row(vec![Cell::Int(1)]);
-        let args = Args::parse(vec!["--out".to_string(), dir.display().to_string()]);
+        let args = Args::parse(vec!["--out".to_string(), dir.path().display().to_string()]);
         emit(&table, "unit", &args);
-        assert!(dir.join("unit.json").exists());
-        assert!(dir.join("unit.txt").exists());
-        let _ = std::fs::remove_dir_all(&dir);
+        assert!(dir.path().join("unit.json").exists());
+        assert!(dir.path().join("unit.txt").exists());
+        // No throughput cells → no trajectory file.
+        assert!(!dir.path().join(TRAJECTORY_FILE).exists());
     }
 
     #[test]
@@ -49,5 +136,34 @@ mod tests {
         let mut table = Table::new("t", &["a"]);
         table.push_row(vec![Cell::Int(1)]);
         emit(&table, "unit", &Args::default());
+    }
+
+    #[test]
+    fn trajectory_appends_engine_rows() {
+        let dir = TempWalDir::new("bench-traj-rows");
+        let mut table = Table::new("t", &["engine", "throughput", "fsyncs"]);
+        table.push_row(vec!["Doppel".into(), Cell::Mtps(2e6), Cell::Int(3)]);
+        table.push_row(vec!["OCC".into(), Cell::Mtps(1e6), Cell::Int(9)]);
+        let args = Args::parse(vec!["--out".to_string(), dir.path().display().to_string()]);
+        emit(&table, "recovery", &args);
+        emit(&table, "recovery", &args); // cumulative: appends, never truncates
+        let text = fs::read_to_string(dir.path().join(TRAJECTORY_FILE)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"slug\":\"recovery\""));
+        assert!(lines[0].contains("\"engine\":\"Doppel\""));
+        assert!(lines[1].contains("\"engine\":\"OCC\""));
+        assert!(lines[1].contains("1000000"));
+    }
+
+    #[test]
+    fn trajectory_handles_engine_per_column_tables() {
+        let mut table = Table::new("t", &["hot%", "Doppel", "OCC"]);
+        table.push_row(vec![Cell::Int(10), Cell::Mtps(5e6), Cell::Mtps(2e6)]);
+        table.push_row(vec![Cell::Int(20), Cell::Mtps(6e6), Cell::Mtps(1e6)]);
+        let points = throughput_points(&table);
+        assert_eq!(points.len(), 4);
+        assert!(points.contains(&("Doppel".to_string(), 6e6)));
+        assert!(points.contains(&("OCC".to_string(), 2e6)));
     }
 }

@@ -34,6 +34,65 @@ impl Default for PhaseFeedback {
     }
 }
 
+/// Durability (write-ahead-log) tuning, shared by every engine.
+///
+/// The mechanics live in the `doppel_wal` crate; the knobs live here so that
+/// engine constructors, benchmark binaries and tests can all speak the same
+/// configuration language without depending on the log implementation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Group commit closes a batch (flush + fsync) once this many commit
+    /// records have accumulated… (1 = synchronous commit: every record is
+    /// fsynced individually).
+    pub group_commit_batch: usize,
+    /// …or once this much time has passed since the last fsync, whichever
+    /// comes first. The deadline is checked on every append, so an idle log
+    /// may exceed it; callers that need a hard bound call `sync` themselves.
+    pub group_commit_interval: Duration,
+    /// Crash-point injection: the log stops writing at exactly this byte
+    /// offset, leaving a torn record, and drops everything after it — as if
+    /// the machine died mid-write. Used by the crash-recovery test suites.
+    pub crash_at_byte: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            group_commit_batch: 32,
+            group_commit_interval: Duration::from_micros(200),
+            crash_at_byte: None,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Synchronous commit: every record is fsynced before the append returns.
+    pub fn synchronous() -> Self {
+        DurabilityConfig { group_commit_batch: 1, ..Default::default() }
+    }
+
+    /// Applies environment overrides: `DOPPEL_WAL_CRASH_AT=<byte offset>`
+    /// arms crash-point injection (the knob the crash-injection CI suite
+    /// uses), and `DOPPEL_WAL_BATCH=<n>` overrides the group-commit batch.
+    pub fn from_env(mut self) -> Self {
+        if let Some(at) = std::env::var("DOPPEL_WAL_CRASH_AT").ok().and_then(|v| v.parse().ok()) {
+            self.crash_at_byte = Some(at);
+        }
+        if let Some(n) = std::env::var("DOPPEL_WAL_BATCH").ok().and_then(|v| v.parse().ok()) {
+            self.group_commit_batch = n;
+        }
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.group_commit_batch == 0 {
+            return Err("group_commit_batch must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Tunable parameters of a Doppel database instance.
 ///
 /// The defaults reproduce the values used throughout the paper's evaluation:
@@ -175,6 +234,18 @@ mod tests {
             .validate()
             .is_err());
         assert!(DoppelConfig { workers: 5000, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn durability_defaults_and_validation() {
+        let d = DurabilityConfig::default();
+        assert!(d.group_commit_batch > 1);
+        assert_eq!(d.crash_at_byte, None);
+        assert!(d.validate().is_ok());
+        assert_eq!(DurabilityConfig::synchronous().group_commit_batch, 1);
+        assert!(DurabilityConfig { group_commit_batch: 0, ..Default::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

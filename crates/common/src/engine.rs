@@ -261,6 +261,74 @@ pub trait TxHandle: Send {
     }
 }
 
+/// Accounting returned by every [`CommitSink`] call: what the call appended
+/// and whether it triggered a group-commit flush.
+///
+/// Engines fold receipts into their [`crate::EngineStats`] via
+/// [`crate::EngineStats::absorb_log`], so the WAL itself stays
+/// engine-agnostic while each engine's statistics reflect its own logging
+/// activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogReceipt {
+    /// Log records appended by this call.
+    pub records: u64,
+    /// Bytes appended by this call.
+    pub bytes: u64,
+    /// `fsync` calls performed by this call (0 or 1: appends only sync when
+    /// they close a group-commit batch).
+    pub fsyncs: u64,
+    /// Group-commit batches flushed by this call.
+    pub batches: u64,
+}
+
+impl LogReceipt {
+    /// Component-wise sum of two receipts.
+    pub fn merge(self, other: LogReceipt) -> LogReceipt {
+        LogReceipt {
+            records: self.records + other.records,
+            bytes: self.bytes + other.bytes,
+            fsyncs: self.fsyncs + other.fsyncs,
+            batches: self.batches + other.batches,
+        }
+    }
+}
+
+/// Destination for durability records — the commit-hook half of write-ahead
+/// logging.
+///
+/// The log crate provides the real implementation (an append-only,
+/// CRC-checksummed, group-committed file); this trait lives in `common` so
+/// every engine can log without depending on the log's mechanics.
+///
+/// Engines call it at two points, reflecting the paper's durability
+/// observation that phase reconciliation makes logging *cheaper*:
+///
+/// * [`CommitSink::log_commit`] — a conventionally committed transaction's
+///   write set (OCC / 2PL / Atomic commits, and Doppel's joined-phase and
+///   non-split split-phase writes). One record per transaction, O(write set)
+///   bytes.
+/// * [`CommitSink::log_merged_delta`] — Doppel's split-phase fast path:
+///   slice operations are **not** logged individually; instead each worker
+///   emits one merged-delta record per split key while acknowledging the
+///   split→joined transition, i.e. O(split keys) records per phase instead of
+///   O(operations).
+///
+/// Calls must be made while the caller still holds whatever exclusivity
+/// protects the records being logged (OCC record locks, 2PL logical locks,
+/// the reconciliation record lock), so that log order is a valid
+/// serialization order for replay.
+pub trait CommitSink: Send + Sync {
+    /// Appends one commit record for a transaction's write set.
+    fn log_commit(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt;
+
+    /// Appends one merged-delta record for a split key's reconciliation
+    /// (`ops` are the merge operations produced by the per-core slice).
+    fn log_merged_delta(&self, tid: Tid, key: Key, ops: &[Op]) -> LogReceipt;
+
+    /// Blocks until everything appended so far is durable (flush + fsync).
+    fn sync(&self) -> LogReceipt;
+}
+
 /// A transactional engine: creates per-core handles and exposes global state.
 pub trait Engine: Send + Sync {
     /// Engine name used in benchmark output ("Doppel", "OCC", "2PL", …).
@@ -290,6 +358,32 @@ pub trait Engine: Send + Sync {
     /// Signals the engine to stop background activity (e.g. Doppel's
     /// coordinator thread). Engines without background threads ignore this.
     fn shutdown(&self) {}
+
+    /// Attaches a durability sink: from now on the engine logs every
+    /// committed transaction's write set (and, for Doppel, merged split-key
+    /// deltas at reconciliation) through `sink`.
+    ///
+    /// Attach **before** creating handles: engines are allowed to capture the
+    /// sink per handle at creation time. The default implementation ignores
+    /// the sink (an engine without durability support stays volatile).
+    fn attach_commit_sink(&self, sink: Arc<dyn CommitSink>) {
+        let _ = sink;
+    }
+
+    /// Applies `f` to every `(key, value)` pair in the store. Only meaningful
+    /// when the engine is quiescent; used by checkpointing and recovery
+    /// assertions. The default implementation visits nothing (such an engine
+    /// produces empty checkpoints).
+    fn for_each_record(&self, f: &mut dyn FnMut(Key, &Value)) {
+        let _ = f;
+    }
+
+    /// Notes that `records` log records were replayed into this engine during
+    /// crash recovery (surfaces as `recovered_txns` in the statistics). The
+    /// default implementation ignores the notification.
+    fn note_recovered(&self, records: u64) {
+        let _ = records;
+    }
 }
 
 #[cfg(test)]

@@ -30,8 +30,11 @@ pub mod stats;
 pub mod tid;
 pub mod value;
 
-pub use config::{DoppelConfig, PhaseFeedback};
-pub use engine::{Completion, Engine, Outcome, Procedure, ProcedureFn, Ticket, Tx, TxHandle};
+pub use config::{DoppelConfig, DurabilityConfig, PhaseFeedback};
+pub use engine::{
+    Completion, CommitSink, Engine, LogReceipt, Outcome, Procedure, ProcedureFn, Ticket, Tx,
+    TxHandle,
+};
 pub use error::TxError;
 pub use key::{Key, Table};
 pub use ops::{EmptyOrderKey, Op, OpKind, OrderKey};

@@ -36,6 +36,18 @@ pub struct EngineStats {
     pub total_splits: AtomicU64,
     /// Records moved back from split to reconciled state.
     pub total_unsplits: AtomicU64,
+    /// Records appended to the write-ahead log (commit records plus merged
+    /// split-key delta records).
+    pub log_records: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub log_bytes: AtomicU64,
+    /// `fsync` calls issued by the log.
+    pub fsyncs: AtomicU64,
+    /// Group-commit batches flushed (each batch is one fsync covering one or
+    /// more commit records).
+    pub group_commit_batches: AtomicU64,
+    /// Log records replayed into this engine during crash recovery.
+    pub recovered_txns: AtomicU64,
 }
 
 impl EngineStats {
@@ -71,6 +83,28 @@ impl EngineStats {
             split_records: self.split_records.load(Ordering::Relaxed),
             total_splits: self.total_splits.load(Ordering::Relaxed),
             total_unsplits: self.total_unsplits.load(Ordering::Relaxed),
+            log_records: self.log_records.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            recovered_txns: self.recovered_txns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds a [`crate::engine::LogReceipt`] returned by a
+    /// [`crate::engine::CommitSink`] into the WAL counters.
+    pub fn absorb_log(&self, receipt: &crate::engine::LogReceipt) {
+        if receipt.records != 0 {
+            Self::add(&self.log_records, receipt.records);
+        }
+        if receipt.bytes != 0 {
+            Self::add(&self.log_bytes, receipt.bytes);
+        }
+        if receipt.fsyncs != 0 {
+            Self::add(&self.fsyncs, receipt.fsyncs);
+        }
+        if receipt.batches != 0 {
+            Self::add(&self.group_commit_batches, receipt.batches);
         }
     }
 }
@@ -102,6 +136,16 @@ pub struct StatsSnapshot {
     pub total_splits: u64,
     /// See [`EngineStats::total_unsplits`].
     pub total_unsplits: u64,
+    /// See [`EngineStats::log_records`].
+    pub log_records: u64,
+    /// See [`EngineStats::log_bytes`].
+    pub log_bytes: u64,
+    /// See [`EngineStats::fsyncs`].
+    pub fsyncs: u64,
+    /// See [`EngineStats::group_commit_batches`].
+    pub group_commit_batches: u64,
+    /// See [`EngineStats::recovered_txns`].
+    pub recovered_txns: u64,
 }
 
 impl StatsSnapshot {
@@ -135,6 +179,11 @@ impl StatsSnapshot {
             split_records: self.split_records,
             total_splits: self.total_splits - earlier.total_splits,
             total_unsplits: self.total_unsplits - earlier.total_unsplits,
+            log_records: self.log_records - earlier.log_records,
+            log_bytes: self.log_bytes - earlier.log_bytes,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
+            recovered_txns: self.recovered_txns - earlier.recovered_txns,
         }
     }
 }
@@ -159,6 +208,29 @@ mod tests {
     #[test]
     fn abort_rate_zero_when_idle() {
         assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_log_folds_receipts() {
+        let s = EngineStats::new();
+        s.absorb_log(&crate::engine::LogReceipt { records: 3, bytes: 120, fsyncs: 1, batches: 1 });
+        s.absorb_log(&crate::engine::LogReceipt { records: 1, bytes: 40, fsyncs: 0, batches: 0 });
+        let snap = s.snapshot();
+        assert_eq!(snap.log_records, 4);
+        assert_eq!(snap.log_bytes, 160);
+        assert_eq!(snap.fsyncs, 1);
+        assert_eq!(snap.group_commit_batches, 1);
+        assert_eq!(snap.recovered_txns, 0);
+    }
+
+    #[test]
+    fn delta_covers_log_counters() {
+        let a = StatsSnapshot { log_records: 5, log_bytes: 100, fsyncs: 2, ..Default::default() };
+        let b = StatsSnapshot { log_records: 9, log_bytes: 260, fsyncs: 3, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.log_records, 4);
+        assert_eq!(d.log_bytes, 160);
+        assert_eq!(d.fsyncs, 1);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use crate::phase::Phase;
 use crate::shared::DoppelShared;
 use crate::worker::DoppelWorker;
 use doppel_common::{
-    CoreId, DoppelConfig, Engine, Key, OpKind, StatsSnapshot, TxHandle, Value,
+    CommitSink, CoreId, DoppelConfig, Engine, EngineStats, Key, OpKind, StatsSnapshot, TxHandle,
+    Value,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -198,6 +199,29 @@ impl Engine for DoppelDb {
         if let Some(handle) = self.coordinator.lock().take() {
             let _ = handle.join();
         }
+        // Make everything logged so far durable. Note that split-phase
+        // acknowledgements whose merged deltas have not been reconciled yet
+        // are *not* on disk; workers reconcile in their `Drop`, so dropping
+        // the handles before the database makes the final state durable.
+        if let Some(sink) = self.shared.commit_sink() {
+            self.shared.stats.absorb_log(&sink.sync());
+        }
+    }
+
+    fn attach_commit_sink(&self, sink: std::sync::Arc<dyn CommitSink>) {
+        *self.shared.wal.write() = Some(sink);
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(Key, &Value)) {
+        self.shared.store.for_each(|k, r| {
+            if let Some(v) = r.read_unlocked() {
+                f(*k, &v);
+            }
+        });
+    }
+
+    fn note_recovered(&self, records: u64) {
+        EngineStats::add(&self.shared.stats.recovered_txns, records);
     }
 }
 
@@ -383,6 +407,81 @@ mod tests {
         db.request_phase(Phase::Joined);
         w.safepoint();
         assert_eq!(db.global_get(Key::raw(1)), Some(Value::Int(20)));
+    }
+
+    type LoggedCommit = (doppel_common::Tid, Vec<(Key, doppel_common::Op)>);
+
+    /// In-memory [`CommitSink`] recording what the engine would have logged.
+    #[derive(Default)]
+    struct RecordingSink {
+        commits: parking_lot::Mutex<Vec<LoggedCommit>>,
+        deltas: parking_lot::Mutex<Vec<(Key, Vec<doppel_common::Op>)>>,
+    }
+
+    impl CommitSink for RecordingSink {
+        fn log_commit(
+            &self,
+            tid: doppel_common::Tid,
+            writes: &[(Key, doppel_common::Op)],
+        ) -> doppel_common::LogReceipt {
+            if writes.is_empty() {
+                return doppel_common::LogReceipt::default();
+            }
+            self.commits.lock().push((tid, writes.to_vec()));
+            doppel_common::LogReceipt { records: 1, bytes: 1, ..Default::default() }
+        }
+
+        fn log_merged_delta(
+            &self,
+            _tid: doppel_common::Tid,
+            key: Key,
+            ops: &[doppel_common::Op],
+        ) -> doppel_common::LogReceipt {
+            self.deltas.lock().push((key, ops.to_vec()));
+            doppel_common::LogReceipt { records: 1, bytes: 1, ..Default::default() }
+        }
+
+        fn sync(&self) -> doppel_common::LogReceipt {
+            doppel_common::LogReceipt::default()
+        }
+    }
+
+    #[test]
+    fn split_phase_logs_one_merged_delta_per_key_not_per_op() {
+        let db = DoppelDb::new(manual_config());
+        let sink = Arc::new(RecordingSink::default());
+        db.attach_commit_sink(sink.clone());
+        db.load(Key::raw(5), Value::Int(0));
+        db.load(Key::raw(6), Value::Int(0));
+        db.label_split(Key::raw(5), OpKind::Add);
+        db.label_split(Key::raw(6), OpKind::Add);
+        let mut w = db.handle(0);
+
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        // 100 split-phase increments across the two split keys: none are
+        // logged individually.
+        for i in 0..100u64 {
+            assert!(w.execute(incr(5 + (i % 2), 1)).is_committed());
+        }
+        assert_eq!(sink.commits.lock().len(), 0, "slice ops must not log per-operation");
+        assert_eq!(db.stats().slice_ops, 100);
+
+        // Reconciliation emits exactly one merged-delta record per split key.
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+        let deltas = sink.deltas.lock();
+        assert_eq!(deltas.len(), 2, "one record per split key per reconciliation");
+        for (key, ops) in deltas.iter() {
+            assert_eq!(ops, &vec![doppel_common::Op::Add(50)], "merged delta for {key}");
+        }
+        drop(deltas);
+        assert_eq!(db.stats().log_records, 2);
+
+        // Joined-phase commits log conventionally.
+        assert!(w.execute(incr(5, 1)).is_committed());
+        assert_eq!(sink.commits.lock().len(), 1);
+        assert_eq!(db.global_get(Key::raw(5)), Some(Value::Int(51)));
     }
 
     #[test]

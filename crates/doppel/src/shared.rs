@@ -3,10 +3,11 @@
 use crate::classify::{Classifier, PhaseSample, WorkerSample};
 use crate::phase::{Phase, PhaseState};
 use crate::split_registry::SplitRegistry;
-use doppel_common::{DoppelConfig, EngineStats};
+use doppel_common::{CommitSink, DoppelConfig, EngineStats};
 use doppel_store::Store;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything a Doppel worker or coordinator needs to reach through one
 /// `Arc`.
@@ -36,6 +37,10 @@ pub struct DoppelShared {
     pub phase_stashed: AtomicU64,
     /// Set once at shutdown; all wait loops observe it.
     pub shutdown: AtomicBool,
+    /// The durability sink, when attached: joined-phase commits log their
+    /// write sets through it, and reconciling workers log one merged delta
+    /// per split key. `None` keeps the engine volatile (the default).
+    pub wal: RwLock<Option<Arc<dyn CommitSink>>>,
 }
 
 impl DoppelShared {
@@ -54,8 +59,15 @@ impl DoppelShared {
             phase_committed: AtomicU64::new(0),
             phase_stashed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            wal: RwLock::new(None),
             config,
         }
+    }
+
+    /// The attached durability sink, if any (a cheap read-lock + Arc clone;
+    /// workers call this once per transaction / reconciliation).
+    pub fn commit_sink(&self) -> Option<Arc<dyn CommitSink>> {
+        self.wal.read().clone()
     }
 
     /// True once shutdown has been requested.

@@ -90,6 +90,18 @@ impl<'s> DoppelTx<'s> {
         self.occ.commit(tid_gen)
     }
 
+    /// [`DoppelTx::commit_occ`] with write-ahead logging of the reconciled
+    /// write set. Split writes are deliberately **not** logged here — they
+    /// become merged-delta records at reconciliation (the paper's O(split
+    /// keys) logging fast path).
+    pub fn commit_occ_durable(
+        &mut self,
+        tid_gen: &mut TidGenerator,
+        sink: Option<&dyn doppel_common::CommitSink>,
+    ) -> Result<(Tid, doppel_common::LogReceipt), TxError> {
+        self.occ.commit_durable(tid_gen, sink)
+    }
+
     /// Takes the buffered split writes (to apply to per-core slices after a
     /// successful OCC commit).
     pub fn take_split_writes(&mut self) -> Vec<(Key, Op)> {

@@ -18,8 +18,8 @@ use crate::slices::Slice;
 use crate::split_registry::SplitSet;
 use crate::txn::DoppelTx;
 use doppel_common::{
-    Completion, CoreId, EngineStats, Key, Outcome, Procedure, Ticket, TidGenerator, TxError,
-    TxHandle,
+    CommitSink, Completion, CoreId, EngineStats, Key, Outcome, Procedure, Ticket, TidGenerator,
+    TxError, TxHandle,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
@@ -49,6 +49,10 @@ pub struct DoppelWorker {
     next_ticket: u64,
     /// xorshift state for conflict sampling.
     rng_state: u64,
+    /// Durability sink, captured at worker creation so neither the commit
+    /// path nor reconciliation reads the shared sink cell (attach the sink
+    /// before creating handles).
+    sink: Option<Arc<dyn CommitSink>>,
 }
 
 impl DoppelWorker {
@@ -67,6 +71,7 @@ impl DoppelWorker {
             completions: Vec::new(),
             next_ticket: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15 ^ ((core as u64 + 1) << 17),
+            sink: shared.commit_sink(),
             shared,
         }
     }
@@ -129,8 +134,9 @@ impl DoppelWorker {
         if let Err(e) = proc.run(&mut tx) {
             return self.handle_body_error(&tx, e);
         }
-        match tx.commit_occ(&mut self.tid_gen) {
-            Ok(tid) => {
+        match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
+            Ok((tid, receipt)) => {
+                self.shared.stats.absorb_log(&receipt);
                 self.record_commit();
                 Outcome::Committed(tid)
             }
@@ -155,8 +161,16 @@ impl DoppelWorker {
             }
             return self.handle_body_error(&tx, e);
         }
-        match tx.commit_occ(&mut self.tid_gen) {
-            Ok(tid) => {
+        // The OCC (reconciled) part of the write set logs conventionally;
+        // split writes are not logged per-operation — each worker emits one
+        // merged-delta record per split key at reconciliation instead. A
+        // mixed transaction therefore becomes durable in two pieces: its
+        // reconciled writes at commit, its split writes when the next
+        // reconciliation's delta records reach disk (see the "Durability"
+        // section of the README for the contract).
+        match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
+            Ok((tid, receipt)) => {
+                self.shared.stats.absorb_log(&receipt);
                 // Apply the split write set to the per-core slices (Figure 3,
                 // part 3). Slices are invisible to other cores, so no locks
                 // or version checks are needed.
@@ -201,6 +215,14 @@ impl DoppelWorker {
     /// Merges this worker's slices into the global store (Figure 4): for
     /// every slice, lock the global record, merge-apply, bump the TID and
     /// unlock. Called while acknowledging a split→joined transition.
+    ///
+    /// Durability rides on this step: with a commit sink attached, the worker
+    /// appends **one merged-delta record per split key** — not one record per
+    /// split-phase operation — while still holding the record lock. This is
+    /// the paper's durability dividend: split-phase logging costs O(split
+    /// keys) records per phase instead of O(operations), and split-phase
+    /// commit acknowledgements become durable when their reconciliation
+    /// deltas reach disk.
     fn reconcile(&mut self) {
         if self.slices.is_empty() {
             return;
@@ -221,6 +243,10 @@ impl DoppelWorker {
                 let _ = record.apply_locked(op);
             }
             let tid = self.tid_gen.next_after([record.tid()]);
+            if let Some(sink) = &self.sink {
+                let receipt = sink.log_merged_delta(tid, key, &merge_ops);
+                self.shared.stats.absorb_log(&receipt);
+            }
             record.publish_and_unlock(tid);
             EngineStats::bump(&self.shared.stats.slices_merged);
         }

@@ -6,23 +6,35 @@
 
 use crate::tx::OccTx;
 use doppel_common::{
-    Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot, TidGenerator,
-    TxError, TxHandle, Value,
+    CommitSink, Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot,
+    TidGenerator, TxError, TxHandle, Value,
 };
 use doppel_store::Store;
+use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// The engine-side half of commit-hook plumbing, shared by the baseline
+/// engines: a sink cell handles read on every commit (a cheap read lock) so
+/// attaching durability requires no handle rebuild.
+type SinkCell = Arc<RwLock<Option<Arc<dyn CommitSink>>>>;
 
 /// Shared state of the OCC engine.
 pub struct OccEngine {
     store: Arc<Store>,
     stats: Arc<EngineStats>,
+    sink: SinkCell,
     workers: usize,
 }
 
 impl OccEngine {
     /// Creates an engine with `workers` workers and `shards` store shards.
     pub fn new(workers: usize, shards: usize) -> Self {
-        OccEngine { store: Arc::new(Store::new(shards)), stats: Arc::new(EngineStats::new()), workers }
+        OccEngine {
+            store: Arc::new(Store::new(shards)),
+            stats: Arc::new(EngineStats::new()),
+            sink: Arc::new(RwLock::new(None)),
+            workers,
+        }
     }
 
     /// The underlying store (for tests and invariant checks).
@@ -46,6 +58,10 @@ impl Engine for OccEngine {
             core,
             store: Arc::clone(&self.store),
             stats: Arc::clone(&self.stats),
+            // Captured once: per-commit sink-cell reads would put a shared
+            // atomic RMW in every worker's commit path (this is why attach
+            // must precede handle creation).
+            sink: self.sink.read().clone(),
             tid_gen: TidGenerator::new(core),
         })
     }
@@ -61,6 +77,29 @@ impl Engine for OccEngine {
     fn load(&self, k: Key, v: Value) {
         self.store.load(k, v);
     }
+
+    fn attach_commit_sink(&self, sink: Arc<dyn CommitSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(Key, &Value)) {
+        self.store.for_each(|k, r| {
+            if let Some(v) = r.read_unlocked() {
+                f(*k, &v);
+            }
+        });
+    }
+
+    fn note_recovered(&self, records: u64) {
+        EngineStats::add(&self.stats.recovered_txns, records);
+    }
+
+    fn shutdown(&self) {
+        // Make everything logged so far durable before the engine goes away.
+        if let Some(sink) = self.sink.read().as_ref() {
+            self.stats.absorb_log(&sink.sync());
+        }
+    }
 }
 
 /// Per-worker OCC execution handle.
@@ -68,6 +107,7 @@ pub struct OccHandle {
     core: CoreId,
     store: Arc<Store>,
     stats: Arc<EngineStats>,
+    sink: Option<Arc<dyn CommitSink>>,
     tid_gen: TidGenerator,
 }
 
@@ -84,8 +124,9 @@ impl OccHandle {
                 return Outcome::Aborted(e);
             }
         }
-        match tx.commit(&mut self.tid_gen) {
-            Ok(tid) => {
+        match tx.commit_durable(&mut self.tid_gen, self.sink.as_deref()) {
+            Ok((tid, receipt)) => {
+                self.stats.absorb_log(&receipt);
                 EngineStats::bump(&self.stats.commits);
                 Outcome::Committed(tid)
             }

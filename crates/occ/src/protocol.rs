@@ -6,7 +6,7 @@
 //! split-write-set application that Doppel performs afterwards).
 
 use crate::rwsets::{ReadSet, WriteSet};
-use doppel_common::{Tid, TidGenerator, TxError};
+use doppel_common::{CommitSink, Key, LogReceipt, Op, Tid, TidGenerator, TxError};
 
 /// Runs the three-part OCC commit protocol over the given read and write
 /// sets, returning the commit TID on success.
@@ -28,6 +28,20 @@ pub fn commit(
     write_set: &mut WriteSet,
     tid_gen: &mut TidGenerator,
 ) -> Result<Tid, TxError> {
+    commit_durable(read_set, write_set, tid_gen, None).map(|(tid, _)| tid)
+}
+
+/// [`commit`] with write-ahead logging: when `sink` is given, the write set
+/// is logged **while the write locks are still held** — after validation and
+/// value application, before TID publication — so the log's append order is
+/// a valid serialization order (two conflicting transactions cannot log in
+/// the opposite order of their TIDs).
+pub fn commit_durable(
+    read_set: &ReadSet,
+    write_set: &mut WriteSet,
+    tid_gen: &mut TidGenerator,
+    sink: Option<&dyn CommitSink>,
+) -> Result<(Tid, LogReceipt), TxError> {
     // Part 1: lock the write set in key order to prevent deadlock.
     write_set.sort();
     let entries = write_set.entries();
@@ -60,24 +74,56 @@ pub fn commit(
     }
 
     // Part 3: apply writes, publish the TID, release the locks.
-    for entry in write_set.entries() {
-        if let Err(e) = entry.record.apply_and_unlock(&entry.op, commit_tid) {
-            // A type mismatch surfaced at apply time: the record's lock has
-            // already been released by `apply_and_unlock`; release the
-            // remaining locks and surface the error. Records already applied
-            // stay applied — this mirrors a partial failure that the paper's
-            // model excludes (procedures are type-checked by construction),
-            // but the library must not deadlock on malformed input.
-            let failed_key = entry.key;
-            for later in write_set.entries() {
-                if later.key != failed_key && later.record.is_locked() {
-                    later.record.unlock();
+    match sink {
+        None => {
+            for entry in write_set.entries() {
+                if let Err(e) = entry.record.apply_and_unlock(&entry.op, commit_tid) {
+                    // A type mismatch surfaced at apply time: the record's
+                    // lock has already been released by `apply_and_unlock`;
+                    // release the remaining locks and surface the error.
+                    // Records already applied stay applied — this mirrors a
+                    // partial failure that the paper's model excludes
+                    // (procedures are type-checked by construction), but the
+                    // library must not deadlock on malformed input.
+                    let failed_key = entry.key;
+                    for later in write_set.entries() {
+                        if later.key != failed_key && later.record.is_locked() {
+                            later.record.unlock();
+                        }
+                    }
+                    return Err(e);
                 }
             }
-            return Err(e);
+            Ok((commit_tid, LogReceipt::default()))
+        }
+        Some(sink) => {
+            // Durable variant: apply while keeping the locks, log the write
+            // set, then publish + unlock. Log order therefore matches the
+            // serialization order of conflicting transactions.
+            for (i, entry) in write_set.entries().iter().enumerate() {
+                if let Err(e) = entry.record.apply_locked(&entry.op) {
+                    // Nothing was logged: unlock everything and surface the
+                    // error (records before `i` keep their applied values,
+                    // exactly like the volatile path above).
+                    for (j, other) in write_set.entries().iter().enumerate() {
+                        if j < i {
+                            other.record.publish_and_unlock(commit_tid);
+                        } else if other.record.is_locked() {
+                            other.record.unlock();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+            let writes: Vec<(Key, Op)> =
+                write_set.entries().iter().map(|e| (e.key, e.op.clone())).collect();
+            let receipt = sink.log_commit(commit_tid, &writes);
+            for entry in write_set.entries() {
+                entry.record.publish_and_unlock(commit_tid);
+            }
+            Ok((commit_tid, receipt))
         }
     }
-    Ok(commit_tid)
 }
 
 #[cfg(test)]

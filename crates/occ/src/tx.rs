@@ -102,6 +102,16 @@ impl<'s> OccTx<'s> {
     pub fn commit(&mut self, tid_gen: &mut doppel_common::TidGenerator) -> Result<Tid, TxError> {
         crate::protocol::commit(&self.read_set, &mut self.write_set, tid_gen)
     }
+
+    /// [`OccTx::commit`] with write-ahead logging: the committed write set is
+    /// appended to `sink` while the record locks are held.
+    pub fn commit_durable(
+        &mut self,
+        tid_gen: &mut doppel_common::TidGenerator,
+        sink: Option<&dyn doppel_common::CommitSink>,
+    ) -> Result<(Tid, doppel_common::LogReceipt), TxError> {
+        crate::protocol::commit_durable(&self.read_set, &mut self.write_set, tid_gen, sink)
+    }
 }
 
 impl doppel_common::Tx for OccTx<'_> {

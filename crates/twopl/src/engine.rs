@@ -3,18 +3,22 @@
 use crate::lock_manager::LockManager;
 use crate::tx::TwoplTx;
 use doppel_common::{
-    Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot, TidGenerator,
-    TxError, TxHandle, Value,
+    CommitSink, Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot,
+    TidGenerator, TxError, TxHandle, Value,
 };
 use doppel_store::Store;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+type SinkCell = Arc<RwLock<Option<Arc<dyn CommitSink>>>>;
 
 /// Shared state of the 2PL engine.
 pub struct TwoplEngine {
     store: Arc<Store>,
     locks: Arc<LockManager>,
     stats: Arc<EngineStats>,
+    sink: SinkCell,
     next_ts: Arc<AtomicU64>,
     workers: usize,
 }
@@ -26,6 +30,7 @@ impl TwoplEngine {
             store: Arc::new(Store::new(shards)),
             locks: Arc::new(LockManager::new(shards)),
             stats: Arc::new(EngineStats::new()),
+            sink: Arc::new(RwLock::new(None)),
             next_ts: Arc::new(AtomicU64::new(1)),
             workers,
         }
@@ -53,6 +58,9 @@ impl Engine for TwoplEngine {
             store: Arc::clone(&self.store),
             locks: Arc::clone(&self.locks),
             stats: Arc::clone(&self.stats),
+            // Captured once so the commit path carries no shared sink-cell
+            // read (attach must precede handle creation).
+            sink: self.sink.read().clone(),
             next_ts: Arc::clone(&self.next_ts),
             tid_gen: TidGenerator::new(core),
         })
@@ -69,6 +77,28 @@ impl Engine for TwoplEngine {
     fn load(&self, k: Key, v: Value) {
         self.store.load(k, v);
     }
+
+    fn attach_commit_sink(&self, sink: Arc<dyn CommitSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(Key, &Value)) {
+        self.store.for_each(|k, r| {
+            if let Some(v) = r.read_unlocked() {
+                f(*k, &v);
+            }
+        });
+    }
+
+    fn note_recovered(&self, records: u64) {
+        EngineStats::add(&self.stats.recovered_txns, records);
+    }
+
+    fn shutdown(&self) {
+        if let Some(sink) = self.sink.read().as_ref() {
+            self.stats.absorb_log(&sink.sync());
+        }
+    }
 }
 
 /// Per-worker 2PL execution handle.
@@ -77,6 +107,7 @@ pub struct TwoplHandle {
     store: Arc<Store>,
     locks: Arc<LockManager>,
     stats: Arc<EngineStats>,
+    sink: Option<Arc<dyn CommitSink>>,
     next_ts: Arc<AtomicU64>,
     tid_gen: TidGenerator,
 }
@@ -97,8 +128,9 @@ impl TxHandle for TwoplHandle {
             let mut tx = TwoplTx::new(&self.store, &self.locks, self.core, ts);
             let run = proc.run(&mut tx);
             match run {
-                Ok(()) => match tx.commit(&mut self.tid_gen) {
-                    Ok(tid) => {
+                Ok(()) => match tx.commit_durable(&mut self.tid_gen, self.sink.as_deref()) {
+                    Ok((tid, receipt)) => {
+                        self.stats.absorb_log(&receipt);
                         EngineStats::bump(&self.stats.commits);
                         return Outcome::Committed(tid);
                     }

@@ -75,6 +75,17 @@ impl<'s> TwoplTx<'s> {
     /// Applies the buffered writes (under the exclusive locks acquired during
     /// the growing phase), bumps record TIDs and releases all locks.
     pub fn commit(&mut self, tid_gen: &mut TidGenerator) -> Result<Tid, TxError> {
+        self.commit_durable(tid_gen, None).map(|(tid, _)| tid)
+    }
+
+    /// [`TwoplTx::commit`] with write-ahead logging: when `sink` is given,
+    /// the write set is appended **before** the logical locks are released,
+    /// so two conflicting transactions log in their serialization order.
+    pub fn commit_durable(
+        &mut self,
+        tid_gen: &mut TidGenerator,
+        sink: Option<&dyn doppel_common::CommitSink>,
+    ) -> Result<(Tid, doppel_common::LogReceipt), TxError> {
         let commit_tid = tid_gen.next();
         for key in &self.write_order {
             let op = &self.writes[key];
@@ -92,8 +103,16 @@ impl<'s> TwoplTx<'s> {
                 }
             }
         }
+        let receipt = match sink {
+            Some(sink) if !self.write_order.is_empty() => {
+                let writes: Vec<(Key, Op)> =
+                    self.write_order.iter().map(|k| (*k, self.writes[k].clone())).collect();
+                sink.log_commit(commit_tid, &writes)
+            }
+            _ => doppel_common::LogReceipt::default(),
+        };
         self.release();
-        Ok(commit_tid)
+        Ok((commit_tid, receipt))
     }
 }
 

@@ -1,0 +1,220 @@
+//! Checkpoints: a consistent snapshot of the store plus the log offset it
+//! covers, so recovery replays only the log tail.
+//!
+//! File layout (one file per checkpoint, `checkpoint-<seq>.ckpt`):
+//!
+//! ```text
+//! [magic "DPLCKP01"] [body_len: u64 LE] [crc32(body): u32 LE] [body]
+//! body = [seq: u64] [log_offset: u64] [count: u64] [count × (key, value)]
+//! ```
+//!
+//! Checkpoints are written to a temporary file and renamed into place, so a
+//! crash mid-checkpoint leaves either the previous checkpoint or a garbage
+//! temp file — never a half-valid `.ckpt`. Recovery additionally validates
+//! the CRC and falls back to the next-newest checkpoint when the newest one
+//! is unreadable.
+
+use crate::codec::{decode_key, decode_value, encode_key, encode_value, put_u64, Dec};
+use crate::crc::crc32;
+use crate::log::WalError;
+use doppel_common::{Engine, Key, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const CKPT_MAGIC: &[u8; 8] = b"DPLCKP01";
+
+/// A loaded checkpoint.
+pub struct Checkpoint {
+    /// Monotonic checkpoint sequence number (newest wins).
+    pub seq: u64,
+    /// Log offset at the moment the checkpoint was taken: recovery replays
+    /// records from here on.
+    pub log_offset: u64,
+    /// The snapshotted records.
+    pub records: Vec<(Key, Value)>,
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq}.ckpt"))
+}
+
+/// Lists `(seq, path)` of every checkpoint file in `dir`, newest first.
+fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut found = Vec::new();
+    if !dir.exists() {
+        return Ok(found);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+    Ok(found)
+}
+
+/// Writes checkpoint `seq` covering the log up to `log_offset`.
+///
+/// Prunes checkpoints older than the previous one (at most two are kept: the
+/// new one, and one fallback in case the new file is later found corrupt).
+pub fn write(
+    dir: &Path,
+    seq: u64,
+    log_offset: u64,
+    records: &[(Key, Value)],
+) -> Result<PathBuf, WalError> {
+    let mut body = Vec::with_capacity(24 + records.len() * 32);
+    put_u64(&mut body, seq);
+    put_u64(&mut body, log_offset);
+    put_u64(&mut body, records.len() as u64);
+    for (k, v) in records {
+        encode_key(&mut body, *k);
+        encode_value(&mut body, v);
+    }
+
+    let tmp = dir.join(format!("checkpoint-{seq}.ckpt.tmp"));
+    let path = checkpoint_path(dir, seq);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(CKPT_MAGIC)?;
+        f.write_all(&(body.len() as u64).to_le_bytes())?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.write_all(&body)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+
+    // Prune everything older than the immediate predecessor.
+    for (old_seq, old_path) in list(dir)?.into_iter().skip(2) {
+        debug_assert!(old_seq < seq);
+        let _ = std::fs::remove_file(old_path);
+    }
+    Ok(path)
+}
+
+fn load_file(path: &Path) -> Result<Checkpoint, WalError> {
+    let mut bytes = Vec::new();
+    OpenOptions::new().read(true).open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 20 || &bytes[..8] != CKPT_MAGIC {
+        return Err(WalError::Corrupt("checkpoint magic"));
+    }
+    let body_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if bytes.len() - 20 < body_len {
+        return Err(WalError::Corrupt("checkpoint truncated"));
+    }
+    let body = &bytes[20..20 + body_len];
+    if crc32(body) != crc {
+        return Err(WalError::Corrupt("checkpoint crc mismatch"));
+    }
+    let mut d = Dec::new(body);
+    let seq = d.u64().map_err(|_| WalError::Corrupt("checkpoint seq"))?;
+    let log_offset = d.u64().map_err(|_| WalError::Corrupt("checkpoint offset"))?;
+    let count = d.u64().map_err(|_| WalError::Corrupt("checkpoint count"))?;
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let k = decode_key(&mut d).map_err(|_| WalError::Corrupt("checkpoint key"))?;
+        let v = decode_value(&mut d).map_err(|_| WalError::Corrupt("checkpoint value"))?;
+        records.push((k, v));
+    }
+    Ok(Checkpoint { seq, log_offset, records })
+}
+
+/// Loads the newest checkpoint that validates; a corrupt newest checkpoint
+/// (crash during `write`'s rename window, disk rot) falls back to the next.
+pub fn load_newest(dir: &Path) -> Result<Option<Checkpoint>, WalError> {
+    for (_, path) in list(dir)? {
+        if let Ok(ckpt) = load_file(&path) {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+/// The next unused checkpoint sequence number in `dir`.
+pub fn next_seq(dir: &Path) -> Result<u64, WalError> {
+    Ok(list(dir)?.first().map(|(seq, _)| seq + 1).unwrap_or(1))
+}
+
+/// Takes a checkpoint of a quiescent engine through
+/// [`Engine::for_each_record`] (which every store-backed engine implements
+/// via `Store::for_each`), covering the log up to `log_offset`.
+pub fn checkpoint_engine(
+    dir: &Path,
+    engine: &dyn Engine,
+    log_offset: u64,
+) -> Result<u64, WalError> {
+    let mut records = Vec::new();
+    engine.for_each_record(&mut |k, v| records.push((k, v.clone())));
+    let seq = next_seq(dir)?;
+    write(dir, seq, log_offset, &records)?;
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempWalDir;
+
+    fn entries(n: u64) -> Vec<(Key, Value)> {
+        (0..n).map(|i| (Key::raw(i), Value::Int(i as i64 * 10))).collect()
+    }
+
+    #[test]
+    fn write_and_load_roundtrip() {
+        let dir = TempWalDir::new("ckpt-roundtrip");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        write(dir.path(), 1, 99, &entries(50)).unwrap();
+        let c = load_newest(dir.path()).unwrap().unwrap();
+        assert_eq!(c.seq, 1);
+        assert_eq!(c.log_offset, 99);
+        assert_eq!(c.records.len(), 50);
+        assert_eq!(c.records.iter().find(|(k, _)| *k == Key::raw(7)).unwrap().1, Value::Int(70));
+    }
+
+    #[test]
+    fn newest_valid_checkpoint_wins_and_corrupt_falls_back() {
+        let dir = TempWalDir::new("ckpt-newest");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        write(dir.path(), 1, 10, &entries(1)).unwrap();
+        write(dir.path(), 2, 20, &entries(2)).unwrap();
+        assert_eq!(load_newest(dir.path()).unwrap().unwrap().seq, 2);
+        assert_eq!(next_seq(dir.path()).unwrap(), 3);
+
+        // Corrupt the newest: recovery falls back to seq 1.
+        let p2 = checkpoint_path(dir.path(), 2);
+        let mut bytes = std::fs::read(&p2).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&p2, &bytes).unwrap();
+        let c = load_newest(dir.path()).unwrap().unwrap();
+        assert_eq!(c.seq, 1);
+        assert_eq!(c.log_offset, 10);
+    }
+
+    #[test]
+    fn pruning_keeps_two_checkpoints() {
+        let dir = TempWalDir::new("ckpt-prune");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        for seq in 1..=5 {
+            write(dir.path(), seq, seq * 7, &entries(seq)).unwrap();
+        }
+        let remaining = list(dir.path()).unwrap();
+        assert_eq!(remaining.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![5, 4]);
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = TempWalDir::new("ckpt-empty");
+        assert!(load_newest(dir.path()).unwrap().is_none());
+        assert_eq!(next_seq(dir.path()).unwrap(), 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! The append-only write-ahead log with group commit and crash injection.
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic "DPLWAL01"]                                  8 bytes, once
+//! repeated records:
+//!   [len: u32 LE] [crc32(payload): u32 LE] [payload]  8 + len bytes
+//! ```
+//!
+//! A record's payload starts with a kind byte:
+//!
+//! * `0x01` **commit** — `tid: u64`, `n: u32`, then `n × (key, op)`: one
+//!   conventionally committed transaction's write set.
+//! * `0x02` **merged delta** — `tid: u64`, `key`, `n: u32`, then `n × op`:
+//!   one split key's per-worker merged delta, emitted at reconciliation.
+//!   This is the paper-faithful fast path: O(split keys) records per phase
+//!   instead of O(operations).
+//!
+//! **Group commit**: appends are buffered; the batch is flushed and fsynced
+//! once [`DurabilityConfig::group_commit_batch`] records have accumulated or
+//! [`DurabilityConfig::group_commit_interval`] has elapsed since the last
+//! fsync, whichever comes first. A record is *durable* only once its batch
+//! has been fsynced ([`Wal::durable_lsn`]).
+//!
+//! **Crash injection**: when [`DurabilityConfig::crash_at_byte`] is set, the
+//! log writes up to exactly that file offset and then behaves like a machine
+//! that lost power — the tail of the in-flight batch is torn, nothing later
+//! is ever written, and every subsequent call is a silent no-op. Recovery
+//! must cope with the torn record this leaves behind; the crash-injection
+//! test suites drive exactly that path.
+
+use crate::codec::{encode_key, encode_op, put_u32, put_u64, put_u8};
+use crate::crc::crc32;
+use crate::recover::scan_valid_prefix;
+use doppel_common::{CommitSink, DurabilityConfig, Key, LogReceipt, Op, Tid};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The log file's magic prefix (also the format version).
+pub const LOG_MAGIC: &[u8; 8] = b"DPLWAL01";
+
+/// Name of the log file inside a WAL directory.
+pub const LOG_FILE: &str = "wal.log";
+
+pub(crate) const REC_COMMIT: u8 = 0x01;
+pub(crate) const REC_DELTA: u8 = 0x02;
+
+/// Errors surfaced by the durability subsystem.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Corrupt bytes outside the torn tail (a CRC-valid record that fails to
+    /// decode, or a checkpoint that cannot be parsed).
+    Corrupt(&'static str),
+    /// A decoded record could not be replayed (e.g. a type mismatch against
+    /// the checkpointed value).
+    Replay(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(m) => write!(f, "wal corruption: {m}"),
+            WalError::Replay(m) => write!(f, "wal replay error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+struct WalInner {
+    file: File,
+    /// Bytes durably on disk (flushed + fsynced).
+    durable: u64,
+    /// Logical end: `durable` plus the buffered batch.
+    end: u64,
+    /// The pending group-commit batch (encoded, framed records).
+    buf: Vec<u8>,
+    /// Records in `buf`.
+    pending: u64,
+    last_sync: Instant,
+    /// Crash injection has fired: the "machine" is dead, every call no-ops.
+    crashed: bool,
+}
+
+/// The write-ahead log. Shared by all of an engine's workers through
+/// `Arc<Wal>`; implements [`CommitSink`] so engines depend only on the trait.
+pub struct Wal {
+    cfg: DurabilityConfig,
+    dir: PathBuf,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log inside `dir`.
+    ///
+    /// An existing log is scanned for its valid prefix and truncated at the
+    /// first torn or corrupt record, so a process that crashed mid-write can
+    /// reopen its directory and keep appending.
+    pub fn open(dir: impl AsRef<Path>, cfg: DurabilityConfig) -> Result<Wal, WalError> {
+        cfg.validate().map_err(|_| WalError::Corrupt("invalid durability config"))?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(LOG_FILE);
+        // `truncate(false)`: an existing log is recovered, never clobbered.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+
+        let mut existing = Vec::new();
+        file.read_to_end(&mut existing)?;
+        let valid_end = if existing.is_empty() {
+            file.write_all(LOG_MAGIC)?;
+            file.sync_data()?;
+            LOG_MAGIC.len() as u64
+        } else {
+            if existing.len() < LOG_MAGIC.len() || &existing[..LOG_MAGIC.len()] != LOG_MAGIC {
+                return Err(WalError::Corrupt("log file has wrong magic"));
+            }
+            let (_, valid_end) = scan_valid_prefix(&existing, LOG_MAGIC.len() as u64);
+            valid_end
+        };
+        if valid_end < existing.len() as u64 {
+            file.set_len(valid_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_end))?;
+
+        Ok(Wal {
+            cfg,
+            dir,
+            inner: Mutex::new(WalInner {
+                file,
+                durable: valid_end,
+                end: valid_end,
+                buf: Vec::new(),
+                pending: 0,
+                last_sync: Instant::now(),
+                crashed: false,
+            }),
+        })
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The durability configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.cfg
+    }
+
+    /// Offset up to which the log is durable (flushed and fsynced).
+    pub fn durable_lsn(&self) -> u64 {
+        self.inner.lock().durable
+    }
+
+    /// Logical end of the log, including the buffered (not yet durable)
+    /// group-commit batch.
+    pub fn end_lsn(&self) -> u64 {
+        self.inner.lock().end
+    }
+
+    /// True once crash injection has fired; the log is dead from then on.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Frames `payload` and appends it to the pending batch, flushing if the
+    /// group-commit policy says so.
+    fn append(&self, payload: Vec<u8>) -> LogReceipt {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return LogReceipt::default();
+        }
+        let framed_len = 8 + payload.len() as u64;
+        put_u32(&mut inner.buf, payload.len() as u32);
+        let crc = crc32(&payload);
+        put_u32(&mut inner.buf, crc);
+        inner.buf.extend_from_slice(&payload);
+        inner.pending += 1;
+        inner.end += framed_len;
+
+        let mut receipt = LogReceipt { records: 1, bytes: framed_len, fsyncs: 0, batches: 0 };
+        if inner.pending >= self.cfg.group_commit_batch as u64
+            || inner.last_sync.elapsed() >= self.cfg.group_commit_interval
+        {
+            receipt = receipt.merge(self.flush_locked(&mut inner));
+        }
+        receipt
+    }
+
+    /// Flushes the pending batch: writes it (honouring crash injection) and
+    /// fsyncs. Must be called with the lock held.
+    fn flush_locked(&self, inner: &mut WalInner) -> LogReceipt {
+        if inner.crashed || inner.buf.is_empty() {
+            return LogReceipt::default();
+        }
+        let buf = std::mem::take(&mut inner.buf);
+        inner.pending = 0;
+        inner.last_sync = Instant::now();
+
+        // Crash injection: stop writing at exactly `crash_at_byte`.
+        if let Some(at) = self.cfg.crash_at_byte {
+            let would_end = inner.durable + buf.len() as u64;
+            if would_end > at {
+                let keep = at.saturating_sub(inner.durable) as usize;
+                // Write the torn prefix so the file deterministically ends at
+                // the injected offset, then die. No fsync: the machine is
+                // gone; sync_data here only makes the test file content
+                // deterministic on the simulated "disk".
+                let _ = inner.file.write_all(&buf[..keep]);
+                let _ = inner.file.sync_data();
+                inner.crashed = true;
+                inner.durable = at.min(would_end);
+                inner.end = inner.durable;
+                return LogReceipt::default();
+            }
+        }
+
+        // The happy path: a write failure is treated like a dead disk — the
+        // log goes into the crashed state rather than panicking a worker.
+        if inner.file.write_all(&buf).is_err() || inner.file.sync_data().is_err() {
+            inner.crashed = true;
+            return LogReceipt::default();
+        }
+        inner.durable += buf.len() as u64;
+        LogReceipt { records: 0, bytes: 0, fsyncs: 1, batches: 1 }
+    }
+
+    fn encode_commit(tid: Tid, writes: &[(Key, Op)]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + writes.len() * 32);
+        put_u8(&mut payload, REC_COMMIT);
+        put_u64(&mut payload, tid.raw());
+        put_u32(&mut payload, writes.len() as u32);
+        for (k, op) in writes {
+            encode_key(&mut payload, *k);
+            encode_op(&mut payload, op);
+        }
+        payload
+    }
+
+    fn encode_delta(tid: Tid, key: Key, ops: &[Op]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(32 + ops.len() * 16);
+        put_u8(&mut payload, REC_DELTA);
+        put_u64(&mut payload, tid.raw());
+        encode_key(&mut payload, key);
+        put_u32(&mut payload, ops.len() as u32);
+        for op in ops {
+            encode_op(&mut payload, op);
+        }
+        payload
+    }
+}
+
+impl CommitSink for Wal {
+    fn log_commit(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt {
+        if writes.is_empty() {
+            // Read-only transactions leave no trace: replaying an empty
+            // write set is a no-op, so the record would be pure overhead.
+            return LogReceipt::default();
+        }
+        self.append(Self::encode_commit(tid, writes))
+    }
+
+    fn log_merged_delta(&self, tid: Tid, key: Key, ops: &[Op]) -> LogReceipt {
+        if ops.is_empty() {
+            return LogReceipt::default();
+        }
+        self.append(Self::encode_delta(tid, key, ops))
+    }
+
+    fn sync(&self) -> LogReceipt {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempWalDir;
+    use doppel_common::Value;
+
+    fn tid(n: u64) -> Tid {
+        Tid::from_parts(n, 0)
+    }
+
+    #[test]
+    fn synchronous_appends_are_immediately_durable() {
+        let dir = TempWalDir::new("sync-append");
+        let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+        let r = wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+        assert_eq!(r.records, 1);
+        assert_eq!(r.fsyncs, 1);
+        assert_eq!(r.batches, 1);
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
+        assert!(wal.durable_lsn() > LOG_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn group_commit_batches_multiple_records_per_fsync() {
+        let dir = TempWalDir::new("group-commit");
+        let cfg = DurabilityConfig {
+            group_commit_batch: 4,
+            group_commit_interval: std::time::Duration::from_secs(3600),
+            crash_at_byte: None,
+        };
+        let wal = Wal::open(dir.path(), cfg).unwrap();
+        let mut receipts = LogReceipt::default();
+        for i in 0..4 {
+            receipts = receipts.merge(wal.log_commit(tid(i), &[(Key::raw(i), Op::Add(1))]));
+        }
+        assert_eq!(receipts.records, 4);
+        assert_eq!(receipts.fsyncs, 1, "one fsync covered the whole batch");
+        assert_eq!(receipts.batches, 1);
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
+
+        // A fifth record stays buffered until sync().
+        let r = wal.log_commit(tid(9), &[(Key::raw(9), Op::Add(1))]);
+        assert_eq!(r.fsyncs, 0);
+        assert!(wal.durable_lsn() < wal.end_lsn());
+        let s = wal.sync();
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
+    }
+
+    #[test]
+    fn empty_write_sets_are_not_logged() {
+        let dir = TempWalDir::new("empty-ws");
+        let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+        assert_eq!(wal.log_commit(tid(1), &[]), LogReceipt::default());
+        assert_eq!(wal.log_merged_delta(tid(1), Key::raw(1), &[]), LogReceipt::default());
+        assert_eq!(wal.end_lsn(), LOG_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn crash_injection_tears_the_log_at_the_requested_byte() {
+        let dir = TempWalDir::new("crash-at");
+        let crash_at = LOG_MAGIC.len() as u64 + 20;
+        let cfg = DurabilityConfig { crash_at_byte: Some(crash_at), ..DurabilityConfig::synchronous() };
+        let wal = Wal::open(dir.path(), cfg).unwrap();
+        // One record is bigger than 20 bytes, so the first flush dies.
+        wal.log_commit(tid(1), &[(Key::raw(1), Op::Put(Value::from("some payload")))]);
+        assert!(wal.is_crashed());
+        let on_disk = std::fs::read(dir.path().join(LOG_FILE)).unwrap();
+        assert_eq!(on_disk.len() as u64, crash_at);
+        // Everything after the crash is silently dropped.
+        assert_eq!(wal.log_commit(tid(2), &[(Key::raw(2), Op::Add(1))]), LogReceipt::default());
+        assert_eq!(wal.sync(), LogReceipt::default());
+        assert_eq!(std::fs::read(dir.path().join(LOG_FILE)).unwrap().len() as u64, crash_at);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_appends() {
+        let dir = TempWalDir::new("reopen");
+        {
+            let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+        }
+        // Tear the file by hand: append garbage.
+        let path = dir.path().join(LOG_FILE);
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        drop(f);
+
+        let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+        assert_eq!(wal.durable_lsn(), valid_len, "torn tail trimmed on reopen");
+        wal.log_commit(tid(2), &[(Key::raw(2), Op::Add(1))]);
+        assert!(wal.durable_lsn() > valid_len);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let dir = TempWalDir::new("bad-magic");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        std::fs::write(dir.path().join(LOG_FILE), b"NOTAWAL0rest").unwrap();
+        assert!(matches!(
+            Wal::open(dir.path(), DurabilityConfig::default()),
+            Err(WalError::Corrupt(_))
+        ));
+    }
+}

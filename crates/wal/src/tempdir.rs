@@ -1,0 +1,61 @@
+//! Self-cleaning temporary WAL directories.
+//!
+//! Used by this crate's tests, the workspace crash-recovery suites, the
+//! `recovery` experiment binary and the `durable_counter` example. Paths are
+//! unique per *use site* — process id alone is not enough, because `cargo
+//! test` runs many test binaries (and threads) concurrently and colliding
+//! directories would make crash-recovery assertions flaky.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+pub struct TempWalDir {
+    path: PathBuf,
+}
+
+impl TempWalDir {
+    /// Creates a unique directory path tagged with `name`. The directory
+    /// itself is created lazily by [`crate::Wal::open`] (or by the caller);
+    /// drop removes whatever exists.
+    pub fn new(name: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "doppel-wal-{name}-{}-{id}",
+            std::process::id()
+        ));
+        // A stale directory from a killed previous run must not leak state
+        // into this one.
+        let _ = std::fs::remove_dir_all(&path);
+        TempWalDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempWalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_unique_and_cleaned_up() {
+        let a = TempWalDir::new("unique");
+        let b = TempWalDir::new("unique");
+        assert_ne!(a.path(), b.path());
+        std::fs::create_dir_all(a.path()).unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop removes the directory");
+    }
+}

@@ -5,8 +5,27 @@
 //! (what the binaries print) and as JSON (what `EXPERIMENTS.md` tooling and
 //! tests consume).
 
+use doppel_common::StatsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Column headers for the write-ahead-log counters of a run, matching
+/// [`wal_stat_cells`]. Experiment binaries that run engines in durable mode
+/// splice these into their tables so logging cost and recovery volume are
+/// visible next to throughput.
+pub const WAL_STAT_COLUMNS: &[&str] =
+    &["log_recs", "log_KB", "fsyncs", "gc_batches", "recovered"];
+
+/// The WAL counters of `stats` as one cell per [`WAL_STAT_COLUMNS`] entry.
+pub fn wal_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
+    vec![
+        Cell::Int(stats.log_records as i64),
+        Cell::Float(stats.log_bytes as f64 / 1024.0),
+        Cell::Int(stats.fsyncs as i64),
+        Cell::Int(stats.group_commit_batches as i64),
+        Cell::Int(stats.recovered_txns as i64),
+    ]
+}
 
 /// One table cell.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -1,0 +1,542 @@
+//! Differential crash-recovery property suite.
+//!
+//! The durability invariant under test: **for any injected crash point,
+//! recovery yields exactly the durable prefix of the log** — every record
+//! fully written before the crash byte is recovered, no record is ever
+//! partially applied, and the recovered store equals the model state after
+//! exactly that record prefix. For the baseline engines a record *is* a
+//! transaction, so no partial transaction ever surfaces. For Doppel the
+//! contract is phase-aware (see README "Durability"): a split-phase
+//! transaction's reconciled writes become durable at commit while its split
+//! writes become durable with the next reconciliation's merged-delta record,
+//! so the two pieces are independently durable — the model below
+//! (`doppel_expected_states`) encodes precisely that contract. Verified for
+//! all four engines (OCC, 2PL, Atomic, Doppel) and, in the dedicated
+//! reconciliation test, for every operation registered in the
+//! splittable-operation registry.
+//!
+//! Methodology: each case runs a deterministic single-worker mixed workload
+//! twice against the same WAL configuration — once without a crash (to learn
+//! the log length) and once with [`DurabilityConfig::crash_at_byte`] armed at
+//! a proptest-chosen offset. Because the runs are deterministic, the crashed
+//! log is byte-for-byte a prefix of the clean one, and the number of intact
+//! records tells us exactly which workload prefix must have survived.
+
+use doppel_atomic::AtomicEngine;
+use doppel_common::{
+    DurabilityConfig, Engine, Key, Op, OpKind, OrderKey, Procedure, ProcedureFn, Tx, Value,
+};
+use doppel_db::{DoppelDb, Phase};
+use doppel_occ::OccEngine;
+use doppel_twopl::TwoplEngine;
+use doppel_wal::{recover, recover_into, LogRecord, TempWalDir, Wal};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// Keys 1..=4 hold integers; key 0 is reserved for the split-`Add` counter the
+// Doppel tests use (any *other* operation kind on a split key would stash
+// during split phases, and these workloads are built to always commit).
+const INT_KEY_CHOICES: u64 = 5;
+const SET_KEY: u64 = 5;
+const OPUT_KEY: u64 = 6;
+const TOPK_KEY: u64 = 7;
+
+/// One generated transaction: 1–3 operations, type-consistent per key.
+#[derive(Clone, Debug)]
+struct TxnSpec {
+    ops: Vec<(Key, Op)>,
+}
+
+fn op_for(key_choice: u64, arg: i64, aux: i64) -> (Key, Op) {
+    match key_choice {
+        k if k < INT_KEY_CHOICES => {
+            let key = Key::raw(1 + k % 4);
+            let op = match aux.rem_euclid(4) {
+                0 => Op::Add(arg),
+                1 => Op::Max(arg * 3),
+                2 => Op::BitOr(arg & 0xFF),
+                // Mult is exercised by the per-op reconciliation test below;
+                // here it would overflow across long op sequences.
+                _ => Op::BoundedAdd { n: arg, bound: 400 },
+            };
+            (key, op)
+        }
+        k if k == SET_KEY => (Key::raw(SET_KEY), Op::SetUnion([arg % 32].into_iter().collect())),
+        k if k == OPUT_KEY => (
+            Key::raw(OPUT_KEY),
+            Op::OPut {
+                order: OrderKey::pair(arg, aux),
+                core: 0,
+                payload: format!("p{arg}").into_bytes().into(),
+            },
+        ),
+        _ => (
+            Key::raw(TOPK_KEY),
+            Op::TopKInsert {
+                order: OrderKey::pair(arg, aux),
+                core: 0,
+                payload: format!("t{arg}").into_bytes().into(),
+                k: 4,
+            },
+        ),
+    }
+}
+
+fn arb_txns() -> impl Strategy<Value = Vec<TxnSpec>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..8, 1i64..50, 0i64..100), 1..4),
+        2..14,
+    )
+    .prop_map(|txns| {
+        txns.into_iter()
+            .map(|ops| TxnSpec {
+                ops: ops.into_iter().map(|(k, arg, aux)| op_for(k, arg, aux)).collect(),
+            })
+            .collect()
+    })
+}
+
+fn proc_for(spec: &TxnSpec) -> Arc<dyn Procedure> {
+    let ops = spec.ops.clone();
+    Arc::new(ProcedureFn::new("mixed", move |tx: &mut dyn Tx| {
+        for (k, op) in &ops {
+            tx.write_op(*k, op.clone())?;
+        }
+        Ok(())
+    }))
+}
+
+/// Applies a transaction's operations to a model state via the operations'
+/// own semantics — the ground truth both the engines and replay must match.
+fn model_apply(state: &mut BTreeMap<Key, Value>, ops: &[(Key, Op)]) {
+    for (k, op) in ops {
+        let new = op.apply_to(state.get(k)).expect("model ops are type-consistent");
+        state.insert(*k, new);
+    }
+}
+
+/// The engine's store as a map (absent records excluded).
+fn engine_state(engine: &dyn Engine) -> BTreeMap<Key, Value> {
+    let mut out = BTreeMap::new();
+    engine.for_each_record(&mut |k, v| {
+        out.insert(k, v.clone());
+    });
+    out
+}
+
+enum Baseline {
+    Occ,
+    Twopl,
+    Atomic,
+}
+
+fn build_baseline(which: &Baseline) -> Box<dyn Engine> {
+    match which {
+        Baseline::Occ => Box::new(OccEngine::new(1, 16)),
+        Baseline::Twopl => Box::new(TwoplEngine::new(1, 16)),
+        Baseline::Atomic => Box::new(AtomicEngine::new(1)),
+    }
+}
+
+/// Runs `txns` serially on one worker of a fresh baseline engine with a
+/// synchronous WAL in `dir`; returns the log's end offset.
+fn run_baseline_durable(
+    which: &Baseline,
+    txns: &[TxnSpec],
+    dir: &std::path::Path,
+    crash_at: Option<u64>,
+) -> u64 {
+    let cfg = DurabilityConfig { crash_at_byte: crash_at, ..DurabilityConfig::synchronous() };
+    let wal = Arc::new(Wal::open(dir, cfg).unwrap());
+    let engine = build_baseline(which);
+    engine.attach_commit_sink(wal.clone());
+    let mut handle = engine.handle(0);
+    for spec in txns {
+        let out = handle.execute(proc_for(spec));
+        assert!(out.is_committed(), "serial single-worker txn must commit: {out:?}");
+    }
+    drop(handle);
+    engine.shutdown();
+    wal.end_lsn()
+}
+
+proptest! {
+    /// Prefix consistency for the three baseline engines: crash the log at an
+    /// arbitrary byte, recover, and the recovered store must equal the model
+    /// state after exactly the intact prefix of transactions — group-committed
+    /// transactions are durable, partial transactions never surface.
+    #[test]
+    fn baseline_crash_recovery_is_prefix_consistent(
+        txns in arb_txns(),
+        frac_bp in 0u64..=10_000,
+    ) {
+        for which in [Baseline::Occ, Baseline::Twopl, Baseline::Atomic] {
+            // Pass 1: no crash, to learn the log length.
+            let clean = TempWalDir::new("crash-clean");
+            let full_len = run_baseline_durable(&which, &txns, clean.path(), None);
+            let magic = doppel_wal::LOG_MAGIC.len() as u64;
+            let crash_at = magic + (full_len - magic) * frac_bp / 10_000;
+
+            // Pass 2: same deterministic run, crash injected at `crash_at`.
+            let crashed = TempWalDir::new("crash-injected");
+            run_baseline_durable(&which, &txns, crashed.path(), Some(crash_at));
+
+            // Every intact record is one whole transaction (synchronous group
+            // commit, one record per committed txn, every txn writes).
+            let recovered_log = recover(crashed.path()).unwrap();
+            let n = recovered_log.records.len();
+            prop_assert!(n <= txns.len());
+            for rec in &recovered_log.records {
+                prop_assert!(matches!(rec, LogRecord::Commit { .. }));
+            }
+
+            // Recover into a fresh engine and compare with the model prefix.
+            let fresh = build_baseline(&which);
+            let report = recover_into(fresh.as_ref(), crashed.path()).unwrap();
+            prop_assert_eq!(report.commit_records, n as u64);
+            let mut expected = BTreeMap::new();
+            for spec in &txns[..n] {
+                model_apply(&mut expected, &spec.ops);
+            }
+            prop_assert_eq!(
+                engine_state(fresh.as_ref()),
+                expected,
+                "prefix of {} txns (crash at byte {} of {})",
+                n,
+                crash_at,
+                full_len
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- doppel
+
+/// Doppel run: phases toggle every 4 transactions; key 0 is split for `Add`
+/// during split chunks. Returns the log end offset.
+fn run_doppel_durable(txns: &[TxnSpec], dir: &std::path::Path, crash_at: Option<u64>) -> u64 {
+    let cfg = DurabilityConfig { crash_at_byte: crash_at, ..DurabilityConfig::synchronous() };
+    let wal = Arc::new(Wal::open(dir, cfg).unwrap());
+    let db = DoppelDb::new(doppel_common::DoppelConfig {
+        workers: 1,
+        unsplit_write_fraction: 0.0,
+        ..Default::default()
+    });
+    db.attach_commit_sink(wal.clone());
+    db.label_split(Key::raw(0), OpKind::Add);
+    let mut w = db.handle(0);
+    for (i, spec) in txns.iter().enumerate() {
+        if i % 4 == 0 && i > 0 {
+            let target = if (i / 4) % 2 == 1 { Phase::Split } else { Phase::Joined };
+            db.request_phase(target);
+            w.safepoint();
+        }
+        let out = w.execute(proc_for(spec));
+        assert!(out.is_committed(), "single-worker Doppel txn must commit: {out:?}");
+    }
+    if db.current_phase() == Phase::Split {
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+    }
+    drop(w);
+    db.shutdown();
+    wal.end_lsn()
+}
+
+/// The deterministic log-record model of [`run_doppel_durable`]: the state
+/// after each record, in append order. During split chunks, `Add`s on key 0
+/// accumulate into one pending delta that becomes a single record at the next
+/// reconciliation; everything else logs conventionally at commit.
+fn doppel_expected_states(txns: &[TxnSpec]) -> Vec<BTreeMap<Key, Value>> {
+    let mut states = vec![BTreeMap::new()];
+    let mut state: BTreeMap<Key, Value> = BTreeMap::new();
+    let mut pending_delta = 0i64;
+    let split_key = Key::raw(0);
+
+    let flush_delta = |state: &mut BTreeMap<Key, Value>,
+                           states: &mut Vec<BTreeMap<Key, Value>>,
+                           pending: &mut i64| {
+        if *pending != 0 {
+            model_apply(state, &[(split_key, Op::Add(*pending))]);
+            states.push(state.clone());
+            *pending = 0;
+        }
+    };
+
+    for (i, spec) in txns.iter().enumerate() {
+        let in_split = (i / 4) % 2 == 1;
+        if i % 4 == 0 && i > 0 && !in_split {
+            // Entering a joined chunk: reconciliation emits the delta record.
+            flush_delta(&mut state, &mut states, &mut pending_delta);
+        }
+        if in_split {
+            let (split_ops, occ_ops): (Vec<_>, Vec<_>) =
+                spec.ops.iter().cloned().partition(|(k, op)| {
+                    *k == split_key && op.kind() == OpKind::Add
+                });
+            for (_, op) in &split_ops {
+                if let Op::Add(n) = op {
+                    pending_delta += n;
+                }
+            }
+            if !occ_ops.is_empty() {
+                model_apply(&mut state, &occ_ops);
+                states.push(state.clone());
+            }
+        } else {
+            model_apply(&mut state, &spec.ops);
+            states.push(state.clone());
+        }
+    }
+    // The run ends with a forced transition to joined.
+    flush_delta(&mut state, &mut states, &mut pending_delta);
+    states
+}
+
+proptest! {
+    /// Prefix consistency for Doppel with phase-aware logging: commits log
+    /// conventionally, split-phase `Add`s surface as one merged-delta record
+    /// per reconciliation, and any crash point recovers to exactly one of the
+    /// model's per-record states.
+    #[test]
+    fn doppel_crash_recovery_is_prefix_consistent(
+        txns in arb_txns(),
+        frac_bp in 0u64..=10_000,
+    ) {
+        // Bias every transaction to also touch the split key so split chunks
+        // are meaningful: prepend an Add on key 0.
+        let txns: Vec<TxnSpec> = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut t)| {
+                t.ops.insert(0, (Key::raw(0), Op::Add(1 + (i as i64 % 7))));
+                t
+            })
+            .collect();
+
+        let clean = TempWalDir::new("doppel-clean");
+        let full_len = run_doppel_durable(&txns, clean.path(), None);
+        let magic = doppel_wal::LOG_MAGIC.len() as u64;
+        let crash_at = magic + (full_len - magic) * frac_bp / 10_000;
+
+        let crashed = TempWalDir::new("doppel-crashed");
+        run_doppel_durable(&txns, crashed.path(), Some(crash_at));
+
+        let fresh = OccEngine::new(1, 16);
+        let report = recover_into(&fresh, crashed.path()).unwrap();
+        let n = report.log_records() as usize;
+
+        let states = doppel_expected_states(&txns);
+        prop_assert!(n < states.len(), "record count {} exceeds model {}", n, states.len() - 1);
+        prop_assert_eq!(
+            engine_state(&fresh),
+            states[n].clone(),
+            "crash at byte {} of {}: {} records recovered",
+            crash_at,
+            full_len,
+            n
+        );
+    }
+}
+
+/// Without a crash, Doppel's phase-aware log and OCC's conventional log must
+/// recover to identical states for the same serial workload.
+#[test]
+fn doppel_and_occ_recover_to_equivalent_states() {
+    let txns: Vec<TxnSpec> = (0..24)
+        .map(|i| {
+            let mut ops = vec![(Key::raw(0), Op::Add(1 + i % 5))];
+            ops.extend([op_for(1 + (i as u64 % 7), 3 + i % 11, i)]);
+            TxnSpec { ops }
+        })
+        .collect();
+
+    let occ_dir = TempWalDir::new("equiv-occ");
+    run_baseline_durable(&Baseline::Occ, &txns, occ_dir.path(), None);
+    let doppel_dir = TempWalDir::new("equiv-doppel");
+    run_doppel_durable(&txns, doppel_dir.path(), None);
+
+    // Doppel's log is much shorter on the split key (merged deltas), but both
+    // recover to the same state.
+    let from_occ = OccEngine::new(1, 16);
+    recover_into(&from_occ, occ_dir.path()).unwrap();
+    let from_doppel = OccEngine::new(1, 16);
+    recover_into(&from_doppel, doppel_dir.path()).unwrap();
+    assert_eq!(engine_state(&from_occ), engine_state(&from_doppel));
+
+    // And both equal a volatile in-memory run of the same transactions.
+    let mut expected = BTreeMap::new();
+    for spec in &txns {
+        model_apply(&mut expected, &spec.ops);
+    }
+    assert_eq!(engine_state(&from_occ), expected);
+}
+
+/// Every registered splittable operation survives the full split → slice →
+/// reconcile → merged-delta-log → crash → replay cycle: the recovered value
+/// equals the live engine's value for each operation kind.
+#[test]
+fn every_registered_split_op_replays_through_reconciliation_log() {
+    let split_kinds: Vec<OpKind> =
+        OpKind::ALL.iter().copied().filter(|k| k.splittable()).collect();
+    assert!(split_kinds.len() >= 9, "registry lost operations?");
+
+    for kind in split_kinds {
+        let ops: Vec<Op> = (1..=6)
+            .map(|i| match kind {
+                OpKind::Add => Op::Add(i),
+                OpKind::Max => Op::Max(i * 10),
+                OpKind::Min => Op::Min(-i * 10),
+                OpKind::Mult => Op::Mult(i % 3 + 1),
+                OpKind::BitOr => Op::BitOr(1 << i),
+                OpKind::BoundedAdd => Op::BoundedAdd { n: i, bound: 15 },
+                OpKind::SetUnion => Op::SetUnion([i, i * 2].into_iter().collect()),
+                OpKind::OPut => Op::OPut {
+                    order: OrderKey::from(i),
+                    core: 0,
+                    payload: format!("v{i}").into_bytes().into(),
+                },
+                OpKind::TopKInsert => Op::TopKInsert {
+                    order: OrderKey::from(i),
+                    core: 0,
+                    payload: format!("v{i}").into_bytes().into(),
+                    k: 3,
+                },
+                other => panic!("{other} is not splittable"),
+            })
+            .collect();
+
+        let dir = TempWalDir::new(&format!("splitop-{kind}"));
+        let wal =
+            Arc::new(Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap());
+        let db = DoppelDb::new(doppel_common::DoppelConfig {
+            workers: 1,
+            unsplit_write_fraction: 0.0,
+            ..Default::default()
+        });
+        db.attach_commit_sink(wal.clone());
+        let key = Key::raw(0);
+        db.label_split(key, kind);
+        let mut w = db.handle(0);
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        for op in &ops {
+            let op = op.clone();
+            let proc = Arc::new(ProcedureFn::new("op", move |tx: &mut dyn Tx| {
+                tx.write_op(key, op.clone())
+            }));
+            assert!(w.execute(proc).is_committed(), "{kind} split-phase op must commit");
+        }
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+        drop(w);
+        db.shutdown();
+        let live = db.global_get(key).expect("split op produced a value");
+
+        // The log holds merged deltas only — far fewer records than ops.
+        let recovered_log = recover(dir.path()).unwrap();
+        assert!(
+            recovered_log.records.len() <= 1,
+            "{kind}: expected at most one merged-delta record, got {}",
+            recovered_log.records.len()
+        );
+
+        let fresh = OccEngine::new(1, 16);
+        recover_into(&fresh, dir.path()).unwrap();
+        assert_eq!(
+            fresh.global_get(key),
+            Some(live),
+            "{kind} must replay to the reconciled value"
+        );
+    }
+}
+
+/// The issue's acceptance check, on the real INCR workload: with the hot
+/// counter split, durable Doppel performs O(operations) slice updates but
+/// logs only O(split keys) records per reconciliation — `log_records` must be
+/// a small fraction of `slice_ops`, and the recovered counter must equal the
+/// committed count.
+#[test]
+fn incr_workload_logs_far_fewer_records_than_slice_ops() {
+    use doppel_workloads::driver::Workload;
+    use doppel_workloads::incr::Incr1Workload;
+
+    let dir = TempWalDir::new("incr-counters");
+    let wal = Arc::new(Wal::open(dir.path(), DurabilityConfig::default()).unwrap());
+    let db = DoppelDb::new(doppel_common::DoppelConfig {
+        workers: 1,
+        unsplit_write_fraction: 0.0,
+        ..Default::default()
+    });
+    db.attach_commit_sink(wal.clone());
+    let hot = Key::raw(0); // Incr1Workload's hot key (rotation disabled)
+    db.label_split(hot, OpKind::Add);
+    let workload = Incr1Workload::new(64, 1.0);
+    workload.load(&db);
+    let mut generator = workload.generator(0, 42);
+    let mut w = db.handle(0);
+
+    // Three phase cycles, each dominated by split-phase increments.
+    for _ in 0..3 {
+        for _ in 0..10 {
+            assert!(w.execute(generator.next_txn().proc).is_committed());
+        }
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        for _ in 0..200 {
+            assert!(w.execute(generator.next_txn().proc).is_committed());
+        }
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+    }
+    drop(w);
+    db.shutdown();
+
+    let stats = db.stats();
+    assert!(stats.slice_ops >= 600, "split phases must dominate: {stats:?}");
+    assert!(
+        stats.log_records * 10 <= stats.slice_ops,
+        "log_records ({}) must be \u{226a} slice_ops ({})",
+        stats.log_records,
+        stats.slice_ops
+    );
+
+    // And nothing was lost: the recovered hot counter equals its live value.
+    let live = db.global_get(hot);
+    drop(db);
+    let fresh = OccEngine::new(1, 16);
+    recover_into(&fresh, dir.path()).unwrap();
+    assert_eq!(fresh.global_get(hot), live);
+}
+
+/// Checkpoint + tail replay: recovery prefers the newest checkpoint and
+/// replays only records logged after it.
+#[test]
+fn checkpoint_plus_log_tail_recovers() {
+    let dir = TempWalDir::new("ckpt-tail");
+    let wal = Arc::new(Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap());
+    let engine = OccEngine::new(1, 16);
+    engine.attach_commit_sink(wal.clone());
+    let mut h = engine.handle(0);
+    let incr = |n: i64| {
+        Arc::new(ProcedureFn::new("incr", move |tx: &mut dyn Tx| tx.add(Key::raw(1), n)))
+    };
+    for _ in 0..10 {
+        assert!(h.execute(incr(1)).is_committed());
+    }
+    doppel_wal::checkpoint_engine(&wal, &engine).unwrap();
+    for _ in 0..5 {
+        assert!(h.execute(incr(2)).is_committed());
+    }
+    drop(h);
+    engine.shutdown();
+    drop(engine);
+
+    let fresh = OccEngine::new(1, 16);
+    let report = recover_into(&fresh, dir.path()).unwrap();
+    assert_eq!(report.checkpoint_records, 1);
+    assert_eq!(report.commit_records, 5, "only the tail is replayed");
+    assert_eq!(fresh.global_get(Key::raw(1)), Some(Value::Int(20)));
+    assert_eq!(fresh.stats().recovered_txns, 5);
+}

@@ -7,8 +7,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: &[&str] =
-    &["quickstart", "leaderboard", "social_likes", "auction_bidding", "fraud_flags"];
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "leaderboard",
+    "social_likes",
+    "auction_bidding",
+    "fraud_flags",
+    "durable_counter",
+];
 
 fn examples_dir() -> PathBuf {
     let mut dir = std::env::current_exe().expect("test binary has a path");
