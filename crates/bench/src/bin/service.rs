@@ -1,0 +1,115 @@
+//! Service experiment: latency vs offered load through the transaction
+//! service.
+//!
+//! For each engine the binary first measures closed-loop capacity (the
+//! ordinary [`Driver::run`] path, which already goes through the service),
+//! then replays the same workload open-loop at several offered-load levels —
+//! fractions of that capacity — reporting completed throughput, p50/p95/p99
+//! latency, busy-rejection shedding and the submission-queue counters next
+//! to the WAL counters.
+//!
+//! Run with `--help` (`cargo run --release --bin service -- --help`)
+//! for the full flag list.
+
+use doppel_bench::{build_engine, emit, Args, EngineKind, ExperimentConfig};
+use doppel_workloads::incr::Incr1Workload;
+use doppel_workloads::open_loop::{run_open_loop, OpenLoopOptions};
+use doppel_workloads::report::{
+    service_stat_cells, wal_stat_cells, Cell, Table, SERVICE_STAT_COLUMNS, WAL_STAT_COLUMNS,
+};
+use doppel_workloads::Driver;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env_or_usage(
+        "Service: open-loop latency vs offered load through the transaction service",
+        &[
+            "  --engines LIST   comma-separated engines (default doppel,occ)",
+            "  --loads LIST     offered loads as fractions of measured capacity (default 0.5,0.8,1.2)",
+            "  --queue-depth N  per-core submission queue cap (default 1024)",
+            "  --hot PCT        % of transactions writing the hot key (default 10)",
+        ],
+    );
+    let config = ExperimentConfig::from_args(&args);
+    let hot = args.get_f64("hot", 10.0) / 100.0;
+    let queue_depth = args.get_usize("queue-depth", 1024);
+    let engines: Vec<EngineKind> = args
+        .get("engines")
+        .unwrap_or("doppel,occ")
+        .split(',')
+        .map(|name| {
+            EngineKind::from_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown engine {name:?} in --engines"))
+        })
+        .collect();
+    let loads: Vec<f64> = args
+        .get("loads")
+        .unwrap_or("0.5,0.8,1.2")
+        .split(',')
+        .map(|frac| frac.trim().parse().expect("--loads expects numbers"))
+        .collect();
+    let workload = Incr1Workload::new(config.keys, hot);
+
+    let mut table = Table::new(
+        format!(
+            "Service: open-loop latency vs offered load, INCR1 {}% hot ({} cores, {} keys, \
+             {:.1}s per point, queue depth {})",
+            hot * 100.0,
+            config.cores,
+            config.keys,
+            config.seconds,
+            queue_depth,
+        ),
+        &[
+            &["engine", "offered/s", "done/s", "busy%", "p50", "p95", "p99"][..],
+            SERVICE_STAT_COLUMNS,
+            WAL_STAT_COLUMNS,
+        ]
+        .concat(),
+    );
+
+    for kind in &engines {
+        // Closed-loop capacity probe: the same service path the open-loop
+        // runs use, so the capacity estimate includes queue overhead.
+        let capacity = {
+            let engine = build_engine(*kind, &config.engine_params());
+            let result = Driver::run(engine.as_ref(), &workload, &config.bench_options());
+            engine.shutdown();
+            result.throughput
+        };
+        for fraction in &loads {
+            let offered = (capacity * fraction).max(1_000.0);
+            let engine = build_engine(*kind, &config.engine_params());
+            let options = OpenLoopOptions {
+                workers: config.cores,
+                clients: config.cores,
+                offered_load: offered,
+                duration: Duration::from_secs_f64(config.seconds),
+                queue_depth,
+                ..Default::default()
+            };
+            let result = run_open_loop(engine.as_ref(), &workload, &options);
+            engine.shutdown();
+            let attempts = result.submitted + result.busy_rejected;
+            let busy_pct = if attempts == 0 {
+                0.0
+            } else {
+                100.0 * result.busy_rejected as f64 / attempts as f64
+            };
+            let mut row = vec![
+                Cell::Text(format!("{} x{:.2}", kind.label(), fraction)),
+                Cell::Int(result.offered_load as i64),
+                Cell::Mtps(result.throughput),
+                Cell::Float(busy_pct),
+                Cell::Micros(result.latency.p50_us),
+                Cell::Micros(result.latency.p95_us),
+                Cell::Micros(result.latency.p99_us),
+            ];
+            row.extend(service_stat_cells(&result.engine_stats));
+            row.extend(wal_stat_cells(&result.engine_stats));
+            table.push_row(row);
+        }
+    }
+
+    emit(&table, "service", &args);
+}

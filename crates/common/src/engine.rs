@@ -359,6 +359,18 @@ pub trait Engine: Send + Sync {
     /// coordinator thread). Engines without background threads ignore this.
     fn shutdown(&self) {}
 
+    /// Worker-ownership hook: a service that owns this engine's workers is
+    /// starting a graceful drain. No new procedures will be submitted; the
+    /// workers will keep passing safepoints until their stashes are empty.
+    ///
+    /// Engines whose stash replay depends on a phase transition (Doppel)
+    /// nudge their phase machinery here so the drain does not have to wait a
+    /// full phase length; engines without deferred work ignore the call.
+    /// Unlike [`Engine::shutdown`] the engine must keep executing
+    /// transactions normally afterwards — stash replays still run through
+    /// the ordinary commit path.
+    fn begin_drain(&self) {}
+
     /// Attaches a durability sink: from now on the engine logs every
     /// committed transaction's write set (and, for Doppel, merged split-key
     /// deltas at reconciliation) through `sink`.

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod error;
 pub mod key;
 pub mod ops;
+pub mod service;
 pub mod split_op;
 pub mod stats;
 pub mod tid;
@@ -38,6 +39,7 @@ pub use engine::{
 pub use error::TxError;
 pub use key::{Key, Table};
 pub use ops::{EmptyOrderKey, Op, OpKind, OrderKey};
+pub use service::{RequestId, ServiceCompletion, ServiceReply, SubmitError};
 pub use split_op::{split_ops, SplitOp, SplitOpRegistry};
 pub use stats::{EngineStats, StatsSnapshot};
 pub use tid::{Tid, TidGenerator};

@@ -1,0 +1,129 @@
+//! Types for the transaction service boundary.
+//!
+//! The paper's deployment model (§3, §6) is a *service*: clients submit
+//! transactions in the form of procedures to one worker thread per core.
+//! This module defines the vocabulary of that boundary — what a client hands
+//! in and what it gets back — so that the service implementation
+//! (`doppel_service`), the engines and the workload harness can all speak it
+//! without depending on each other.
+//!
+//! The lifecycle of a submitted procedure:
+//!
+//! ```text
+//! submit ──► queued ──► executing ──► Done(Committed tid)
+//!    │                      │  ├────► Done(Aborted err)        (client retries
+//!    │                      │  │                                if retryable)
+//!    │                      │  └────► Deferred ─► replayed ─► Done(…, deferred)
+//!    └────► SubmitError::Busy                    (Doppel stash, next joined
+//!           (backpressure: queue full)            phase)
+//! ```
+
+use crate::error::TxError;
+use crate::tid::Tid;
+use std::fmt;
+
+/// Client-chosen identifier of one submitted procedure. The service echoes it
+/// back in every [`ServiceReply`] concerning that submission; uniqueness is
+/// the client's responsibility (per reply channel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Rejection at the submission boundary, before the procedure reaches a
+/// worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target worker's submission queue is at its depth cap. This is the
+    /// service's backpressure signal: the client should back off (or shed
+    /// load) and resubmit.
+    Busy,
+    /// The service is draining or has shut down; no new work is accepted.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "submission queue full (backpressure)"),
+            SubmitError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Final result of one submitted procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceCompletion {
+    /// The id the client chose at submission.
+    pub request: RequestId,
+    /// Commit TID, or the abort that ended the transaction.
+    /// [`TxError::is_retryable`] tells the client whether resubmitting makes
+    /// sense.
+    pub result: Result<Tid, TxError>,
+    /// True when the procedure was stash-deferred by a Doppel split phase and
+    /// completed on replay in a later joined phase (a matching
+    /// [`ServiceReply::Deferred`] was emitted earlier).
+    pub deferred: bool,
+}
+
+/// One message on a client's reply channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceReply {
+    /// The procedure finished (committed or aborted).
+    Done(ServiceCompletion),
+    /// The procedure touched split data incompatibly during a Doppel split
+    /// phase; the worker stashed it and will re-execute it in the next joined
+    /// phase. A [`ServiceReply::Done`] with the same request id (and
+    /// `deferred == true`) follows.
+    Deferred(RequestId),
+}
+
+impl ServiceReply {
+    /// The request this reply concerns.
+    pub fn request(&self) -> RequestId {
+        match self {
+            ServiceReply::Done(c) => c.request,
+            ServiceReply::Deferred(id) => *id,
+        }
+    }
+
+    /// The completion, when this reply is final.
+    pub fn into_done(self) -> Option<ServiceCompletion> {
+        match self {
+            ServiceReply::Done(c) => Some(c),
+            ServiceReply::Deferred(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_accessors() {
+        let done = ServiceReply::Done(ServiceCompletion {
+            request: RequestId(7),
+            result: Ok(Tid::from_parts(1, 0)),
+            deferred: false,
+        });
+        assert_eq!(done.request(), RequestId(7));
+        assert!(done.clone().into_done().is_some());
+        let deferred = ServiceReply::Deferred(RequestId(9));
+        assert_eq!(deferred.request(), RequestId(9));
+        assert!(deferred.into_done().is_none());
+    }
+
+    #[test]
+    fn submit_error_display() {
+        assert!(SubmitError::Busy.to_string().contains("backpressure"));
+        assert!(SubmitError::Shutdown.to_string().contains("shutting down"));
+        assert_eq!(RequestId(3).to_string(), "req#3");
+    }
+}

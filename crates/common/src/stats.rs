@@ -48,6 +48,17 @@ pub struct EngineStats {
     pub group_commit_batches: AtomicU64,
     /// Log records replayed into this engine during crash recovery.
     pub recovered_txns: AtomicU64,
+    /// Procedures currently sitting in submission queues (gauge, maintained
+    /// by the transaction service).
+    pub queue_depth: AtomicU64,
+    /// Procedures accepted into submission queues.
+    pub queue_enqueued: AtomicU64,
+    /// Submissions rejected with `Busy` because a queue was at its depth cap
+    /// (the service's backpressure signal).
+    pub queue_busy_rejections: AtomicU64,
+    /// Batched dequeues performed by service workers. The mean batch size is
+    /// `queue_enqueued / queue_batches`.
+    pub queue_batches: AtomicU64,
 }
 
 impl EngineStats {
@@ -88,6 +99,10 @@ impl EngineStats {
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             recovered_txns: self.recovered_txns.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_enqueued: self.queue_enqueued.load(Ordering::Relaxed),
+            queue_busy_rejections: self.queue_busy_rejections.load(Ordering::Relaxed),
+            queue_batches: self.queue_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +161,14 @@ pub struct StatsSnapshot {
     pub group_commit_batches: u64,
     /// See [`EngineStats::recovered_txns`].
     pub recovered_txns: u64,
+    /// See [`EngineStats::queue_depth`] (gauge).
+    pub queue_depth: u64,
+    /// See [`EngineStats::queue_enqueued`].
+    pub queue_enqueued: u64,
+    /// See [`EngineStats::queue_busy_rejections`].
+    pub queue_busy_rejections: u64,
+    /// See [`EngineStats::queue_batches`].
+    pub queue_batches: u64,
 }
 
 impl StatsSnapshot {
@@ -162,6 +185,18 @@ impl StatsSnapshot {
         } else {
             self.conflicts as f64 / attempts as f64
         }
+    }
+
+    /// Overlays the submission-queue counters from `queues` onto this
+    /// snapshot. The service layer owns the queues (and therefore those
+    /// counters) while the engine owns everything else; this combines both
+    /// into the single snapshot benchmarks and reports consume.
+    pub fn with_queue_counters(mut self, queues: &StatsSnapshot) -> StatsSnapshot {
+        self.queue_depth = queues.queue_depth;
+        self.queue_enqueued = queues.queue_enqueued;
+        self.queue_busy_rejections = queues.queue_busy_rejections;
+        self.queue_batches = queues.queue_batches;
+        self
     }
 
     /// Counter-wise difference `self - earlier` (for per-interval rates).
@@ -184,6 +219,10 @@ impl StatsSnapshot {
             fsyncs: self.fsyncs - earlier.fsyncs,
             group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
             recovered_txns: self.recovered_txns - earlier.recovered_txns,
+            queue_depth: self.queue_depth,
+            queue_enqueued: self.queue_enqueued - earlier.queue_enqueued,
+            queue_busy_rejections: self.queue_busy_rejections - earlier.queue_busy_rejections,
+            queue_batches: self.queue_batches - earlier.queue_batches,
         }
     }
 }
@@ -231,6 +270,30 @@ mod tests {
         assert_eq!(d.log_records, 4);
         assert_eq!(d.log_bytes, 160);
         assert_eq!(d.fsyncs, 1);
+    }
+
+    #[test]
+    fn queue_counters_snapshot_and_delta() {
+        let s = EngineStats::new();
+        EngineStats::add(&s.queue_enqueued, 10);
+        EngineStats::bump(&s.queue_busy_rejections);
+        EngineStats::add(&s.queue_batches, 4);
+        s.queue_depth.store(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_enqueued, 10);
+        assert_eq!(snap.queue_busy_rejections, 1);
+        assert_eq!(snap.queue_batches, 4);
+        assert_eq!(snap.queue_depth, 3);
+        // The depth gauge passes through a delta unchanged; the counters
+        // difference.
+        let d = snap.delta(&StatsSnapshot { queue_enqueued: 4, ..Default::default() });
+        assert_eq!(d.queue_enqueued, 6);
+        assert_eq!(d.queue_depth, 3);
+        // Overlaying queue counters replaces only the queue fields.
+        let engine_side = StatsSnapshot { commits: 9, ..Default::default() };
+        let merged = engine_side.with_queue_counters(&snap);
+        assert_eq!(merged.commits, 9);
+        assert_eq!(merged.queue_enqueued, 10);
     }
 
     #[test]

@@ -194,6 +194,23 @@ impl Engine for DoppelDb {
         self.shared.store.load(k, v);
     }
 
+    fn begin_drain(&self) {
+        // With the coordinator running, phase transitions keep coming and a
+        // drain makes progress on its own. Under manual phase control a drain
+        // that starts mid-split-phase would wait forever for the joined phase
+        // that replays stashes — request that transition here. (The service
+        // owns every handle during a drain, so no other thread is requesting
+        // phases concurrently.)
+        if self.coordinator.lock().is_some() {
+            return;
+        }
+        if self.shared.phase.current_phase() == Phase::Split
+            && !self.shared.phase.transition_pending()
+        {
+            self.shared.phase.request(Phase::Joined);
+        }
+    }
+
     fn shutdown(&self) {
         self.shared.request_shutdown();
         if let Some(handle) = self.coordinator.lock().take() {

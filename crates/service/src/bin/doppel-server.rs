@@ -1,0 +1,159 @@
+//! `doppel-server`: serve a Doppel (or baseline) engine over TCP.
+//!
+//! ```text
+//! doppel-server --engine doppel --port 7777 --workers 4
+//! ```
+//!
+//! Prints one `listening on <addr>` line to stdout once ready, then serves
+//! until killed (or until `--seconds N` elapses, for scripted runs). See the
+//! README's "Architecture & serving" section for the wire protocol.
+
+use doppel_service::{Server, ServerEngine, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Flags {
+    engine: String,
+    host: String,
+    port: u16,
+    workers: usize,
+    shards: usize,
+    phase_ms: u64,
+    queue_depth: usize,
+    batch_max: usize,
+    seconds: Option<f64>,
+    durable_dir: Option<String>,
+}
+
+fn usage() -> ! {
+    println!(
+        "doppel-server: serve a transactional engine over TCP\n\n\
+         Usage: doppel-server [FLAGS]\n\n\
+         Flags:\n\
+           --engine NAME    doppel | occ | 2pl | atomic (default doppel)\n\
+           --host ADDR      bind address (default 127.0.0.1)\n\
+           --port N         TCP port; 0 picks an ephemeral port (default 7777)\n\
+           --workers N      worker threads / cores (default 4)\n\
+           --shards N       store shard count (default 1024)\n\
+           --phase-ms MS    Doppel phase length in milliseconds (default 20)\n\
+           --queue-depth N  per-core submission queue cap (default 1024)\n\
+           --batch N        max procedures dequeued per batch (default 64)\n\
+           --seconds S      exit after S seconds (default: run until killed)\n\
+           --durable DIR    write-ahead log directory (recovers it first)\n\
+           --help           print this message"
+    );
+    std::process::exit(0);
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        engine: "doppel".into(),
+        host: "127.0.0.1".into(),
+        port: 7777,
+        workers: 4,
+        shards: 1024,
+        phase_ms: 20,
+        queue_depth: 1024,
+        batch_max: 64,
+        seconds: None,
+        durable_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--engine" => flags.engine = value("engine"),
+            "--host" => flags.host = value("host"),
+            "--port" => flags.port = value("port").parse().expect("--port expects a port number"),
+            "--workers" => {
+                flags.workers = value("workers").parse().expect("--workers expects an integer")
+            }
+            "--shards" => flags.shards = value("shards").parse().expect("--shards expects an integer"),
+            "--phase-ms" => {
+                flags.phase_ms = value("phase-ms").parse().expect("--phase-ms expects an integer")
+            }
+            "--queue-depth" => {
+                flags.queue_depth =
+                    value("queue-depth").parse().expect("--queue-depth expects an integer")
+            }
+            "--batch" => flags.batch_max = value("batch").parse().expect("--batch expects an integer"),
+            "--seconds" => {
+                flags.seconds = Some(value("seconds").parse().expect("--seconds expects a number"))
+            }
+            "--durable" => flags.durable_dir = Some(value("durable")),
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
+        .unwrap_or_else(|| {
+            eprintln!("unknown engine {:?} (doppel | occ | 2pl | atomic)", flags.engine);
+            std::process::exit(2);
+        });
+
+    // Durability: recover the directory into the fresh store, then attach
+    // the log so every commit (and Doppel merged delta) is logged.
+    if let Some(dir) = &flags.durable_dir {
+        let report = doppel_wal::recover_into(engine.engine.as_ref(), dir)
+            .unwrap_or_else(|e| {
+                eprintln!("recovery of {dir} failed: {e}");
+                std::process::exit(1);
+            });
+        if report.log_records() > 0 || report.checkpoint_records > 0 {
+            eprintln!(
+                "recovered {} checkpoint records + {} log records from {dir}",
+                report.checkpoint_records,
+                report.log_records()
+            );
+        }
+        let wal = doppel_wal::Wal::open(dir, doppel_common::DurabilityConfig::default().from_env())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open WAL in {dir}: {e}");
+                std::process::exit(1);
+            });
+        engine.engine.attach_commit_sink(Arc::new(wal));
+    }
+
+    let config = ServiceConfig {
+        queue_depth: flags.queue_depth,
+        batch_max: flags.batch_max,
+        ..ServiceConfig::default()
+    };
+    let engine_name = engine.engine.name();
+    let server = Server::start(engine, config, (flags.host.as_str(), flags.port))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {}:{}: {e}", flags.host, flags.port);
+            std::process::exit(1);
+        });
+
+    // The one line scripts parse; flush so a piped parent sees it promptly.
+    println!("listening on {} (engine={engine_name}, workers={})", server.local_addr(), flags.workers);
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    match flags.seconds {
+        Some(s) => std::thread::sleep(Duration::from_secs_f64(s)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+    let stats = server.service().stats();
+    eprintln!(
+        "served {} commits, {} conflicts, {} enqueued, {} busy rejections",
+        stats.commits, stats.conflicts, stats.queue_enqueued, stats.queue_busy_rejections
+    );
+}

@@ -1,0 +1,232 @@
+//! Client library for `doppel-server`.
+//!
+//! [`RemoteClient`] is a synchronous, single-connection client: it frames
+//! [`crate::wire::ClientMsg`]s onto a `TcpStream` and demultiplexes the
+//! server's replies (completions arrive in completion order, which for
+//! stash-deferred transactions is not submission order).
+
+use crate::wire::{
+    decode_server, encode_client, read_frame, write_frame, ClientMsg, ServerMsg, WireAbort,
+    WireStmt,
+};
+use doppel_common::{Key, Op, OrderKey, Value};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Builder for one wire transaction: a sequence of reads and write
+/// operations executed as a single procedure on the server.
+///
+/// # Examples
+///
+/// ```
+/// use doppel_common::Key;
+/// use doppel_service::RemoteTxn;
+///
+/// let txn = RemoteTxn::new().add(Key::raw(1), 5).get(Key::raw(1));
+/// assert_eq!(txn.stmts().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RemoteTxn {
+    stmts: Vec<WireStmt>,
+}
+
+impl RemoteTxn {
+    /// An empty transaction.
+    pub fn new() -> Self {
+        RemoteTxn::default()
+    }
+
+    /// The statements added so far.
+    pub fn stmts(&self) -> &[WireStmt] {
+        &self.stmts
+    }
+
+    /// Reads `k`; the result comes back with the completion, in statement
+    /// order.
+    pub fn get(mut self, k: Key) -> Self {
+        self.stmts.push(WireStmt::Get(k));
+        self
+    }
+
+    /// Applies an arbitrary write operation.
+    pub fn write(mut self, k: Key, op: Op) -> Self {
+        self.stmts.push(WireStmt::Write(k, op));
+        self
+    }
+
+    /// `v[k] ← v[k] + n` (splittable).
+    pub fn add(self, k: Key, n: i64) -> Self {
+        self.write(k, Op::Add(n))
+    }
+
+    /// `v[k] ← max(v[k], n)` (splittable).
+    pub fn max(self, k: Key, n: i64) -> Self {
+        self.write(k, Op::Max(n))
+    }
+
+    /// Overwrites `k` with `v`.
+    pub fn put(self, k: Key, v: Value) -> Self {
+        self.write(k, Op::Put(v))
+    }
+
+    /// Inserts into the top-K set at `k` (splittable). The server fills in
+    /// the executing core.
+    pub fn topk_insert(self, k: Key, order: OrderKey, payload: bytes::Bytes, cap: usize) -> Self {
+        self.write(k, Op::TopKInsert { order, core: 0, payload, k: cap })
+    }
+}
+
+/// Final result of a remote submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RemoteOutcome {
+    /// The transaction committed.
+    Committed {
+        /// The commit TID (raw).
+        tid: u64,
+        /// Results of the transaction's `Get` statements, in order.
+        values: Vec<Option<Value>>,
+        /// True when the transaction was stash-deferred before committing.
+        deferred: bool,
+    },
+    /// The transaction aborted.
+    Aborted {
+        /// Why ([`WireAbort::is_retryable`] guides resubmission).
+        code: WireAbort,
+        /// True when the abort happened on a stash replay.
+        deferred: bool,
+    },
+    /// The submission never reached a worker.
+    Rejected {
+        /// True for backpressure (retry later), false for server shutdown.
+        busy: bool,
+    },
+}
+
+impl RemoteOutcome {
+    /// True when the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, RemoteOutcome::Committed { .. })
+    }
+
+    /// The committed `Get` results, when committed.
+    pub fn values(&self) -> Option<&[Option<Value>]> {
+        match self {
+            RemoteOutcome::Committed { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+}
+
+/// A synchronous client connection to a `doppel-server`.
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Outcomes that arrived while waiting for a different request.
+    buffered: HashMap<u64, RemoteOutcome>,
+    deferred_seen: HashSet<u64>,
+}
+
+impl RemoteClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RemoteClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(RemoteClient { reader, writer, next_id: 0, buffered: HashMap::new(), deferred_seen: HashSet::new() })
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> io::Result<()> {
+        write_frame(&mut self.writer, &encode_client(msg))?;
+        self.writer.flush()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Submits a transaction without waiting; returns its request id.
+    pub fn submit(&mut self, txn: &RemoteTxn) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::Submit { id, stmts: txn.stmts.clone() })?;
+        Ok(id)
+    }
+
+    /// True once a `Deferred` notice for `id` has been observed.
+    pub fn was_deferred(&self, id: u64) -> bool {
+        self.deferred_seen.contains(&id)
+    }
+
+    fn read_msg(&mut self) -> io::Result<ServerMsg> {
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        decode_server(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn absorb(&mut self, msg: ServerMsg) -> Option<(u64, RemoteOutcome)> {
+        match msg {
+            ServerMsg::Deferred { id } => {
+                self.deferred_seen.insert(id);
+                None
+            }
+            ServerMsg::Done(done) => {
+                let outcome = match done.result {
+                    Ok(tid) => RemoteOutcome::Committed {
+                        tid,
+                        values: done.values,
+                        deferred: done.deferred,
+                    },
+                    Err(code) => RemoteOutcome::Aborted { code, deferred: done.deferred },
+                };
+                Some((done.id, outcome))
+            }
+            ServerMsg::Rejected { id, busy } => Some((id, RemoteOutcome::Rejected { busy })),
+            ServerMsg::Ack { id } => Some((id, RemoteOutcome::Committed {
+                tid: 0,
+                values: Vec::new(),
+                deferred: false,
+            })),
+        }
+    }
+
+    /// Blocks until the outcome for `id` arrives, buffering other replies.
+    pub fn wait(&mut self, id: u64) -> io::Result<RemoteOutcome> {
+        if let Some(done) = self.buffered.remove(&id) {
+            return Ok(done);
+        }
+        loop {
+            let msg = self.read_msg()?;
+            if let Some((done_id, outcome)) = self.absorb(msg) {
+                if done_id == id {
+                    return Ok(outcome);
+                }
+                self.buffered.insert(done_id, outcome);
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn execute(&mut self, txn: &RemoteTxn) -> io::Result<RemoteOutcome> {
+        let id = self.submit(txn)?;
+        self.wait(id)
+    }
+
+    /// Labels `key` split for `op`'s kind on the server (Doppel only; other
+    /// engines acknowledge and ignore).
+    pub fn label_split(&mut self, key: Key, op: Op) -> io::Result<()> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::LabelSplit { id, key, op })?;
+        self.wait(id).map(|_| ())
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::Ping { id })?;
+        self.wait(id).map(|_| ())
+    }
+}

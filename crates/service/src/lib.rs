@@ -1,0 +1,33 @@
+//! The transaction service and its networked front-end.
+//!
+//! The paper's deployment model (§3, §6) separates *clients* from *workers*:
+//! "clients submit transactions in the form of procedures" to one worker
+//! thread per core. This crate is that separation, in three layers:
+//!
+//! * [`queue`] — bounded per-core MPSC submission queues with batched
+//!   dequeue; a full queue is a [`doppel_common::SubmitError::Busy`]
+//!   rejection (backpressure).
+//! * [`service`] — the worker pool: [`TransactionService`] owns one thread
+//!   per engine core, executes submitted [`doppel_common::Procedure`]s
+//!   through the engine's [`doppel_common::TxHandle`], and delivers typed
+//!   completions — commit TID, abort, or stash-deferred (Doppel split-phase
+//!   stashes surface as a `Deferred` notice followed by the replayed
+//!   completion). Graceful shutdown drains the queues, replays stashes and
+//!   flushes pending WAL group-commit batches.
+//! * [`wire`] / [`server`] / [`client`] — a length-prefixed framed protocol
+//!   over TCP (framing in the style of, and sharing the record codec with,
+//!   [`doppel_wal::codec`]), the `doppel-server` binary's guts, and the
+//!   [`RemoteClient`] library, so the system can be driven by external
+//!   processes.
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{RemoteClient, RemoteOutcome, RemoteTxn};
+pub use queue::{PushError, SubmissionQueue};
+pub use server::{RemoteProcedure, Server, ServerEngine};
+pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};
+pub use wire::{ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};

@@ -1,0 +1,346 @@
+//! The TCP front-end: `doppel-server`.
+//!
+//! Each connection gets a reader thread (decodes frames, builds
+//! [`RemoteProcedure`]s, submits them to the shared [`TransactionService`])
+//! and a writer thread (serialises replies back onto the socket). Ordering
+//! guarantees are per-request, not per-connection: replies are written in
+//! completion order, which is exactly what the `Deferred` → `Done` protocol
+//! expresses.
+
+use crate::service::{ReplySink, ServiceConfig, TransactionService};
+use crate::wire::{
+    decode_client, encode_server, read_frame, write_frame, ClientMsg, ServerMsg, WireAbort,
+    WireDone, WireStmt,
+};
+use doppel_common::{
+    DoppelConfig, Engine, Op, Procedure, RequestId, ServiceReply, SubmitError, Tx, TxError, Value,
+};
+use doppel_db::DoppelDb;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A transaction received over the wire, executable by any engine.
+///
+/// `Get` results are captured on every (re-)execution — Doppel may stash and
+/// replay the procedure — so the values shipped with the completion are the
+/// ones observed by the run that actually committed.
+pub struct RemoteProcedure {
+    stmts: Vec<WireStmt>,
+    reads: parking_lot::Mutex<Vec<Option<Value>>>,
+}
+
+impl RemoteProcedure {
+    /// Wraps a statement list.
+    pub fn new(stmts: Vec<WireStmt>) -> Self {
+        RemoteProcedure { stmts, reads: parking_lot::Mutex::new(Vec::new()) }
+    }
+
+    /// Takes the `Get` results of the last completed execution.
+    pub fn take_values(&self) -> Vec<Option<Value>> {
+        std::mem::take(&mut *self.reads.lock())
+    }
+}
+
+impl Procedure for RemoteProcedure {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        let mut vals = Vec::new();
+        for stmt in &self.stmts {
+            match stmt {
+                WireStmt::Get(k) => vals.push(tx.get(*k)?),
+                WireStmt::Write(k, op) => {
+                    // Ordered inserts carry the *executing* core, exactly as
+                    // the direct path's `Tx::oput` / `Tx::topk_insert` fill
+                    // it in — a remote client cannot know which core will
+                    // run its procedure.
+                    let op = match op.clone() {
+                        Op::OPut { order, payload, .. } => {
+                            Op::OPut { order, core: tx.core(), payload }
+                        }
+                        Op::TopKInsert { order, payload, k: cap, .. } => {
+                            Op::TopKInsert { order, core: tx.core(), payload, k: cap }
+                        }
+                        other => other,
+                    };
+                    tx.write_op(*k, op)?;
+                }
+            }
+        }
+        *self.reads.lock() = vals;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.stmts.iter().all(|s| matches!(s, WireStmt::Get(_)))
+    }
+}
+
+/// An engine prepared for serving: the trait object the service drives plus
+/// the concrete Doppel handle (when the engine is Doppel) for control
+/// operations the [`Engine`] trait does not expose, e.g. split labelling.
+pub struct ServerEngine {
+    /// The engine behind the service.
+    pub engine: Arc<dyn Engine>,
+    /// Set when `engine` is a Doppel database.
+    pub doppel: Option<Arc<DoppelDb>>,
+}
+
+impl ServerEngine {
+    /// Wraps a started Doppel database.
+    pub fn doppel(db: Arc<DoppelDb>) -> Self {
+        ServerEngine { engine: db.clone(), doppel: Some(db) }
+    }
+
+    /// Wraps any other engine.
+    pub fn other(engine: Arc<dyn Engine>) -> Self {
+        ServerEngine { engine, doppel: None }
+    }
+
+    /// Builds an engine by name (`doppel`, `occ`, `2pl`, `atomic`), mirroring
+    /// the benchmark crate's engine table but constructed here because the
+    /// server cannot depend on the benchmark crate.
+    pub fn build(name: &str, workers: usize, phase_ms: u64, shards: usize) -> Option<ServerEngine> {
+        match name.to_ascii_lowercase().as_str() {
+            "doppel" => {
+                let config = DoppelConfig {
+                    workers,
+                    store_shards: shards,
+                    phase_len: Duration::from_millis(phase_ms.max(1)),
+                    ..DoppelConfig::default()
+                };
+                Some(ServerEngine::doppel(Arc::new(DoppelDb::start(config))))
+            }
+            "occ" => Some(ServerEngine::other(Arc::new(doppel_occ::OccEngine::new(workers, shards)))),
+            "2pl" | "twopl" => {
+                Some(ServerEngine::other(Arc::new(doppel_twopl::TwoplEngine::new(workers, shards))))
+            }
+            "atomic" => Some(ServerEngine::other(Arc::new(doppel_atomic::AtomicEngine::new(workers)))),
+            _ => None,
+        }
+    }
+}
+
+/// A running `doppel-server`: a listener plus the transaction service it
+/// feeds. Dropping (or [`Server::shutdown`]) closes connections, drains the
+/// service and shuts the engine down.
+pub struct Server {
+    service: Arc<TransactionService>,
+    doppel: Option<Arc<DoppelDb>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<ConnRegistry>,
+}
+
+/// Live-connection registry: each connection's stream clone is held only
+/// while its handler runs (the handler deregisters itself on exit), so a
+/// long-running server does not leak one descriptor per connection ever
+/// accepted. `shutdown` closes whatever is still live.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: parking_lot::Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, stream);
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    fn close_all(&self) {
+        for (_, conn) in self.streams.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Server {
+    /// Binds `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `engine` through a [`TransactionService`].
+    pub fn start(
+        engine: ServerEngine,
+        config: ServiceConfig,
+        bind_addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let service = TransactionService::start(Arc::clone(&engine.engine), config);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<ConnRegistry> = Arc::default();
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let doppel = engine.doppel.clone();
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new().name("doppel-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let Ok(clone) = stream.try_clone() else { continue };
+                    let conn_id = conns.register(clone);
+                    let service = Arc::clone(&service);
+                    let doppel = doppel.clone();
+                    let conns = Arc::clone(&conns);
+                    std::thread::Builder::new()
+                        .name("doppel-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, service, doppel);
+                            conns.deregister(conn_id);
+                        })
+                        .expect("failed to spawn connection thread");
+                }
+            })?
+        };
+
+        Ok(Server {
+            service,
+            doppel: engine.doppel,
+            addr,
+            stop,
+            accept: parking_lot::Mutex::new(Some(accept)),
+            conns,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener (statistics, direct submission).
+    pub fn service(&self) -> &Arc<TransactionService> {
+        &self.service
+    }
+
+    /// The concrete Doppel database, when serving one.
+    pub fn doppel(&self) -> Option<&Arc<DoppelDb>> {
+        self.doppel.as_ref()
+    }
+
+    /// Stops accepting, closes every connection, drains the service and
+    /// shuts the engine down. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.lock().take() {
+            let _ = handle.join();
+        }
+        self.conns.close_all();
+        self.service.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Converts a service reply into its wire form, resolving `Get` values from
+/// the procedure on successful completion.
+fn reply_to_msg(reply: ServiceReply, proc: &RemoteProcedure) -> ServerMsg {
+    match reply {
+        ServiceReply::Deferred(id) => ServerMsg::Deferred { id: id.0 },
+        ServiceReply::Done(c) => {
+            let (result, values) = match c.result {
+                Ok(tid) => (Ok(tid.raw()), proc.take_values()),
+                Err(e) => (Err(WireAbort::from_error(&e)), Vec::new()),
+            };
+            ServerMsg::Done(WireDone { id: c.request.0, result, deferred: c.deferred, values })
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<TransactionService>,
+    doppel: Option<Arc<DoppelDb>>,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = std::sync::mpsc::channel();
+    let writer = std::thread::Builder::new()
+        .name("doppel-conn-writer".into())
+        .spawn(move || writer_loop(write_half, rx))
+        .expect("failed to spawn writer thread");
+
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let Ok(msg) = decode_client(&payload) else {
+            // Protocol error: drop the connection rather than guessing.
+            break;
+        };
+        match msg {
+            ClientMsg::Submit { id, stmts } => {
+                let proc = Arc::new(RemoteProcedure::new(stmts));
+                let sink: ReplySink = {
+                    let tx = tx.clone();
+                    let proc = Arc::clone(&proc);
+                    Arc::new(move |reply| {
+                        let _ = tx.send(reply_to_msg(reply, &proc));
+                    })
+                };
+                match service.submit(RequestId(id), proc, sink) {
+                    Ok(_) => {}
+                    Err(SubmitError::Busy) => {
+                        let _ = tx.send(ServerMsg::Rejected { id, busy: true });
+                    }
+                    Err(SubmitError::Shutdown) => {
+                        let _ = tx.send(ServerMsg::Rejected { id, busy: false });
+                    }
+                }
+            }
+            ClientMsg::LabelSplit { id, key, op } => {
+                if let Some(db) = &doppel {
+                    db.label_split(key, op.kind());
+                }
+                let _ = tx.send(ServerMsg::Ack { id });
+            }
+            ClientMsg::Ping { id } => {
+                let _ = tx.send(ServerMsg::Ack { id });
+            }
+        }
+    }
+    // Dropping our sender lets the writer exit once every in-flight
+    // completion (whose sinks hold clones) has been delivered.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<ServerMsg>) {
+    let mut w = BufWriter::new(stream);
+    'outer: while let Ok(msg) = rx.recv() {
+        if write_frame(&mut w, &encode_server(&msg)).is_err() {
+            break;
+        }
+        // Batch everything already queued under one flush.
+        while let Ok(next) = rx.try_recv() {
+            if write_frame(&mut w, &encode_server(&next)).is_err() {
+                break 'outer;
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+}

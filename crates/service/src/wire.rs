@@ -1,0 +1,495 @@
+//! The length-prefixed wire protocol spoken between `doppel-server` and its
+//! clients.
+//!
+//! Framing follows the WAL's style (and reuses [`doppel_wal::codec`] for
+//! keys, operations and values): every message is
+//!
+//! ```text
+//! [len: u32 LE] [payload]          payload = [kind: u8] [body…]
+//! ```
+//!
+//! Client → server:
+//!
+//! | kind | message      | body                                             |
+//! |------|--------------|--------------------------------------------------|
+//! | 0x01 | `Submit`     | `id u64`, `n u32`, then `n` statements           |
+//! | 0x02 | `LabelSplit` | `id u64`, `key`, `op` (split label, Doppel only) |
+//! | 0x03 | `Ping`       | `id u64`                                         |
+//!
+//! A statement is `0x00 Get key` or `0x01 Write key op`. Submitted
+//! statements form one transaction (one [`doppel_common::Procedure`]);
+//! `Get` results are returned in the completion, in statement order.
+//!
+//! Server → client:
+//!
+//! | kind | message    | body                                                |
+//! |------|------------|-----------------------------------------------------|
+//! | 0x81 | `Done`     | `id u64`, commit/abort body (see [`WireDone`])      |
+//! | 0x82 | `Deferred` | `id u64` (stash-deferred; a `Done` follows)         |
+//! | 0x83 | `Rejected` | `id u64`, `reason u8` (0 = busy, 1 = shutdown)      |
+//! | 0x84 | `Ack`      | `id u64` (answers `LabelSplit` and `Ping`)          |
+
+use doppel_common::{Key, Op, TxError, Value};
+use doppel_wal::codec::{
+    decode_key, decode_op, decode_value, encode_key, encode_op, encode_value, put_u32, put_u64,
+    put_u8, Dec,
+};
+use doppel_wal::CodecError;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload: a corrupted length prefix must not
+/// trigger a giant allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+const MSG_SUBMIT: u8 = 0x01;
+const MSG_LABEL_SPLIT: u8 = 0x02;
+const MSG_PING: u8 = 0x03;
+const MSG_DONE: u8 = 0x81;
+const MSG_DEFERRED: u8 = 0x82;
+const MSG_REJECTED: u8 = 0x83;
+const MSG_ACK: u8 = 0x84;
+
+const STMT_GET: u8 = 0x00;
+const STMT_WRITE: u8 = 0x01;
+
+/// One statement of a wire transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireStmt {
+    /// Read a record; the result is shipped back in the completion.
+    Get(Key),
+    /// Apply a write operation (any registered [`Op`]).
+    Write(Key, Op),
+}
+
+/// Abort reasons on the wire. Key-level detail is deliberately dropped: a
+/// remote client retries on the code, it does not introspect server keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireAbort {
+    /// OCC validation failure.
+    Conflict = 1,
+    /// A lock was busy.
+    LockBusy = 2,
+    /// Operation/value type mismatch.
+    TypeMismatch = 3,
+    /// The transaction aborted itself.
+    UserAbort = 4,
+    /// The server is shutting down.
+    Shutdown = 5,
+}
+
+impl WireAbort {
+    /// Maps a [`TxError`] onto its wire code.
+    pub fn from_error(e: &TxError) -> WireAbort {
+        match e {
+            TxError::Conflict { .. } => WireAbort::Conflict,
+            TxError::LockBusy { .. } => WireAbort::LockBusy,
+            // A `Stash` abort never reaches a completion (it becomes a
+            // Deferred notice), but map it defensively.
+            TxError::Stash { .. } => WireAbort::Conflict,
+            TxError::TypeMismatch { .. } => WireAbort::TypeMismatch,
+            TxError::UserAbort { .. } => WireAbort::UserAbort,
+            TxError::Shutdown => WireAbort::Shutdown,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<WireAbort, CodecError> {
+        Ok(match code {
+            1 => WireAbort::Conflict,
+            2 => WireAbort::LockBusy,
+            3 => WireAbort::TypeMismatch,
+            4 => WireAbort::UserAbort,
+            5 => WireAbort::Shutdown,
+            _ => return Err(CodecError("unknown abort code")),
+        })
+    }
+
+    /// True when resubmitting later can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WireAbort::Conflict | WireAbort::LockBusy)
+    }
+}
+
+/// Body of a `Done` message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireDone {
+    /// The client-chosen request id.
+    pub id: u64,
+    /// Commit TID, or the abort code.
+    pub result: Result<u64, WireAbort>,
+    /// True when the transaction was stash-deferred before completing.
+    pub deferred: bool,
+    /// Results of the transaction's `Get` statements, in statement order
+    /// (empty on abort).
+    pub values: Vec<Option<Value>>,
+}
+
+/// Any client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMsg {
+    /// Submit one transaction.
+    Submit {
+        /// Client-chosen id echoed in every reply.
+        id: u64,
+        /// The transaction body.
+        stmts: Vec<WireStmt>,
+    },
+    /// Manually label `key` split for `op.kind()` (paper §5.5). A no-op on
+    /// engines without phase reconciliation; answered with `Ack`.
+    LabelSplit {
+        /// Client-chosen id echoed in the `Ack`.
+        id: u64,
+        /// The record to label.
+        key: Key,
+        /// An operation of the kind to split on.
+        op: Op,
+    },
+    /// Liveness probe; answered with `Ack`.
+    Ping {
+        /// Client-chosen id echoed in the `Ack`.
+        id: u64,
+    },
+}
+
+/// Any server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMsg {
+    /// A transaction finished.
+    Done(WireDone),
+    /// The transaction was stashed by a split phase; `Done` follows later.
+    Deferred {
+        /// The request this notice concerns.
+        id: u64,
+    },
+    /// The submission was rejected before reaching a worker.
+    Rejected {
+        /// The request this rejection concerns.
+        id: u64,
+        /// True for backpressure (`Busy`, retry later), false for shutdown.
+        busy: bool,
+    },
+    /// Answer to `LabelSplit` / `Ping`.
+    Ack {
+        /// The request this acknowledgment concerns.
+        id: u64,
+    },
+}
+
+// ------------------------------------------------------------------ encoding
+
+/// Encodes a client message payload (no frame header).
+pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match msg {
+        ClientMsg::Submit { id, stmts } => {
+            put_u8(&mut buf, MSG_SUBMIT);
+            put_u64(&mut buf, *id);
+            put_u32(&mut buf, stmts.len() as u32);
+            for stmt in stmts {
+                match stmt {
+                    WireStmt::Get(k) => {
+                        put_u8(&mut buf, STMT_GET);
+                        encode_key(&mut buf, *k);
+                    }
+                    WireStmt::Write(k, op) => {
+                        put_u8(&mut buf, STMT_WRITE);
+                        encode_key(&mut buf, *k);
+                        encode_op(&mut buf, op);
+                    }
+                }
+            }
+        }
+        ClientMsg::LabelSplit { id, key, op } => {
+            put_u8(&mut buf, MSG_LABEL_SPLIT);
+            put_u64(&mut buf, *id);
+            encode_key(&mut buf, *key);
+            encode_op(&mut buf, op);
+        }
+        ClientMsg::Ping { id } => {
+            put_u8(&mut buf, MSG_PING);
+            put_u64(&mut buf, *id);
+        }
+    }
+    buf
+}
+
+/// Decodes a client message payload.
+pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        MSG_SUBMIT => {
+            let id = d.u64()?;
+            let n = d.u32()? as usize;
+            // The smallest statement (`Get`) encodes to 17 bytes, so a count
+            // the payload cannot possibly hold is corrupt — and capping the
+            // speculative allocation at what the payload could hold keeps a
+            // hostile header from reserving gigabytes before the first
+            // statement fails to decode.
+            if n > payload.len() / 17 {
+                return Err(CodecError("statement count longer than message"));
+            }
+            let mut stmts = Vec::with_capacity(n);
+            for _ in 0..n {
+                match d.u8()? {
+                    STMT_GET => stmts.push(WireStmt::Get(decode_key(&mut d)?)),
+                    STMT_WRITE => {
+                        let k = decode_key(&mut d)?;
+                        let op = decode_op(&mut d)?;
+                        stmts.push(WireStmt::Write(k, op));
+                    }
+                    _ => return Err(CodecError("unknown statement tag")),
+                }
+            }
+            ClientMsg::Submit { id, stmts }
+        }
+        MSG_LABEL_SPLIT => {
+            let id = d.u64()?;
+            let key = decode_key(&mut d)?;
+            let op = decode_op(&mut d)?;
+            ClientMsg::LabelSplit { id, key, op }
+        }
+        MSG_PING => ClientMsg::Ping { id: d.u64()? },
+        _ => return Err(CodecError("unknown client message kind")),
+    };
+    if !d.is_done() {
+        return Err(CodecError("trailing bytes in client message"));
+    }
+    Ok(msg)
+}
+
+/// Encodes a server message payload (no frame header).
+pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match msg {
+        ServerMsg::Done(done) => {
+            put_u8(&mut buf, MSG_DONE);
+            put_u64(&mut buf, done.id);
+            match &done.result {
+                Ok(tid) => {
+                    put_u8(&mut buf, 0);
+                    put_u64(&mut buf, *tid);
+                }
+                Err(abort) => {
+                    put_u8(&mut buf, 1);
+                    put_u8(&mut buf, *abort as u8);
+                }
+            }
+            put_u8(&mut buf, done.deferred as u8);
+            put_u32(&mut buf, done.values.len() as u32);
+            for v in &done.values {
+                match v {
+                    None => put_u8(&mut buf, 0),
+                    Some(v) => {
+                        put_u8(&mut buf, 1);
+                        encode_value(&mut buf, v);
+                    }
+                }
+            }
+        }
+        ServerMsg::Deferred { id } => {
+            put_u8(&mut buf, MSG_DEFERRED);
+            put_u64(&mut buf, *id);
+        }
+        ServerMsg::Rejected { id, busy } => {
+            put_u8(&mut buf, MSG_REJECTED);
+            put_u64(&mut buf, *id);
+            put_u8(&mut buf, if *busy { 0 } else { 1 });
+        }
+        ServerMsg::Ack { id } => {
+            put_u8(&mut buf, MSG_ACK);
+            put_u64(&mut buf, *id);
+        }
+    }
+    buf
+}
+
+/// Decodes a server message payload.
+pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, CodecError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        MSG_DONE => {
+            let id = d.u64()?;
+            let result = match d.u8()? {
+                0 => Ok(d.u64()?),
+                1 => Err(WireAbort::from_code(d.u8()?)?),
+                _ => return Err(CodecError("unknown done status")),
+            };
+            let deferred = d.u8()? != 0;
+            let n = d.u32()? as usize;
+            // Each value entry is at least its 1-byte option tag; anything
+            // larger than the remaining payload is corrupt, and the cap
+            // bounds the speculative allocation.
+            if n > payload.len() {
+                return Err(CodecError("value count longer than message"));
+            }
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                values.push(match d.u8()? {
+                    0 => None,
+                    1 => Some(decode_value(&mut d)?),
+                    _ => return Err(CodecError("unknown option tag")),
+                });
+            }
+            ServerMsg::Done(WireDone { id, result, deferred, values })
+        }
+        MSG_DEFERRED => ServerMsg::Deferred { id: d.u64()? },
+        MSG_REJECTED => {
+            let id = d.u64()?;
+            let busy = match d.u8()? {
+                0 => true,
+                1 => false,
+                _ => return Err(CodecError("unknown rejection reason")),
+            };
+            ServerMsg::Rejected { id, busy }
+        }
+        MSG_ACK => ServerMsg::Ack { id: d.u64()? },
+        _ => return Err(CodecError("unknown server message kind")),
+    };
+    if !d.is_done() {
+        return Err(CodecError("trailing bytes in server message"));
+    }
+    Ok(msg)
+}
+
+// -------------------------------------------------------------------- frames
+
+/// Writes one frame: length prefix plus payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    debug_assert!(len <= MAX_FRAME);
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn frame header"))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doppel_common::OrderKey;
+
+    fn roundtrip_client(msg: ClientMsg) {
+        let encoded = encode_client(&msg);
+        assert_eq!(decode_client(&encoded).unwrap(), msg);
+    }
+
+    fn roundtrip_server(msg: ServerMsg) {
+        let encoded = encode_server(&msg);
+        assert_eq!(decode_server(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_client(ClientMsg::Ping { id: 9 });
+        roundtrip_client(ClientMsg::LabelSplit { id: 1, key: Key::raw(5), op: Op::Add(0) });
+        roundtrip_client(ClientMsg::Submit {
+            id: 42,
+            stmts: vec![
+                WireStmt::Write(Key::raw(1), Op::Add(5)),
+                WireStmt::Get(Key::raw(1)),
+                WireStmt::Write(
+                    Key::raw(2),
+                    Op::OPut { order: OrderKey::pair(3, 1), core: 0, payload: "p".into() },
+                ),
+                WireStmt::Write(Key::raw(3), Op::SetUnion([4, 5].into_iter().collect())),
+            ],
+        });
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMsg::Deferred { id: 3 });
+        roundtrip_server(ServerMsg::Rejected { id: 4, busy: true });
+        roundtrip_server(ServerMsg::Rejected { id: 4, busy: false });
+        roundtrip_server(ServerMsg::Ack { id: 5 });
+        roundtrip_server(ServerMsg::Done(WireDone {
+            id: 6,
+            result: Ok(77),
+            deferred: true,
+            values: vec![None, Some(Value::Int(12)), Some(Value::from("bytes"))],
+        }));
+        for abort in [
+            WireAbort::Conflict,
+            WireAbort::LockBusy,
+            WireAbort::TypeMismatch,
+            WireAbort::UserAbort,
+            WireAbort::Shutdown,
+        ] {
+            roundtrip_server(ServerMsg::Done(WireDone {
+                id: 7,
+                result: Err(abort),
+                deferred: false,
+                values: vec![],
+            }));
+        }
+    }
+
+    #[test]
+    fn abort_codes_map_and_retry() {
+        assert_eq!(
+            WireAbort::from_error(&TxError::Conflict { key: Key::raw(1) }),
+            WireAbort::Conflict
+        );
+        assert!(WireAbort::Conflict.is_retryable());
+        assert!(WireAbort::LockBusy.is_retryable());
+        assert!(!WireAbort::Shutdown.is_retryable());
+        assert!(WireAbort::from_code(99).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_header_and_oversize_frames_error() {
+        let mut cursor = std::io::Cursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(oversize);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn corrupt_payloads_error_not_panic() {
+        assert!(decode_client(&[]).is_err());
+        assert!(decode_client(&[0xFF]).is_err());
+        assert!(decode_server(&[0x55]).is_err());
+        let mut buf = encode_client(&ClientMsg::Ping { id: 1 });
+        buf.push(0);
+        assert!(decode_client(&buf).is_err(), "trailing bytes are rejected");
+    }
+}

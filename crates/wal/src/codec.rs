@@ -33,23 +33,23 @@ type Result<T> = std::result::Result<T, CodecError>;
 
 // ---------------------------------------------------------------- primitives
 
-pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
-pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_slice(buf: &mut Vec<u8>, v: &[u8]) {
+pub fn put_slice(buf: &mut Vec<u8>, v: &[u8]) {
     put_u32(buf, v.len() as u32);
     buf.extend_from_slice(v);
 }
@@ -62,17 +62,17 @@ fn put_i64s(buf: &mut Vec<u8>, len: usize, it: impl Iterator<Item = i64>) {
 }
 
 /// A cursor over encoded bytes.
-pub(crate) struct Dec<'a> {
+pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    pub fn new(buf: &'a [u8]) -> Self {
         Dec { buf, pos: 0 }
     }
 
-    pub(crate) fn is_done(&self) -> bool {
+    pub fn is_done(&self) -> bool {
         self.pos == self.buf.len()
     }
 
@@ -85,23 +85,23 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8> {
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32> {
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64> {
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64> {
+    pub fn i64(&mut self) -> Result<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn bytes(&mut self) -> Result<Bytes> {
+    pub fn bytes(&mut self) -> Result<Bytes> {
         let len = self.u32()? as usize;
         Ok(Bytes::copy_from_slice(self.take(len)?))
     }
@@ -123,7 +123,7 @@ impl<'a> Dec<'a> {
 
 // ---------------------------------------------------------------------- keys
 
-pub(crate) fn encode_key(buf: &mut Vec<u8>, k: Key) {
+pub fn encode_key(buf: &mut Vec<u8>, k: Key) {
     put_u32(buf, k.table() as u32);
     put_u64(buf, k.id());
     put_u32(buf, k.sub());
@@ -137,7 +137,7 @@ fn table_from_u32(tag: u32) -> Result<Table> {
         .ok_or(CodecError("unknown table tag"))
 }
 
-pub(crate) fn decode_key(d: &mut Dec<'_>) -> Result<Key> {
+pub fn decode_key(d: &mut Dec<'_>) -> Result<Key> {
     let table = table_from_u32(d.u32()?)?;
     let id = d.u64()?;
     let sub = d.u32()?;
@@ -174,7 +174,7 @@ fn decode_tuple(d: &mut Dec<'_>) -> Result<(OrderKey, usize, Bytes)> {
 }
 
 /// Encodes a value (checkpoint entries, `Put` arguments).
-pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Int(n) => {
             put_u8(buf, VAL_INT);
@@ -204,7 +204,7 @@ pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) {
 }
 
 /// Decodes a value.
-pub(crate) fn decode_value(d: &mut Dec<'_>) -> Result<Value> {
+pub fn decode_value(d: &mut Dec<'_>) -> Result<Value> {
     match d.u8()? {
         VAL_INT => Ok(Value::Int(d.i64()?)),
         VAL_BYTES => Ok(Value::Bytes(d.bytes()?)),
@@ -243,7 +243,7 @@ const OP_SET_UNION: u8 = 9;
 /// Encodes an operation. Every registered splittable operation plus `Put` is
 /// covered; an operation kind added tomorrow fails to compile here, which is
 /// exactly the reminder to extend the log format.
-pub(crate) fn encode_op(buf: &mut Vec<u8>, op: &Op) {
+pub fn encode_op(buf: &mut Vec<u8>, op: &Op) {
     match op {
         Op::Put(v) => {
             put_u8(buf, OP_PUT);
@@ -291,7 +291,7 @@ pub(crate) fn encode_op(buf: &mut Vec<u8>, op: &Op) {
 }
 
 /// Decodes an operation.
-pub(crate) fn decode_op(d: &mut Dec<'_>) -> Result<Op> {
+pub fn decode_op(d: &mut Dec<'_>) -> Result<Op> {
     match d.u8()? {
         OP_PUT => Ok(Op::Put(decode_value(d)?)),
         OP_MAX => Ok(Op::Max(d.i64()?)),

@@ -47,7 +47,7 @@
 //! ```
 
 pub mod checkpoint;
-mod codec;
+pub mod codec;
 mod crc;
 mod log;
 mod recover;

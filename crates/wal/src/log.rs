@@ -265,6 +265,18 @@ impl Wal {
     }
 }
 
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // A partially filled group-commit batch must not be lost just because
+        // the log owner forgot (or had no chance) to call `sync()` before
+        // dropping the log: flush and fsync whatever is buffered. Crash
+        // injection still applies — `flush_locked` is a no-op once the
+        // simulated machine has died, so crash tests keep their torn tails.
+        let mut inner = self.inner.lock();
+        let _ = self.flush_locked(&mut inner);
+    }
+}
+
 impl CommitSink for Wal {
     fn log_commit(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt {
         if writes.is_empty() {
@@ -335,6 +347,53 @@ mod tests {
         let s = wal.sync();
         assert_eq!(s.fsyncs, 1);
         assert_eq!(wal.durable_lsn(), wal.end_lsn());
+    }
+
+    #[test]
+    fn drop_flushes_partially_filled_batch() {
+        // Regression test for records buffered at shutdown: a group-commit
+        // batch below the flush threshold must still reach the disk when the
+        // log is dropped (engine drop / process exit without an explicit
+        // `sync()`), and recovery must replay it.
+        let dir = TempWalDir::new("drop-flush");
+        let cfg = DurabilityConfig {
+            group_commit_batch: 100,
+            group_commit_interval: std::time::Duration::from_secs(3600),
+            crash_at_byte: None,
+        };
+        {
+            let wal = Wal::open(dir.path(), cfg).unwrap();
+            for i in 0..3 {
+                let r = wal.log_commit(tid(i), &[(Key::raw(i), Op::Add(i as i64 + 1))]);
+                assert_eq!(r.fsyncs, 0, "batch of 100 must not flush after {i} records");
+            }
+            assert!(wal.durable_lsn() < wal.end_lsn(), "records are buffered, not durable");
+            // Dropped here without sync(): the Drop impl flushes the batch.
+        }
+        let recovered = crate::recover::recover(dir.path()).unwrap();
+        assert_eq!(recovered.records.len(), 3, "all buffered records survived the drop");
+        let ops: Vec<_> = recovered.records.iter().flat_map(|r| r.replay_ops()).collect();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[2], (Key::raw(2), Op::Add(3)));
+    }
+
+    #[test]
+    fn drop_after_injected_crash_stays_dead() {
+        // Drop must not resurrect a crashed log: the torn tail stays torn.
+        let dir = TempWalDir::new("drop-after-crash");
+        let crash_at = LOG_MAGIC.len() as u64 + 10;
+        let cfg =
+            DurabilityConfig { crash_at_byte: Some(crash_at), ..DurabilityConfig::synchronous() };
+        {
+            let wal = Wal::open(dir.path(), cfg).unwrap();
+            wal.log_commit(tid(1), &[(Key::raw(1), Op::Put(Value::from("payload bytes")))]);
+            assert!(wal.is_crashed());
+        }
+        assert_eq!(
+            std::fs::read(dir.path().join(LOG_FILE)).unwrap().len() as u64,
+            crash_at,
+            "drop after a crash must not write the lost tail"
+        );
     }
 
     #[test]

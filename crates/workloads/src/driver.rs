@@ -1,21 +1,32 @@
 //! The benchmark driver.
 //!
-//! Reproduces the measurement methodology of §8.1: "The worker thread on each
-//! core both generates transactions as if it were a client, and executes
-//! those transactions. If a transaction aborts, the thread saves the
-//! transaction to try at a later time, chosen with exponential backoff, and
-//! generates a new transaction. Throughput is measured as the total number of
-//! transactions completed divided by total running time."
+//! Reproduces the measurement methodology of §8.1 — per-core clients that
+//! generate transactions, retry aborts with exponential backoff and track
+//! stashed-transaction completions — but through the paper's *deployment*
+//! model (§3, §6): clients and workers are separate threads. [`Driver::run`]
+//! spawns a [`doppel_service::ServiceState`] worker per core (each owning
+//! its engine [`TxHandle`]), plus one closed-loop client per core that
+//! submits procedures through the bounded submission queues and consumes
+//! typed completions.
+//!
+//! [`Driver::run_direct`] preserves the original caller-thread execution
+//! model — the benchmark thread calling [`TxHandle::execute`] on its own
+//! stack — both as the zero-queue baseline and for the service-vs-direct
+//! differential test suites.
 //!
 //! The driver works against any [`Engine`] — Doppel, OCC, 2PL or Atomic —
-//! through the engine-agnostic [`doppel_common::TxHandle`] interface, exactly
-//! as in the paper where all schemes share one framework.
+//! exactly as in the paper where all schemes share one framework.
 
 use crate::hist::{Histogram, LatencySummary};
-use doppel_common::{Engine, Outcome, Procedure, StatsSnapshot, Ticket, TxHandle};
+use doppel_common::{
+    Engine, Outcome, Procedure, RequestId, ServiceReply, StatsSnapshot, SubmitError, Ticket,
+    TxHandle,
+};
+use doppel_service::{ReplySink, ServiceConfig, ServiceState};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +73,11 @@ pub struct BenchOptions {
     /// Maximum number of retry entries buffered per worker before the worker
     /// prefers draining retries over generating new transactions.
     pub max_pending_retries: usize,
+    /// Per-core submission queue depth for the service path.
+    pub queue_depth: usize,
+    /// How long clients keep collecting stash-deferred completions after the
+    /// measurement window closes.
+    pub drain_grace: Duration,
 }
 
 impl Default for BenchOptions {
@@ -71,6 +87,8 @@ impl Default for BenchOptions {
             duration: Duration::from_millis(200),
             seed: 0xD0_99E1,
             max_pending_retries: 4096,
+            queue_depth: 1024,
+            drain_grace: Duration::from_millis(500),
         }
     }
 }
@@ -106,7 +124,8 @@ pub struct BenchResult {
     pub read_latency: LatencySummary,
     /// Write-transaction latency summary.
     pub write_latency: LatencySummary,
-    /// Engine statistics delta over the run.
+    /// Engine statistics delta over the run (service runs include the
+    /// submission-queue counters).
     pub engine_stats: StatsSnapshot,
 }
 
@@ -140,12 +159,108 @@ struct WorkerTally {
 pub struct Driver;
 
 impl Driver {
-    /// Runs `workload` against `engine` and collects a [`BenchResult`].
+    /// Runs `workload` against `engine` through a transaction service and
+    /// collects a [`BenchResult`].
+    ///
+    /// One service worker and one closed-loop client are spawned per core:
+    /// the client submits through the core's bounded queue and waits for the
+    /// typed completion, retrying retryable aborts with exponential backoff.
+    /// Stash-deferred transactions (`Deferred` replies) do not block the
+    /// client; their completions are collected as they arrive.
     ///
     /// The engine must have been created with at least `options.workers`
     /// workers. The store is loaded through [`Workload::load`] before
-    /// measurement starts.
+    /// measurement starts. The engine is shut down (and its WAL flushed)
+    /// before this returns.
     pub fn run(engine: &dyn Engine, workload: &dyn Workload, options: &BenchOptions) -> BenchResult {
+        assert!(
+            options.workers <= engine.workers(),
+            "engine configured with {} workers but the benchmark asked for {}",
+            engine.workers(),
+            options.workers
+        );
+        workload.load(engine);
+        let stats_before = engine.stats();
+        let service_config = ServiceConfig {
+            queue_depth: options.queue_depth,
+            ..ServiceConfig::default()
+        };
+        let state = Arc::new(ServiceState::new(options.workers, service_config));
+        let stop = AtomicBool::new(false);
+        let started = Instant::now();
+        let mut measured = Duration::ZERO;
+
+        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+            let mut worker_joins = Vec::with_capacity(options.workers);
+            for core in 0..options.workers {
+                let state = Arc::clone(&state);
+                worker_joins.push(scope.spawn(move || state.worker_loop(engine, core)));
+            }
+            let mut client_joins = Vec::with_capacity(options.workers);
+            for core in 0..options.workers {
+                let state = Arc::clone(&state);
+                let stop = &stop;
+                let mut generator = workload.generator(core, options.seed + core as u64);
+                let opts = options.clone();
+                client_joins.push(scope.spawn(move || {
+                    run_closed_loop_client(&state, core, generator.as_mut(), stop, &opts)
+                }));
+            }
+            // Let the clients run for the configured duration, then stop
+            // them; the measurement window closes here.
+            std::thread::sleep(options.duration);
+            stop.store(true, Ordering::Release);
+            measured = started.elapsed();
+            let tallies: Vec<WorkerTally> =
+                client_joins.into_iter().map(|j| j.join().expect("benchmark client panicked")).collect();
+            // Graceful drain: close the queues and let the workers replay
+            // any remaining Doppel stashes before they exit.
+            state.close();
+            engine.begin_drain();
+            for j in worker_joins {
+                j.join().expect("service worker panicked");
+            }
+            tallies
+        });
+
+        let mut committed = 0;
+        let mut aborts = 0;
+        let mut stashed = 0;
+        let mut reads = Histogram::new();
+        let mut writes = Histogram::new();
+        for t in &tallies {
+            committed += t.committed;
+            aborts += t.aborts;
+            stashed += t.stashed;
+            reads.merge(&t.reads);
+            writes.merge(&t.writes);
+        }
+        engine.shutdown();
+        let stats_after = engine.stats().with_queue_counters(&state.queue_stats());
+        BenchResult {
+            engine: engine.name().to_string(),
+            workload: workload.name(),
+            workers: options.workers,
+            seconds: measured.as_secs_f64(),
+            committed,
+            throughput: committed as f64 / measured.as_secs_f64(),
+            aborts,
+            stashed,
+            read_latency: reads.summary(),
+            write_latency: writes.summary(),
+            engine_stats: stats_after.delta(&stats_before),
+        }
+    }
+
+    /// Runs `workload` with the original caller-thread execution model: each
+    /// benchmark thread drives its core's [`TxHandle`] directly, no queues
+    /// in between. Kept as the zero-queue baseline and for the
+    /// service-vs-direct equivalence suites.
+    pub fn run_direct(
+        engine: &dyn Engine,
+        workload: &dyn Workload,
+        options: &BenchOptions,
+    ) -> BenchResult {
         assert!(
             options.workers <= engine.workers(),
             "engine configured with {} workers but the benchmark asked for {}",
@@ -165,7 +280,7 @@ impl Driver {
                 let mut handle = engine.handle(core);
                 let max_pending = options.max_pending_retries;
                 joins.push(scope.spawn(move || {
-                    run_worker(handle.as_mut(), generator.as_mut(), stop, max_pending)
+                    run_direct_worker(handle.as_mut(), generator.as_mut(), stop, max_pending)
                 }));
             }
             // Let the workers run for the configured duration, then stop them.
@@ -213,7 +328,166 @@ fn backoff_delay(attempts: u32) -> Duration {
     Duration::from_micros(2u64.pow(exp).min(4_096))
 }
 
-fn run_worker(
+/// Closed-loop client for one core: submit one transaction, wait for its
+/// typed completion, repeat. Stash-deferred transactions release the loop
+/// immediately (their completions are consumed when they arrive), matching
+/// the paper's harness where a stashed transaction frees its worker.
+fn run_closed_loop_client(
+    state: &ServiceState,
+    core: usize,
+    generator: &mut dyn TxnGenerator,
+    stop: &AtomicBool,
+    options: &BenchOptions,
+) -> WorkerTally {
+    let (tx, rx): (Sender<ServiceReply>, Receiver<ServiceReply>) = std::sync::mpsc::channel();
+    let sink: ReplySink = Arc::new(move |reply| {
+        let _ = tx.send(reply);
+    });
+    let mut tally = WorkerTally::default();
+    let mut retries: Vec<RetryEntry> = Vec::new();
+    // Stash-deferred submissions accumulate here until their replayed
+    // completions arrive; the (single) synchronously awaited submission
+    // lives in a local inside the loop.
+    let mut deferred: HashMap<RequestId, (Instant, bool)> = HashMap::new();
+    let mut next_id = 0u64;
+    let mut shutdown_seen = false;
+
+    let mut check_counter = 0u32;
+    'outer: loop {
+        check_counter += 1;
+        if check_counter & 0x3F == 0 && stop.load(Ordering::Acquire) {
+            break;
+        }
+
+        // Consume completions of stash-deferred transactions.
+        while let Ok(reply) = rx.try_recv() {
+            absorb_async_reply(reply, &mut deferred, &mut tally);
+        }
+
+        // Prefer a due retry; otherwise generate a fresh transaction, unless
+        // the retry queue is saturated.
+        let now = Instant::now();
+        let due_idx = retries.iter().position(|r| r.due <= now);
+        let (proc, is_write, submitted, attempts) = match due_idx {
+            Some(idx) => {
+                let entry = retries.swap_remove(idx);
+                (entry.proc, entry.is_write, entry.submitted, entry.attempts)
+            }
+            None if retries.len() >= options.max_pending_retries => {
+                let earliest = retries.iter().map(|r| r.due).min().expect("non-empty");
+                let wait = earliest.saturating_duration_since(now);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait.min(Duration::from_millis(1)));
+                }
+                continue;
+            }
+            None => {
+                let txn = generator.next_txn();
+                (txn.proc, txn.is_write, Instant::now(), 0)
+            }
+        };
+
+        next_id += 1;
+        let id = RequestId(next_id);
+        loop {
+            match state.submit_to(core, id, Arc::clone(&proc), Arc::clone(&sink)) {
+                Ok(()) => break,
+                Err(SubmitError::Busy) => {
+                    // Closed-loop backpressure: wait for the queue to move.
+                    std::thread::sleep(Duration::from_micros(20));
+                    if stop.load(Ordering::Acquire) {
+                        break 'outer;
+                    }
+                }
+                Err(SubmitError::Shutdown) => break 'outer,
+            }
+        }
+
+        // Wait for this submission's reply (other ids may complete first).
+        loop {
+            let reply = match rx.recv() {
+                Ok(r) => r,
+                Err(_) => break 'outer,
+            };
+            if reply.request() != id {
+                absorb_async_reply(reply, &mut deferred, &mut tally);
+                continue;
+            }
+            match reply {
+                ServiceReply::Deferred(_) => {
+                    tally.stashed += 1;
+                    deferred.insert(id, (submitted, is_write));
+                }
+                ServiceReply::Done(c) => match c.result {
+                    Ok(_) => {
+                        tally.committed += 1;
+                        record_latency(&mut tally, is_write, submitted.elapsed());
+                    }
+                    Err(e) if e.is_retryable() => {
+                        tally.aborts += 1;
+                        let attempts = attempts + 1;
+                        retries.push(RetryEntry {
+                            proc,
+                            is_write,
+                            submitted,
+                            attempts,
+                            due: Instant::now() + backoff_delay(attempts),
+                        });
+                    }
+                    Err(doppel_common::TxError::Shutdown) => {
+                        shutdown_seen = true;
+                    }
+                    Err(_) => {
+                        // User aborts and type errors are not retried.
+                        tally.aborts += 1;
+                    }
+                },
+            }
+            break;
+        }
+        if shutdown_seen {
+            break;
+        }
+    }
+
+    // Collect outstanding stash-deferred completions: their replays need a
+    // phase transition, so give the engine a bounded grace period.
+    let deadline = Instant::now() + options.drain_grace;
+    while !deferred.is_empty() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(left.min(Duration::from_millis(5))) {
+            Ok(reply) => absorb_async_reply(reply, &mut deferred, &mut tally),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    tally
+}
+
+/// Accounts a reply that arrived asynchronously (a stash-deferred
+/// completion, or a `Deferred` notice raced past its waiter).
+fn absorb_async_reply(
+    reply: ServiceReply,
+    deferred: &mut HashMap<RequestId, (Instant, bool)>,
+    tally: &mut WorkerTally,
+) {
+    if let ServiceReply::Done(c) = reply {
+        if let Some((submitted, is_write)) = deferred.remove(&c.request) {
+            match c.result {
+                Ok(_) => {
+                    tally.committed += 1;
+                    record_latency(tally, is_write, submitted.elapsed());
+                }
+                Err(_) => tally.aborts += 1,
+            }
+        }
+    }
+}
+
+fn run_direct_worker(
     handle: &mut dyn TxHandle,
     generator: &mut dyn TxnGenerator,
     stop: &AtomicBool,
@@ -382,6 +656,27 @@ mod tests {
         // Latency was recorded for every committed write.
         assert_eq!(result.write_latency.count, result.committed);
         assert_eq!(result.read_latency.count, 0);
+        // The run went through the submission queues (retried aborts
+        // re-enqueue, so enqueued can exceed commits).
+        assert!(result.engine_stats.queue_enqueued >= result.committed);
+        assert!(result.engine_stats.queue_batches > 0);
+        assert_eq!(result.engine_stats.queue_depth, 0, "queues drained at shutdown");
+    }
+
+    #[test]
+    fn direct_driver_reports_consistent_totals_on_occ() {
+        let engine = doppel_occ::OccEngine::new(2, 64);
+        let workload = RoundRobin { keys: 1024 };
+        let options = BenchOptions::new(2, Duration::from_millis(100));
+        let result = Driver::run_direct(&engine, &workload, &options);
+        assert!(result.committed > 0);
+        let mut total = 0i64;
+        for k in 0..1024 {
+            total += engine.global_get(Key::raw(k)).unwrap().as_int().unwrap();
+        }
+        assert_eq!(total as u64, result.committed);
+        // The direct path never touches a submission queue.
+        assert_eq!(result.engine_stats.queue_enqueued, 0);
     }
 
     #[test]
@@ -422,5 +717,14 @@ mod tests {
         let workload = RoundRobin { keys: 8 };
         let options = BenchOptions::new(4, Duration::from_millis(10));
         let _ = Driver::run(&engine, &workload, &options);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn too_many_workers_panics_direct() {
+        let engine = doppel_occ::OccEngine::new(1, 16);
+        let workload = RoundRobin { keys: 8 };
+        let options = BenchOptions::new(4, Duration::from_millis(10));
+        let _ = Driver::run_direct(&engine, &workload, &options);
     }
 }

@@ -102,24 +102,31 @@ impl Histogram {
         self.max_us
     }
 
-    /// Produces the summary the paper's tables report.
+    /// Produces the summary the paper's tables report (p50/p95 added for the
+    /// service latency-vs-throughput curves).
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
             count: self.total,
             mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.50) as f64,
+            p95_us: self.quantile_us(0.95) as f64,
             p99_us: self.quantile_us(0.99) as f64,
             max_us: self.max_us as f64,
         }
     }
 }
 
-/// Mean / p99 / max latency summary, in microseconds.
+/// Mean / p50 / p95 / p99 / max latency summary, in microseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Number of observations.
     pub count: u64,
     /// Mean latency (µs).
     pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: f64,
     /// 99th-percentile latency (µs).
     pub p99_us: f64,
     /// Maximum latency (µs).
@@ -196,5 +203,19 @@ mod tests {
         assert_eq!(s.count, 1);
         assert!((s.mean_us - 100.0).abs() < 1e-9);
         assert!(s.p99_us >= 90.0);
+        assert!(s.p50_us >= 90.0 && s.p50_us <= 110.0);
+    }
+
+    #[test]
+    fn summary_quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.summary();
+        assert!(s.p50_us <= s.p95_us, "p50 {} > p95 {}", s.p50_us, s.p95_us);
+        assert!(s.p95_us <= s.p99_us, "p95 {} > p99 {}", s.p95_us, s.p99_us);
+        assert!(s.p99_us <= s.max_us, "p99 {} > max {}", s.p99_us, s.max_us);
+        assert!((s.p95_us - 9_500.0).abs() / 9_500.0 < 0.06, "p95={}", s.p95_us);
     }
 }

@@ -10,11 +10,16 @@
 //!   and `BoundedAdd` splittable operations (beyond the paper);
 //! * [`visitors`] — the VISITORS unique-audience benchmark exercising the
 //!   `SetUnion` splittable operation (beyond the paper);
-//! * [`driver`] — the multi-threaded measurement harness: per-core workers
-//!   that generate transactions, execute them against any
-//!   [`doppel_common::Engine`], retry aborts with exponential backoff, track
-//!   stashed-transaction completions and record read/write latencies —
-//!   mirroring the methodology described in §8.1;
+//! * [`driver`] — the multi-threaded measurement harness: per-core clients
+//!   that generate transactions and submit them through a
+//!   [`doppel_service::ServiceState`] worker pool (one engine-owned worker
+//!   per core, bounded submission queues, typed completions), retry aborts
+//!   with exponential backoff, track stash-deferred completions and record
+//!   read/write latencies — the methodology of §8.1 under the deployment
+//!   model of §3. `Driver::run_direct` keeps the original caller-thread
+//!   execution path as a baseline;
+//! * [`open_loop`] — the open-loop harness: a fixed offered load submitted
+//!   on a schedule, for latency-vs-throughput curves with backpressure;
 //! * [`hist`] — latency histograms (mean and 99th percentile);
 //! * [`report`] — typed results and plain-text / JSON rendering of the
 //!   tables and series the paper reports.
@@ -24,6 +29,7 @@ pub mod flags;
 pub mod hist;
 pub mod incr;
 pub mod like;
+pub mod open_loop;
 pub mod report;
 pub mod visitors;
 pub mod zipf;
@@ -33,6 +39,7 @@ pub use flags::FlagsWorkload;
 pub use hist::{Histogram, LatencySummary};
 pub use incr::{Incr1Workload, IncrZWorkload};
 pub use like::LikeWorkload;
+pub use open_loop::{run_open_loop, OpenLoopOptions, OpenLoopResult};
 pub use report::{Cell, Table};
 pub use visitors::VisitorsWorkload;
 pub use zipf::ZipfSampler;

@@ -27,6 +27,30 @@ pub fn wal_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
     ]
 }
 
+/// Column headers for the transaction-service queue counters of a run,
+/// matching [`service_stat_cells`]. Experiment binaries that drive engines
+/// through the service splice these in next to [`WAL_STAT_COLUMNS`] so queue
+/// pressure is visible alongside logging cost.
+pub const SERVICE_STAT_COLUMNS: &[&str] =
+    &["q_depth", "enqueued", "busy_rej", "deq_batches", "avg_batch"];
+
+/// The service queue counters of `stats` as one cell per
+/// [`SERVICE_STAT_COLUMNS`] entry.
+pub fn service_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
+    let avg_batch = if stats.queue_batches == 0 {
+        0.0
+    } else {
+        stats.queue_enqueued as f64 / stats.queue_batches as f64
+    };
+    vec![
+        Cell::Int(stats.queue_depth as i64),
+        Cell::Int(stats.queue_enqueued as i64),
+        Cell::Int(stats.queue_busy_rejections as i64),
+        Cell::Int(stats.queue_batches as i64),
+        Cell::Float(avg_batch),
+    ]
+}
+
 /// One table cell.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Cell {
@@ -170,6 +194,25 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_cells_match_columns() {
+        let stats = StatsSnapshot {
+            queue_depth: 3,
+            queue_enqueued: 100,
+            queue_busy_rejections: 7,
+            queue_batches: 25,
+            ..Default::default()
+        };
+        let cells = service_stat_cells(&stats);
+        assert_eq!(cells.len(), SERVICE_STAT_COLUMNS.len());
+        assert_eq!(cells[1], Cell::Int(100));
+        assert_eq!(cells[2], Cell::Int(7));
+        assert_eq!(cells[4], Cell::Float(4.0), "mean batch = enqueued / batches");
+        // No batches → no division by zero.
+        let empty = service_stat_cells(&StatsSnapshot::default());
+        assert_eq!(empty[4], Cell::Float(0.0));
+    }
 
     #[test]
     fn cell_rendering() {

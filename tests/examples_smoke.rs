@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "auction_bidding",
     "fraud_flags",
     "durable_counter",
+    "remote_counter",
 ];
 
 fn examples_dir() -> PathBuf {

@@ -1,0 +1,308 @@
+//! Service-vs-direct equivalence: the transaction service is a *transport*,
+//! not a semantics change.
+//!
+//! For every engine, a generated transaction stream must leave the store in
+//! exactly the same final state whether it is executed the old way (the
+//! benchmark thread calling [`TxHandle::execute`] on its own stack) or
+//! submitted through the service's queues and completed asynchronously —
+//! including streams that go through Doppel split phases with stash-deferred
+//! reads.
+
+use doppel_bench::engines::{build_engine, EngineKind, EngineParams};
+use doppel_common::{Engine, IntSet, Key, Outcome, ProcedureFn, SubmitError, Value};
+use doppel_service::{ServiceConfig, TransactionService};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const INT_KEYS: u64 = 8;
+const SET_KEYS: u64 = 4;
+const SET_BASE: u64 = 100;
+
+/// One generated single-op transaction.
+#[derive(Clone, Debug)]
+enum TxnSpec {
+    Add { key: u64, n: i64 },
+    Max { key: u64, n: i64 },
+    Min { key: u64, n: i64 },
+    BitOr { key: u64, n: i64 },
+    BoundedAdd { key: u64, n: i64 },
+    SetInsert { key: u64, elem: i64 },
+    Put { key: u64, n: i64 },
+    /// Read-modify-write: `v ← v / 2 + n` (order-dependent, so FIFO
+    /// submission order must be preserved by the service).
+    Rmw { key: u64, n: i64 },
+}
+
+impl TxnSpec {
+    fn proc(&self) -> Arc<dyn doppel_common::Procedure> {
+        match self.clone() {
+            TxnSpec::Add { key, n } => {
+                Arc::new(ProcedureFn::new("add", move |tx| tx.add(Key::raw(key), n)))
+            }
+            TxnSpec::Max { key, n } => {
+                Arc::new(ProcedureFn::new("max", move |tx| tx.max(Key::raw(key), n)))
+            }
+            TxnSpec::Min { key, n } => {
+                Arc::new(ProcedureFn::new("min", move |tx| tx.min(Key::raw(key), n)))
+            }
+            TxnSpec::BitOr { key, n } => {
+                Arc::new(ProcedureFn::new("bitor", move |tx| tx.bit_or(Key::raw(key), n)))
+            }
+            TxnSpec::BoundedAdd { key, n } => Arc::new(ProcedureFn::new("badd", move |tx| {
+                tx.bounded_add(Key::raw(key), n, 500)
+            })),
+            TxnSpec::SetInsert { key, elem } => Arc::new(ProcedureFn::new("sins", move |tx| {
+                tx.set_insert(Key::raw(SET_BASE + key), elem)
+            })),
+            TxnSpec::Put { key, n } => {
+                Arc::new(ProcedureFn::new("put", move |tx| tx.put(Key::raw(key), Value::Int(n))))
+            }
+            TxnSpec::Rmw { key, n } => Arc::new(ProcedureFn::new("rmw", move |tx| {
+                let v = tx.get_int(Key::raw(key))?;
+                tx.put(Key::raw(key), Value::Int(v / 2 + n))
+            })),
+        }
+    }
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<TxnSpec>> {
+    let spec = (0u64..INT_KEYS, 0u64..SET_KEYS, -500i64..500, 0u8..8).prop_map(
+        |(ikey, skey, n, kind)| match kind {
+            0 => TxnSpec::Add { key: ikey, n },
+            1 => TxnSpec::Max { key: ikey, n },
+            2 => TxnSpec::Min { key: ikey, n },
+            3 => TxnSpec::BitOr { key: ikey, n: n & 0xFFFF },
+            4 => TxnSpec::BoundedAdd { key: ikey, n: n.rem_euclid(60) },
+            5 => TxnSpec::SetInsert { key: skey, elem: n.rem_euclid(64) },
+            6 => TxnSpec::Put { key: ikey, n },
+            _ => TxnSpec::Rmw { key: ikey, n },
+        },
+    );
+    prop::collection::vec(spec, 0..120)
+}
+
+fn load(engine: &dyn Engine) {
+    for k in 0..INT_KEYS {
+        engine.load(Key::raw(k), Value::Int(0));
+    }
+    for k in 0..SET_KEYS {
+        engine.load(Key::raw(SET_BASE + k), Value::Set(IntSet::default()));
+    }
+}
+
+fn snapshot(engine: &dyn Engine) -> Vec<Option<Value>> {
+    (0..INT_KEYS)
+        .map(Key::raw)
+        .chain((0..SET_KEYS).map(|k| Key::raw(SET_BASE + k)))
+        .map(|k| engine.global_get(k))
+        .collect()
+}
+
+/// Executes the stream on the caller's stack through a single direct handle.
+fn run_direct(engine: &dyn Engine, txns: &[TxnSpec]) -> Vec<Option<Value>> {
+    load(engine);
+    let mut handle = engine.handle(0);
+    for spec in txns {
+        let proc = spec.proc();
+        let mut attempts = 0;
+        loop {
+            match handle.execute(Arc::clone(&proc)) {
+                Outcome::Committed(_) => break,
+                Outcome::Aborted(e) if e.is_retryable() && attempts < 1_000 => attempts += 1,
+                Outcome::Aborted(e) => panic!("direct execution aborted: {e}"),
+                Outcome::Stashed(_) => {
+                    // Replay happens at the next joined phase; drive
+                    // safepoints until the completion surfaces.
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    loop {
+                        handle.safepoint();
+                        let completions = handle.take_completions();
+                        if !completions.is_empty() {
+                            assert!(completions[0].result.is_ok(), "stash replay aborted");
+                            break;
+                        }
+                        assert!(Instant::now() < deadline, "stash never replayed");
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    drop(handle);
+    engine.shutdown();
+    snapshot(engine)
+}
+
+/// Submits the stream through a single-worker transaction service, waiting
+/// for each typed completion.
+fn run_via_service(engine: Arc<dyn Engine>, txns: &[TxnSpec]) -> Vec<Option<Value>> {
+    load(engine.as_ref());
+    let service = TransactionService::start(Arc::clone(&engine), ServiceConfig::default());
+    let mut client = service.client();
+    for spec in txns {
+        let proc = spec.proc();
+        let mut attempts = 0;
+        loop {
+            let id = loop {
+                match client.submit_to(0, Arc::clone(&proc)) {
+                    Ok(id) => break id,
+                    Err(SubmitError::Busy) => std::thread::sleep(Duration::from_micros(10)),
+                    Err(SubmitError::Shutdown) => panic!("service shut down mid-stream"),
+                }
+            };
+            let done = client.wait(id);
+            match done.result {
+                Ok(_) => break,
+                Err(e) if e.is_retryable() && attempts < 1_000 => attempts += 1,
+                Err(e) => panic!("service execution aborted: {e}"),
+            }
+        }
+    }
+    service.shutdown();
+    snapshot(engine.as_ref())
+}
+
+proptest! {
+    /// The same stream through the service path and the direct path leaves
+    /// identical final stores, for all four engines — and all four engines
+    /// agree with each other.
+    #[test]
+    fn service_path_equals_direct_path_on_all_engines(txns in arb_stream()) {
+        let params = EngineParams { workers: 1, shards: 64, ..EngineParams::default() };
+        let mut reference: Option<(&'static str, Vec<Option<Value>>)> = None;
+        for kind in EngineKind::ALL {
+            let direct_engine = build_engine(*kind, &params);
+            let direct = run_direct(direct_engine.as_ref(), &txns);
+
+            let service_engine: Arc<dyn Engine> = Arc::from(build_engine(*kind, &params));
+            let via_service = run_via_service(Arc::clone(&service_engine), &txns);
+
+            prop_assert_eq!(
+                &via_service, &direct,
+                "{} service path diverged from direct path", kind.label()
+            );
+            match reference.take() {
+                None => reference = Some((kind.label(), direct)),
+                Some((ref_name, ref_state)) => {
+                    prop_assert_eq!(
+                        &direct, &ref_state,
+                        "{} diverged from {}", kind.label(), ref_name
+                    );
+                    reference = Some((ref_name, ref_state));
+                }
+            }
+        }
+    }
+}
+
+/// A stream of increments and reads on one split-labelled Doppel key.
+#[derive(Clone, Debug)]
+enum HotOp {
+    Incr(i64),
+    Read,
+}
+
+fn arb_hot_stream() -> impl Strategy<Value = Vec<HotOp>> {
+    let op = (0u8..4, 1i64..20).prop_map(|(kind, n)| match kind {
+        0 => HotOp::Read,
+        _ => HotOp::Incr(n),
+    });
+    prop::collection::vec(op, 1..60)
+}
+
+proptest! {
+    /// Doppel through the service with an actively split key: increments go
+    /// through slices, reads get stash-deferred and replayed, and the final
+    /// counter equals the model sum — the service path handles the full
+    /// phase machinery, not just the joined-phase fast path.
+    #[test]
+    fn doppel_split_phases_through_the_service_preserve_the_counter(ops in arb_hot_stream()) {
+        let cfg = doppel_common::DoppelConfig {
+            workers: 1,
+            phase_len: Duration::from_millis(3),
+            split_min_conflicts: 1,
+            split_conflict_fraction: 0.0,
+            unsplit_write_fraction: 0.0,
+            ..Default::default()
+        };
+        let db = Arc::new(doppel_db::DoppelDb::start(cfg));
+        db.load(Key::raw(0), Value::Int(0));
+        db.label_split(Key::raw(0), doppel_common::OpKind::Add);
+        let engine: Arc<dyn Engine> = db.clone();
+        let service = TransactionService::start(engine, ServiceConfig::default());
+        let mut client = service.client();
+
+        let mut expected = 0i64;
+        for op in &ops {
+            match op {
+                HotOp::Incr(n) => {
+                    let n = *n;
+                    expected += n;
+                    let proc: Arc<dyn doppel_common::Procedure> =
+                        Arc::new(ProcedureFn::new("incr", move |tx| tx.add(Key::raw(0), n)));
+                    let id = client.submit_to(0, proc).unwrap();
+                    let done = client.wait(id);
+                    prop_assert!(done.result.is_ok(), "increment aborted: {:?}", done.result);
+                }
+                HotOp::Read => {
+                    let proc: Arc<dyn doppel_common::Procedure> = Arc::new(
+                        ProcedureFn::read_only("read", |tx| tx.get(Key::raw(0)).map(|_| ())),
+                    );
+                    let id = client.submit_to(0, proc).unwrap();
+                    let done = client.wait(id);
+                    prop_assert!(done.result.is_ok(), "read aborted: {:?}", done.result);
+                    prop_assert_eq!(
+                        done.deferred,
+                        client.was_deferred(id),
+                        "deferred flag must match the Deferred notice"
+                    );
+                }
+            }
+        }
+        service.shutdown();
+        prop_assert_eq!(db.global_get(Key::raw(0)), Some(Value::Int(expected)));
+    }
+}
+
+/// Non-property smoke check that `Op` streams with every splittable kind run
+/// through the service on a multi-worker engine without losing updates
+/// (commutative ops only, so worker interleaving cannot change the result).
+#[test]
+fn multi_worker_service_preserves_commutative_totals() {
+    let engine: Arc<dyn Engine> = Arc::new(doppel_occ::OccEngine::new(4, 256));
+    engine.load(Key::raw(1), Value::Int(0));
+    let service = TransactionService::start(Arc::clone(&engine), ServiceConfig::default());
+    let mut client = service.client();
+    let mut ids = Vec::new();
+    for _ in 0..400 {
+        let proc: Arc<dyn doppel_common::Procedure> =
+            Arc::new(ProcedureFn::new("incr", |tx| tx.add(Key::raw(1), 1)));
+        loop {
+            match client.submit(Arc::clone(&proc)) {
+                Ok(id) => {
+                    ids.push(id);
+                    break;
+                }
+                Err(SubmitError::Busy) => std::thread::sleep(Duration::from_micros(10)),
+                Err(SubmitError::Shutdown) => unreachable!("service is running"),
+            }
+        }
+    }
+    let mut committed = 0;
+    for id in ids {
+        let done = client.wait(id);
+        match done.result {
+            Ok(_) => committed += 1,
+            Err(e) => assert!(e.is_retryable(), "unexpected abort {e}"),
+        }
+    }
+    service.shutdown();
+    assert_eq!(
+        engine.global_get(Key::raw(1)),
+        Some(Value::Int(committed)),
+        "every committed increment must be in the store"
+    );
+    assert!(committed > 0);
+}
