@@ -15,7 +15,8 @@ use doppel_bench::{build_engine, emit, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::Incr1Workload;
 use doppel_workloads::open_loop::{run_open_loop, OpenLoopOptions};
 use doppel_workloads::report::{
-    service_stat_cells, wal_stat_cells, Cell, Table, SERVICE_STAT_COLUMNS, WAL_STAT_COLUMNS,
+    latency_cells, service_stat_cells, wal_stat_cells, Cell, Table, LATENCY_COLUMNS,
+    SERVICE_STAT_COLUMNS, WAL_STAT_COLUMNS,
 };
 use doppel_workloads::Driver;
 use std::time::Duration;
@@ -61,7 +62,8 @@ fn main() {
             queue_depth,
         ),
         &[
-            &["engine", "offered/s", "done/s", "busy%", "p50", "p95", "p99"][..],
+            &["engine", "offered/s", "done/s", "busy%"][..],
+            LATENCY_COLUMNS,
             SERVICE_STAT_COLUMNS,
             WAL_STAT_COLUMNS,
         ]
@@ -101,10 +103,8 @@ fn main() {
                 Cell::Int(result.offered_load as i64),
                 Cell::Mtps(result.throughput),
                 Cell::Float(busy_pct),
-                Cell::Micros(result.latency.p50_us),
-                Cell::Micros(result.latency.p95_us),
-                Cell::Micros(result.latency.p99_us),
             ];
+            row.extend(latency_cells(&result.latency));
             row.extend(service_stat_cells(&result.engine_stats));
             row.extend(wal_stat_cells(&result.engine_stats));
             table.push_row(row);

@@ -134,6 +134,14 @@ pub trait Procedure: Send + Sync {
     fn is_read_only(&self) -> bool {
         false
     }
+
+    /// The per-procedure counters of this procedure's registry entry, when it
+    /// is a [`crate::proc::RegisteredCall`]. The transaction service uses the
+    /// hook to account commits, aborts and stash-deferrals per registered
+    /// procedure; closure procedures return `None` and are not tracked.
+    fn proc_stats(&self) -> Option<&crate::proc::ProcStats> {
+        None
+    }
 }
 
 /// A [`Procedure`] built from a closure, convenient in examples and tests.

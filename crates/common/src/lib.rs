@@ -25,6 +25,7 @@ pub mod engine;
 pub mod error;
 pub mod key;
 pub mod ops;
+pub mod proc;
 pub mod service;
 pub mod split_op;
 pub mod stats;
@@ -39,6 +40,10 @@ pub use engine::{
 pub use error::TxError;
 pub use key::{Key, Table};
 pub use ops::{EmptyOrderKey, Op, OpKind, OrderKey};
+pub use proc::{
+    ArgValue, Args, ProcId, ProcRegistry, ProcResult, ProcStats, ProcStatsSnapshot,
+    RegisteredCall, TxCtx,
+};
 pub use service::{RequestId, ServiceCompletion, ServiceReply, SubmitError};
 pub use split_op::{split_ops, SplitOp, SplitOpRegistry};
 pub use stats::{EngineStats, StatsSnapshot};

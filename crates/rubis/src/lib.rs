@@ -25,13 +25,15 @@
 //! transactions; there are no web servers or browsers."
 
 pub mod data;
+pub mod procs;
 pub mod rows;
 pub mod schema;
 pub mod txns;
 pub mod workload;
 
 pub use data::{RubisData, RubisScale};
+pub use procs::{hint_hot_items, register_rubis, rubis_registry, RubisProcs, RUBIS_PROCS};
 pub use rows::{BidRow, BuyNowRow, CommentRow, ItemRow, UserRow};
 pub use schema::keys;
 pub use txns::TxnStyle;
-pub use workload::{RubisMix, RubisWorkload};
+pub use workload::{RubisCall, RubisCallGenerator, RubisMix, RubisWorkload};

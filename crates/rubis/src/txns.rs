@@ -297,13 +297,22 @@ pub struct ViewItem {
     pub item: u64,
 }
 
+impl ViewItem {
+    /// The page's reads; returns `(max_bid, num_bids)` so the registered
+    /// procedure form can ship the aggregates back to a remote client. The
+    /// read set is exactly [`Procedure::run`]'s.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<(i64, i64), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        let max_bid = tx.get_int(keys::max_bid(self.item))?;
+        let num_bids = tx.get_int(keys::num_bids(self.item))?;
+        let _max_bidder = tx.get(keys::max_bidder(self.item))?;
+        Ok((max_bid, num_bids))
+    }
+}
+
 impl Procedure for ViewItem {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
-        let _max_bid = tx.get_int(keys::max_bid(self.item))?;
-        let _num_bids = tx.get_int(keys::num_bids(self.item))?;
-        let _max_bidder = tx.get(keys::max_bidder(self.item))?;
-        Ok(())
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -321,12 +330,19 @@ pub struct ViewUserInfo {
     pub user: u64,
 }
 
+impl ViewUserInfo {
+    /// The page's reads; returns the user's rating.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        let _user: Option<UserRow> = decode(tx.get(keys::user(self.user))?.as_ref());
+        let rating = tx.get_int(keys::user_rating(self.user))?;
+        let _comments = tx.get(keys::comments_by_user(self.user))?;
+        Ok(rating)
+    }
+}
+
 impl Procedure for ViewUserInfo {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        let _user: Option<UserRow> = decode(tx.get(keys::user(self.user))?.as_ref());
-        let _rating = tx.get_int(keys::user_rating(self.user))?;
-        let _comments = tx.get(keys::comments_by_user(self.user))?;
-        Ok(())
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -345,8 +361,10 @@ pub struct ViewBidHistory {
     pub item: u64,
 }
 
-impl Procedure for ViewBidHistory {
-    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+impl ViewBidHistory {
+    /// The page's reads; returns the number of bids listed.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        let mut listed = 0i64;
         let index = tx.get(keys::bids_per_item(self.item))?;
         if let Some(Value::TopK(set)) = index {
             for entry in set.iter() {
@@ -354,9 +372,16 @@ impl Procedure for ViewBidHistory {
                     entry.payload.as_ref().try_into().unwrap_or([0u8; 8]),
                 );
                 let _bid: Option<BidRow> = decode(tx.get(keys::bid(bid_id))?.as_ref());
+                listed += 1;
             }
         }
-        Ok(())
+        Ok(listed)
+    }
+}
+
+impl Procedure for ViewBidHistory {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -375,9 +400,16 @@ pub struct SearchItemsByCategory {
     pub category: u64,
 }
 
+impl SearchItemsByCategory {
+    /// The page's reads; returns the number of items listed.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        read_item_index(tx, keys::items_by_category(self.category))
+    }
+}
+
 impl Procedure for SearchItemsByCategory {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        read_item_index(tx, keys::items_by_category(self.category))
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -395,9 +427,16 @@ pub struct SearchItemsByRegion {
     pub region: u64,
 }
 
+impl SearchItemsByRegion {
+    /// The page's reads; returns the number of items listed.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        read_item_index(tx, keys::items_by_region(self.region))
+    }
+}
+
 impl Procedure for SearchItemsByRegion {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        read_item_index(tx, keys::items_by_region(self.region))
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -409,15 +448,17 @@ impl Procedure for SearchItemsByRegion {
     }
 }
 
-fn read_item_index(tx: &mut dyn Tx, key: doppel_common::Key) -> Result<(), TxError> {
+fn read_item_index(tx: &mut dyn Tx, key: doppel_common::Key) -> Result<i64, TxError> {
+    let mut listed = 0i64;
     if let Some(Value::TopK(set)) = tx.get(key)? {
         for entry in set.iter() {
             let item_id =
                 u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
             let _item: Option<ItemRow> = decode(tx.get(keys::item(item_id))?.as_ref());
+            listed += 1;
         }
     }
-    Ok(())
+    Ok(listed)
 }
 
 /// Transaction 11: browse the category list.
@@ -426,12 +467,22 @@ pub struct BrowseCategories {
     pub categories: u64,
 }
 
+impl BrowseCategories {
+    /// The page's reads; returns the number of category rows found.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        let mut found = 0i64;
+        for c in 0..self.categories.min(20) {
+            if tx.get(keys::category(c))?.is_some() {
+                found += 1;
+            }
+        }
+        Ok(found)
+    }
+}
+
 impl Procedure for BrowseCategories {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        for c in 0..self.categories.min(20) {
-            let _ = tx.get(keys::category(c))?;
-        }
-        Ok(())
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -449,12 +500,22 @@ pub struct BrowseRegions {
     pub regions: u64,
 }
 
+impl BrowseRegions {
+    /// The page's reads; returns the number of region rows found.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        let mut found = 0i64;
+        for r in 0..self.regions.min(62) {
+            if tx.get(keys::region(r))?.is_some() {
+                found += 1;
+            }
+        }
+        Ok(found)
+    }
+}
+
 impl Procedure for BrowseRegions {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        for r in 0..self.regions.min(62) {
-            let _ = tx.get(keys::region(r))?;
-        }
-        Ok(())
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -473,18 +534,27 @@ pub struct AboutMe {
     pub user: u64,
 }
 
-impl Procedure for AboutMe {
-    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+impl AboutMe {
+    /// The page's reads; returns `(rating, comments listed)`.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<(i64, i64), TxError> {
         let _user: Option<UserRow> = decode(tx.get(keys::user(self.user))?.as_ref());
-        let _rating = tx.get_int(keys::user_rating(self.user))?;
+        let rating = tx.get_int(keys::user_rating(self.user))?;
+        let mut listed = 0i64;
         if let Some(Value::TopK(set)) = tx.get(keys::comments_by_user(self.user))? {
             for entry in set.iter() {
                 let comment_id =
                     u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
                 let _c: Option<CommentRow> = decode(tx.get(keys::comment(comment_id))?.as_ref());
+                listed += 1;
             }
         }
-        Ok(())
+        Ok((rating, listed))
+    }
+}
+
+impl Procedure for AboutMe {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -503,12 +573,20 @@ pub struct PutBidView {
     pub item: u64,
 }
 
+impl PutBidView {
+    /// The page's reads; returns `(max_bid, num_bids)` — what a bidder sees
+    /// before choosing an amount.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<(i64, i64), TxError> {
+        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
+        let max_bid = tx.get_int(keys::max_bid(self.item))?;
+        let num_bids = tx.get_int(keys::num_bids(self.item))?;
+        Ok((max_bid, num_bids))
+    }
+}
+
 impl Procedure for PutBidView {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        let _item: Option<ItemRow> = decode(tx.get(keys::item(self.item))?.as_ref());
-        let _max_bid = tx.get_int(keys::max_bid(self.item))?;
-        let _num_bids = tx.get_int(keys::num_bids(self.item))?;
-        Ok(())
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {
@@ -571,16 +649,25 @@ pub struct ViewUserComments {
     pub user: u64,
 }
 
-impl Procedure for ViewUserComments {
-    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+impl ViewUserComments {
+    /// The page's reads; returns the number of comments listed.
+    pub fn view(&self, tx: &mut dyn Tx) -> Result<i64, TxError> {
+        let mut listed = 0i64;
         if let Some(Value::TopK(set)) = tx.get(keys::comments_by_user(self.user))? {
             for entry in set.iter() {
                 let comment_id =
                     u64::from_le_bytes(entry.payload.as_ref().try_into().unwrap_or([0u8; 8]));
                 let _c: Option<CommentRow> = decode(tx.get(keys::comment(comment_id))?.as_ref());
+                listed += 1;
             }
         }
-        Ok(())
+        Ok(listed)
+    }
+}
+
+impl Procedure for ViewUserComments {
+    fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
+        self.view(tx).map(|_| ())
     }
 
     fn name(&self) -> &'static str {

@@ -13,12 +13,9 @@
 //!   executes non-bid transactions in correspondingly reduced proportions."
 
 use crate::data::{RubisData, RubisScale};
-use crate::txns::{
-    AboutMe, BrowseCategories, BrowseRegions, BuyNowView, PutBidView, PutCommentView,
-    RegisterUser, SearchItemsByCategory, SearchItemsByRegion, StoreBid, StoreBuyNow, StoreComment,
-    StoreItem, TxnStyle, ViewBidHistory, ViewItem, ViewUserComments, ViewUserInfo,
-};
-use doppel_common::{Engine, Procedure};
+use crate::procs::{args as proc_args, rubis_registry, RubisProcs};
+use crate::txns::TxnStyle;
+use doppel_common::{Args, Engine, ProcId, ProcRegistry};
 use doppel_workloads::driver::{GeneratedTxn, TxnGenerator, Workload};
 use doppel_workloads::zipf::ZipfSampler;
 use rand::rngs::SmallRng;
@@ -95,6 +92,13 @@ impl Txn {
 }
 
 /// The RUBiS workload, pluggable into [`doppel_workloads::Driver`].
+///
+/// Every generated transaction is an invocation of the RUBiS *procedure
+/// pack* ([`crate::procs`]) — the registry-backed path a networked client
+/// uses — so per-procedure statistics accumulate in
+/// [`RubisWorkload::registry`] during a driver run, and the same generator
+/// ([`RubisWorkload::call_generator`]) can feed wire-level `InvokeProc`
+/// clients.
 pub struct RubisWorkload {
     /// Table sizes.
     pub scale: RubisScale,
@@ -103,6 +107,8 @@ pub struct RubisWorkload {
     /// Whether contended writes use the classic or the Doppel (commutative)
     /// transaction style.
     pub style: TxnStyle,
+    registry: Arc<ProcRegistry>,
+    procs: RubisProcs,
     item_sampler: Arc<ZipfSampler>,
     /// Pre-normalised cumulative (weight, txn) list for mix sampling.
     mix_cdf: Vec<(f64, Txn)>,
@@ -127,7 +133,32 @@ impl RubisWorkload {
         };
         let item_sampler = Arc::new(ZipfSampler::new(scale.items, alpha));
         let mix_cdf = Self::mix_cdf(mix);
-        RubisWorkload { scale, mix, style, item_sampler, mix_cdf }
+        let registry = rubis_registry();
+        let procs = RubisProcs::resolve(&registry);
+        RubisWorkload { scale, mix, style, registry, procs, item_sampler, mix_cdf }
+    }
+
+    /// The procedure registry the generated transactions invoke
+    /// (per-procedure statistics accumulate here during a run).
+    pub fn registry(&self) -> &Arc<ProcRegistry> {
+        &self.registry
+    }
+
+    /// A generator producing wire-level `(name, Args)` invocations of the
+    /// same mix — what a remote `InvokeProc` client submits.
+    pub fn call_generator(&self, core: usize, seed: u64) -> RubisCallGenerator {
+        RubisCallGenerator {
+            scale: self.scale,
+            style: self.style,
+            registry: Arc::clone(&self.registry),
+            procs: self.procs,
+            mix_cdf: self.mix_cdf.clone(),
+            item_sampler: Arc::clone(&self.item_sampler),
+            rng: SmallRng::seed_from_u64(seed ^ ((core as u64 + 1) << 32)),
+            core: core as u64,
+            next_id: 0,
+            clock: 0,
+        }
     }
 
     /// Builds the cumulative mix distribution.
@@ -194,22 +225,33 @@ impl Workload for RubisWorkload {
     }
 
     fn generator(&self, core: usize, seed: u64) -> Box<dyn TxnGenerator> {
-        Box::new(RubisGenerator {
-            scale: self.scale,
-            style: self.style,
-            mix_cdf: self.mix_cdf.clone(),
-            item_sampler: Arc::clone(&self.item_sampler),
-            rng: SmallRng::seed_from_u64(seed ^ ((core as u64 + 1) << 32)),
-            core: core as u64,
-            next_id: 0,
-            clock: 0,
-        })
+        Box::new(RubisGenerator { inner: self.call_generator(core, seed) })
+    }
+
+    fn proc_registry(&self) -> Option<Arc<ProcRegistry>> {
+        Some(Arc::clone(&self.registry))
     }
 }
 
-struct RubisGenerator {
+/// One sampled invocation of the RUBiS procedure pack.
+pub struct RubisCall {
+    /// Registry id of the procedure.
+    pub proc: ProcId,
+    /// Registered procedure name (what goes on the wire).
+    pub name: &'static str,
+    /// The argument vector.
+    pub args: Args,
+    /// True for the write transactions of the mix.
+    pub is_write: bool,
+}
+
+/// Samples the configured RUBiS mix as `(procedure, args)` invocations —
+/// shared by the in-process driver path and wire-level clients.
+pub struct RubisCallGenerator {
     scale: RubisScale,
     style: TxnStyle,
+    registry: Arc<ProcRegistry>,
+    procs: RubisProcs,
     mix_cdf: Vec<(f64, Txn)>,
     item_sampler: Arc<ZipfSampler>,
     rng: SmallRng,
@@ -220,7 +262,12 @@ struct RubisGenerator {
     clock: i64,
 }
 
-impl RubisGenerator {
+impl RubisCallGenerator {
+    /// The registry the sampled calls belong to.
+    pub fn registry(&self) -> &Arc<ProcRegistry> {
+        &self.registry
+    }
+
     /// Allocates an id that cannot collide with pre-loaded rows (which use
     /// ids below 2^40) or with other workers' allocations.
     fn fresh_id(&mut self) -> u64 {
@@ -245,86 +292,156 @@ impl RubisGenerator {
     fn pick_user(&mut self) -> u64 {
         self.rng.gen_range(0..self.scale.users)
     }
-}
 
-impl TxnGenerator for RubisGenerator {
-    fn next_txn(&mut self) -> GeneratedTxn {
+    /// Samples the next invocation of the mix.
+    pub fn next_call(&mut self) -> RubisCall {
         self.clock += 1;
         let kind = self.pick_txn();
         let style = self.style;
-        let proc: Arc<dyn Procedure> = match kind {
+        let p = self.procs;
+        let (proc, name, args) = match kind {
             Txn::StoreBid => {
                 let item = self.pick_item();
                 let bidder = self.pick_user();
                 // Bid above the initial price so max-bid keeps advancing.
                 let amount = 1_000 + self.rng.gen_range(0..1_000_000i64);
-                Arc::new(StoreBid {
-                    bid_id: self.fresh_id(),
-                    bidder,
-                    item,
-                    amount,
-                    now: self.clock,
-                    style,
-                })
+                let id = self.fresh_id();
+                (
+                    p.store_bid,
+                    "rubis.store_bid",
+                    proc_args::store_bid(id, bidder, item, amount, self.clock, style),
+                )
             }
             Txn::StoreComment => {
                 let about_user = self.pick_user();
-                Arc::new(StoreComment {
-                    comment_id: self.fresh_id(),
-                    author: self.pick_user(),
-                    about_user,
-                    item: self.pick_item(),
-                    rating: self.rng.gen_range(-1..=5),
-                    text: "nice transaction".into(),
-                    style,
-                })
+                let author = self.pick_user();
+                let item = self.pick_item();
+                let rating = self.rng.gen_range(-1..=5);
+                let id = self.fresh_id();
+                (
+                    p.store_comment,
+                    "rubis.store_comment",
+                    proc_args::store_comment(
+                        id,
+                        author,
+                        about_user,
+                        item,
+                        rating,
+                        "nice transaction",
+                        style,
+                    ),
+                )
             }
-            Txn::RegisterUser => Arc::new(RegisterUser {
-                user_id: self.fresh_id(),
-                nickname: format!("user-{}-{}", self.core, self.next_id),
-                region: self.rng.gen_range(0..self.scale.regions),
-                now: self.clock,
-            }),
-            Txn::StoreItem => Arc::new(StoreItem {
-                item_id: self.fresh_id(),
-                seller: self.pick_user(),
-                category: self.rng.gen_range(0..self.scale.categories),
-                region: self.rng.gen_range(0..self.scale.regions),
-                name: "freshly listed item".into(),
-                initial_price: self.rng.gen_range(100..10_000),
-                end_date: self.clock + 1_000_000,
-                style,
-            }),
-            Txn::StoreBuyNow => Arc::new(StoreBuyNow {
-                buy_now_id: self.fresh_id(),
-                item: self.pick_item(),
-                buyer: self.pick_user(),
-                quantity: 1,
-                now: self.clock,
-            }),
-            Txn::ViewItem => Arc::new(ViewItem { item: self.pick_item() }),
-            Txn::ViewUserInfo => Arc::new(ViewUserInfo { user: self.pick_user() }),
-            Txn::ViewBidHistory => Arc::new(ViewBidHistory { item: self.pick_item() }),
-            Txn::SearchItemsByCategory => Arc::new(SearchItemsByCategory {
-                category: self.rng.gen_range(0..self.scale.categories),
-            }),
-            Txn::SearchItemsByRegion => Arc::new(SearchItemsByRegion {
-                region: self.rng.gen_range(0..self.scale.regions),
-            }),
-            Txn::BrowseCategories => {
-                Arc::new(BrowseCategories { categories: self.scale.categories })
+            Txn::RegisterUser => {
+                let region = self.rng.gen_range(0..self.scale.regions);
+                let id = self.fresh_id();
+                let nickname = format!("user-{}-{}", self.core, self.next_id);
+                (
+                    p.register_user,
+                    "rubis.register_user",
+                    proc_args::register_user(id, &nickname, region, self.clock),
+                )
             }
-            Txn::BrowseRegions => Arc::new(BrowseRegions { regions: self.scale.regions }),
-            Txn::AboutMe => Arc::new(AboutMe { user: self.pick_user() }),
-            Txn::PutBidView => Arc::new(PutBidView { item: self.pick_item() }),
-            Txn::PutCommentView => Arc::new(PutCommentView {
-                about_user: self.pick_user(),
-                item: self.pick_item(),
-            }),
-            Txn::BuyNowView => Arc::new(BuyNowView { item: self.pick_item() }),
-            Txn::ViewUserComments => Arc::new(ViewUserComments { user: self.pick_user() }),
+            Txn::StoreItem => {
+                let seller = self.pick_user();
+                let category = self.rng.gen_range(0..self.scale.categories);
+                let region = self.rng.gen_range(0..self.scale.regions);
+                let price = self.rng.gen_range(100..10_000);
+                let id = self.fresh_id();
+                (
+                    p.store_item,
+                    "rubis.store_item",
+                    proc_args::store_item(
+                        id,
+                        seller,
+                        category,
+                        region,
+                        "freshly listed item",
+                        price,
+                        self.clock + 1_000_000,
+                        style,
+                    ),
+                )
+            }
+            Txn::StoreBuyNow => {
+                let item = self.pick_item();
+                let buyer = self.pick_user();
+                let id = self.fresh_id();
+                (
+                    p.store_buy_now,
+                    "rubis.store_buy_now",
+                    proc_args::store_buy_now(id, item, buyer, 1, self.clock),
+                )
+            }
+            Txn::ViewItem => {
+                (p.view_item, "rubis.view_item", proc_args::view_item(self.pick_item()))
+            }
+            Txn::ViewUserInfo => (
+                p.view_user_info,
+                "rubis.view_user_info",
+                proc_args::view_user_info(self.pick_user()),
+            ),
+            Txn::ViewBidHistory => (
+                p.view_bid_history,
+                "rubis.view_bid_history",
+                proc_args::view_bid_history(self.pick_item()),
+            ),
+            Txn::SearchItemsByCategory => (
+                p.search_items_by_category,
+                "rubis.search_items_by_category",
+                proc_args::search_items_by_category(self.rng.gen_range(0..self.scale.categories)),
+            ),
+            Txn::SearchItemsByRegion => (
+                p.search_items_by_region,
+                "rubis.search_items_by_region",
+                proc_args::search_items_by_region(self.rng.gen_range(0..self.scale.regions)),
+            ),
+            Txn::BrowseCategories => (
+                p.browse_categories,
+                "rubis.browse_categories",
+                proc_args::browse_categories(self.scale.categories),
+            ),
+            Txn::BrowseRegions => (
+                p.browse_regions,
+                "rubis.browse_regions",
+                proc_args::browse_regions(self.scale.regions),
+            ),
+            Txn::AboutMe => (p.about_me, "rubis.about_me", proc_args::about_me(self.pick_user())),
+            Txn::PutBidView => {
+                (p.put_bid_view, "rubis.put_bid_view", proc_args::put_bid_view(self.pick_item()))
+            }
+            Txn::PutCommentView => {
+                let about = self.pick_user();
+                let item = self.pick_item();
+                (
+                    p.put_comment_view,
+                    "rubis.put_comment_view",
+                    proc_args::put_comment_view(about, item),
+                )
+            }
+            Txn::BuyNowView => {
+                (p.buy_now_view, "rubis.buy_now_view", proc_args::buy_now_view(self.pick_item()))
+            }
+            Txn::ViewUserComments => (
+                p.view_user_comments,
+                "rubis.view_user_comments",
+                proc_args::view_user_comments(self.pick_user()),
+            ),
         };
-        GeneratedTxn { proc, is_write: kind.is_write() }
+        RubisCall { proc, name, args, is_write: kind.is_write() }
+    }
+}
+
+/// [`TxnGenerator`] adapter: binds each sampled call in the registry.
+struct RubisGenerator {
+    inner: RubisCallGenerator,
+}
+
+impl TxnGenerator for RubisGenerator {
+    fn next_txn(&mut self) -> GeneratedTxn {
+        let call = self.inner.next_call();
+        let registry = Arc::clone(&self.inner.registry);
+        GeneratedTxn { proc: registry.call(call.proc, call.args), is_write: call.is_write }
     }
 }
 
@@ -352,7 +469,7 @@ mod tests {
         let bids = (0..n)
             .filter(|_| {
                 let t = gen.next_txn();
-                t.is_write && t.proc.name() == "StoreBid"
+                t.is_write && t.proc.name() == "rubis.store_bid"
             })
             .count();
         let frac = bids as f64 / n as f64;
@@ -362,17 +479,8 @@ mod tests {
     #[test]
     fn generated_ids_do_not_collide_across_workers() {
         let w = RubisWorkload::bidding(RubisScale::small(), TxnStyle::Doppel);
-        let mut a = RubisGenerator {
-            scale: w.scale,
-            style: w.style,
-            mix_cdf: w.mix_cdf.clone(),
-            item_sampler: Arc::clone(&w.item_sampler),
-            rng: SmallRng::seed_from_u64(1),
-            core: 0,
-            next_id: 0,
-            clock: 0,
-        };
-        let mut b = RubisGenerator { core: 1, rng: SmallRng::seed_from_u64(2), ..a.clone_for_test() };
+        let mut a = w.call_generator(0, 1);
+        let mut b = w.call_generator(1, 2);
         let ids_a: Vec<u64> = (0..100).map(|_| a.fresh_id()).collect();
         let ids_b: Vec<u64> = (0..100).map(|_| b.fresh_id()).collect();
         for id in &ids_a {
@@ -381,18 +489,19 @@ mod tests {
         }
     }
 
-    impl RubisGenerator {
-        fn clone_for_test(&self) -> Self {
-            RubisGenerator {
-                scale: self.scale,
-                style: self.style,
-                mix_cdf: self.mix_cdf.clone(),
-                item_sampler: Arc::clone(&self.item_sampler),
-                rng: SmallRng::seed_from_u64(99),
-                core: self.core,
-                next_id: self.next_id,
-                clock: self.clock,
-            }
+    #[test]
+    fn call_generator_names_resolve_in_the_registry() {
+        let w = RubisWorkload::bidding(RubisScale::small(), TxnStyle::Doppel);
+        let mut gen = w.call_generator(0, 3);
+        for _ in 0..200 {
+            let call = gen.next_call();
+            assert_eq!(
+                w.registry().lookup(call.name),
+                Some(call.proc),
+                "{} must resolve to its own id",
+                call.name
+            );
+            assert_eq!(w.registry().is_read_only(call.proc), !call.is_write);
         }
     }
 

@@ -1,0 +1,295 @@
+//! `doppel-server`: serve a Doppel (or baseline) engine over TCP, with
+//! registered stored-procedure packs.
+//!
+//! ```text
+//! doppel-server --engine doppel --port 7777 --workers 4 --procs kv,rubis
+//! ```
+//!
+//! Prints one `listening on <addr>` line to stdout once ready, then serves
+//! until killed (or until `--seconds N` elapses, for scripted runs). Clients
+//! either ship raw statement lists (`Submit`) or invoke registered
+//! procedures by name (`InvokeProc`); `--procs` selects which packs are
+//! registered. See the README's "Stored procedures" and "Architecture &
+//! serving" sections for the wire protocol.
+
+use doppel_common::ProcRegistry;
+use doppel_rubis::{RubisData, RubisScale};
+use doppel_service::{Server, ServerEngine, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The engines this server can front, with one-line descriptions for
+/// `--help`.
+const ENGINES: &[(&str, &str)] = &[
+    ("doppel", "phase reconciliation (split contended records per core)"),
+    ("occ", "Silo-style optimistic concurrency control"),
+    ("2pl", "two-phase locking"),
+    ("atomic", "atomic per-record operations, no transactions (baseline)"),
+];
+
+/// The registerable procedure packs, with one-line descriptions.
+const PACKS: &[(&str, &str)] = &[
+    ("kv", "typed key/value procedures over any table"),
+    ("rubis", "the 17 RUBiS auction transactions"),
+];
+
+struct Flags {
+    engine: String,
+    host: String,
+    port: u16,
+    workers: usize,
+    shards: usize,
+    phase_ms: u64,
+    queue_depth: usize,
+    batch_max: usize,
+    seconds: Option<f64>,
+    durable_dir: Option<String>,
+    procs: Vec<String>,
+    rubis_scale: Option<String>,
+    hint_items: u64,
+}
+
+fn pack_proc_names(pack: &str) -> Vec<&'static str> {
+    match pack {
+        "kv" => doppel_service::KV_PROCS.to_vec(),
+        "rubis" => doppel_rubis::RUBIS_PROCS.to_vec(),
+        _ => Vec::new(),
+    }
+}
+
+fn usage() -> ! {
+    println!(
+        "doppel-server: serve a transactional engine over TCP\n\n\
+         Usage: doppel-server [FLAGS]\n\n\
+         Flags:\n\
+           --engine NAME     which engine to serve (default doppel, see below)\n\
+           --host ADDR       bind address (default 127.0.0.1)\n\
+           --port N          TCP port; 0 picks an ephemeral port (default 7777)\n\
+           --workers N       worker threads / cores (default 4)\n\
+           --shards N        store shard count (default 1024)\n\
+           --phase-ms MS     Doppel phase length in milliseconds (default 20)\n\
+           --queue-depth N   per-core submission queue cap (default 1024)\n\
+           --batch N         max procedures dequeued per batch (default 64)\n\
+           --seconds S       exit after S seconds (default: run until killed)\n\
+           --durable DIR     write-ahead log directory (recovers it first)\n\
+           --procs LIST      comma-separated procedure packs (default kv)\n\
+           --rubis-scale SZ  preload RUBiS data: small | paper\n\
+           --hint-items N    label the N most popular RUBiS items' auction\n\
+                             aggregates split at startup (needs rubis pack)\n\
+           --help            print this message"
+    );
+    println!("\nEngines:");
+    for (name, desc) in ENGINES {
+        println!("  {name:<8} {desc}");
+    }
+    println!("\nProcedure packs:");
+    for (name, desc) in PACKS {
+        println!("  {name:<8} {desc}");
+        println!("           {}", pack_proc_names(name).join(", "));
+    }
+    std::process::exit(0);
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        engine: "doppel".into(),
+        host: "127.0.0.1".into(),
+        port: 7777,
+        workers: 4,
+        shards: 1024,
+        phase_ms: 20,
+        queue_depth: 1024,
+        batch_max: 64,
+        seconds: None,
+        durable_dir: None,
+        procs: vec!["kv".into()],
+        rubis_scale: None,
+        hint_items: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--engine" => flags.engine = value("engine"),
+            "--host" => flags.host = value("host"),
+            "--port" => flags.port = value("port").parse().expect("--port expects a port number"),
+            "--workers" => {
+                flags.workers = value("workers").parse().expect("--workers expects an integer")
+            }
+            "--shards" => flags.shards = value("shards").parse().expect("--shards expects an integer"),
+            "--phase-ms" => {
+                flags.phase_ms = value("phase-ms").parse().expect("--phase-ms expects an integer")
+            }
+            "--queue-depth" => {
+                flags.queue_depth =
+                    value("queue-depth").parse().expect("--queue-depth expects an integer")
+            }
+            "--batch" => flags.batch_max = value("batch").parse().expect("--batch expects an integer"),
+            "--seconds" => {
+                flags.seconds = Some(value("seconds").parse().expect("--seconds expects a number"))
+            }
+            "--durable" => flags.durable_dir = Some(value("durable")),
+            "--procs" => {
+                flags.procs = value("procs")
+                    .split(',')
+                    .map(|p| p.trim().to_ascii_lowercase())
+                    .filter(|p| !p.is_empty())
+                    .collect()
+            }
+            "--rubis-scale" => flags.rubis_scale = Some(value("rubis-scale")),
+            "--hint-items" => {
+                flags.hint_items =
+                    value("hint-items").parse().expect("--hint-items expects an integer")
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+/// Builds the registry named by `--procs`, rejecting unknown pack names with
+/// the list of known ones.
+fn build_registry(flags: &Flags) -> Arc<ProcRegistry> {
+    let mut reg = ProcRegistry::new();
+    let mut registered: Vec<&str> = Vec::new();
+    for pack in &flags.procs {
+        // `--procs kv,kv` means kv once; registering a pack twice would
+        // trip the registry's duplicate-name assertion.
+        if registered.contains(&pack.as_str()) {
+            continue;
+        }
+        registered.push(pack);
+        match pack.as_str() {
+            "kv" => doppel_service::register_kv(&mut reg),
+            "rubis" => doppel_rubis::register_rubis(&mut reg),
+            unknown => {
+                let known: Vec<&str> = PACKS.iter().map(|(n, _)| *n).collect();
+                eprintln!(
+                    "unknown procedure pack {unknown:?} in --procs (available: {})",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if flags.hint_items > 0 {
+        if !flags.procs.iter().any(|p| p == "rubis") {
+            eprintln!("--hint-items requires the rubis pack (add rubis to --procs)");
+            std::process::exit(2);
+        }
+        // Zipf popularity maps rank to item id, so the hottest items are the
+        // lowest ids.
+        doppel_rubis::hint_hot_items(&mut reg, 0..flags.hint_items);
+    }
+    Arc::new(reg)
+}
+
+fn rubis_scale(name: &str) -> RubisScale {
+    match name {
+        "small" => RubisScale::small(),
+        "paper" => RubisScale::paper(),
+        other => {
+            eprintln!("unknown --rubis-scale {other:?} (small | paper)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    let registry = build_registry(&flags);
+    let engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = ENGINES.iter().map(|(n, _)| *n).collect();
+            eprintln!("unknown engine {:?} (available: {})", flags.engine, known.join(" | "));
+            std::process::exit(2);
+        })
+        .with_procs(Arc::clone(&registry));
+
+    // Durability: recover the directory into the fresh store, then attach
+    // the log so every commit (and Doppel merged delta) is logged.
+    if let Some(dir) = &flags.durable_dir {
+        let report = doppel_wal::recover_into(engine.engine.as_ref(), dir)
+            .unwrap_or_else(|e| {
+                eprintln!("recovery of {dir} failed: {e}");
+                std::process::exit(1);
+            });
+        if report.log_records() > 0 || report.checkpoint_records > 0 {
+            eprintln!(
+                "recovered {} checkpoint records + {} log records from {dir}",
+                report.checkpoint_records,
+                report.log_records()
+            );
+        }
+        let wal = doppel_wal::Wal::open(dir, doppel_common::DurabilityConfig::default().from_env())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open WAL in {dir}: {e}");
+                std::process::exit(1);
+            });
+        engine.engine.attach_commit_sink(Arc::new(wal));
+    }
+
+    // Preload RUBiS data when asked (a networked client cannot call
+    // `Engine::load`; the bulk pre-population of §8.1 belongs to the server).
+    if let Some(scale) = &flags.rubis_scale {
+        let scale = rubis_scale(scale);
+        RubisData::new(scale).load(engine.engine.as_ref());
+        eprintln!(
+            "preloaded RUBiS data: {} users, {} items, {} categories, {} regions",
+            scale.users, scale.items, scale.categories, scale.regions
+        );
+    }
+
+    let config = ServiceConfig {
+        queue_depth: flags.queue_depth,
+        batch_max: flags.batch_max,
+        ..ServiceConfig::default()
+    };
+    let engine_name = engine.engine.name();
+    let server = Server::start(engine, config, (flags.host.as_str(), flags.port))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {}:{}: {e}", flags.host, flags.port);
+            std::process::exit(1);
+        });
+
+    // The one line scripts parse; flush so a piped parent sees it promptly.
+    println!(
+        "listening on {} (engine={engine_name}, workers={}, procs=[{}])",
+        server.local_addr(),
+        flags.workers,
+        flags.procs.join(",")
+    );
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    match flags.seconds {
+        Some(s) => std::thread::sleep(Duration::from_secs_f64(s)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+    let stats = server.service().stats();
+    eprintln!(
+        "served {} commits, {} conflicts, {} enqueued, {} busy rejections",
+        stats.commits, stats.conflicts, stats.queue_enqueued, stats.queue_busy_rejections
+    );
+    // Per-procedure accounting: one line per invoked procedure.
+    for proc in server.procs().stats() {
+        if proc.invocations > 0 {
+            eprintln!(
+                "proc {}: {} invocations, {} commits, {} aborts, {} deferrals",
+                proc.name, proc.invocations, proc.commits, proc.aborts, proc.deferrals
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@ use crate::wire::{
     decode_server, encode_client, read_frame, write_frame, ClientMsg, ServerMsg, WireAbort,
     WireStmt,
 };
-use doppel_common::{Key, Op, OrderKey, Value};
+use doppel_common::{Args, Key, Op, OrderKey, ProcResult, Value};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -86,6 +86,9 @@ pub enum RemoteOutcome {
         tid: u64,
         /// Results of the transaction's `Get` statements, in order.
         values: Vec<Option<Value>>,
+        /// Typed result of a registered-procedure invocation (`None` for raw
+        /// statement-list submissions).
+        proc_result: Option<ProcResult>,
         /// True when the transaction was stash-deferred before committing.
         deferred: bool,
     },
@@ -113,6 +116,15 @@ impl RemoteOutcome {
     pub fn values(&self) -> Option<&[Option<Value>]> {
         match self {
             RemoteOutcome::Committed { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// The committed procedure result, when this was a committed
+    /// [`RemoteClient::call`].
+    pub fn proc_result(&self) -> Option<&ProcResult> {
+        match self {
+            RemoteOutcome::Committed { proc_result, .. } => proc_result.as_ref(),
             _ => None,
         }
     }
@@ -178,6 +190,7 @@ impl RemoteClient {
                     Ok(tid) => RemoteOutcome::Committed {
                         tid,
                         values: done.values,
+                        proc_result: done.proc_result,
                         deferred: done.deferred,
                     },
                     Err(code) => RemoteOutcome::Aborted { code, deferred: done.deferred },
@@ -188,6 +201,7 @@ impl RemoteClient {
             ServerMsg::Ack { id } => Some((id, RemoteOutcome::Committed {
                 tid: 0,
                 values: Vec::new(),
+                proc_result: None,
                 deferred: false,
             })),
         }
@@ -213,6 +227,41 @@ impl RemoteClient {
     pub fn execute(&mut self, txn: &RemoteTxn) -> io::Result<RemoteOutcome> {
         let id = self.submit(txn)?;
         self.wait(id)
+    }
+
+    /// Submits a registered-procedure invocation without waiting; returns
+    /// its request id. The server resolves `name` in its
+    /// [`doppel_common::ProcRegistry`]; an unregistered name completes as
+    /// [`RemoteOutcome::Aborted`] with [`WireAbort::UnknownProc`].
+    pub fn submit_call(&mut self, name: &str, args: Args) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::InvokeProc { id, proc: name.to_string(), args })?;
+        Ok(id)
+    }
+
+    /// Invoke-and-wait convenience: the typed remote call. On commit the
+    /// outcome carries the procedure's [`ProcResult`]
+    /// ([`RemoteOutcome::proc_result`]).
+    pub fn call(&mut self, name: &str, args: Args) -> io::Result<RemoteOutcome> {
+        let id = self.submit_call(name, args)?;
+        self.wait(id)
+    }
+
+    /// Pipelines a batch of invocations: every frame is written (and flushed
+    /// once) before the first reply is awaited, so a batch costs one network
+    /// round trip instead of one per invocation. Returns the request ids in
+    /// submission order; collect outcomes with [`RemoteClient::wait`].
+    pub fn submit_batch(&mut self, calls: &[(&str, Args)]) -> io::Result<Vec<u64>> {
+        let mut ids = Vec::with_capacity(calls.len());
+        for (name, args) in calls {
+            let id = self.fresh_id();
+            let msg =
+                ClientMsg::InvokeProc { id, proc: name.to_string(), args: args.clone() };
+            write_frame(&mut self.writer, &encode_client(&msg))?;
+            ids.push(id);
+        }
+        self.writer.flush()?;
+        Ok(ids)
     }
 
     /// Labels `key` split for `op`'s kind on the server (Doppel only; other

@@ -21,12 +21,14 @@
 //!   processes.
 
 pub mod client;
+pub mod procs;
 pub mod queue;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use client::{RemoteClient, RemoteOutcome, RemoteTxn};
+pub use procs::{kv_registry, register_kv, KV_PROCS};
 pub use queue::{PushError, SubmissionQueue};
 pub use server::{RemoteProcedure, Server, ServerEngine};
 pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};

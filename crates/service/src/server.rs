@@ -13,7 +13,8 @@ use crate::wire::{
     WireDone, WireStmt,
 };
 use doppel_common::{
-    DoppelConfig, Engine, Op, Procedure, RequestId, ServiceReply, SubmitError, Tx, TxError, Value,
+    DoppelConfig, Engine, Op, Procedure, ProcRegistry, RegisteredCall, RequestId, ServiceReply,
+    SubmitError, Tx, TxError, Value,
 };
 use doppel_db::DoppelDb;
 use std::io::{BufReader, BufWriter, Write};
@@ -83,25 +84,36 @@ impl Procedure for RemoteProcedure {
     }
 }
 
-/// An engine prepared for serving: the trait object the service drives plus
-/// the concrete Doppel handle (when the engine is Doppel) for control
-/// operations the [`Engine`] trait does not expose, e.g. split labelling.
+/// An engine prepared for serving: the trait object the service drives, the
+/// concrete Doppel handle (when the engine is Doppel) for control operations
+/// the [`Engine`] trait does not expose (split labelling), and the
+/// stored-procedure registry `InvokeProc` messages dispatch against.
 pub struct ServerEngine {
     /// The engine behind the service.
     pub engine: Arc<dyn Engine>,
     /// Set when `engine` is a Doppel database.
     pub doppel: Option<Arc<DoppelDb>>,
+    /// Registered procedures served to `InvokeProc` clients (empty by
+    /// default: such a server answers every invocation with `UnknownProc`
+    /// but still serves raw statement lists).
+    pub procs: Arc<ProcRegistry>,
 }
 
 impl ServerEngine {
     /// Wraps a started Doppel database.
     pub fn doppel(db: Arc<DoppelDb>) -> Self {
-        ServerEngine { engine: db.clone(), doppel: Some(db) }
+        ServerEngine { engine: db.clone(), doppel: Some(db), procs: Arc::default() }
     }
 
     /// Wraps any other engine.
     pub fn other(engine: Arc<dyn Engine>) -> Self {
-        ServerEngine { engine, doppel: None }
+        ServerEngine { engine, doppel: None, procs: Arc::default() }
+    }
+
+    /// Attaches a procedure registry (built by registering procedure packs).
+    pub fn with_procs(mut self, procs: Arc<ProcRegistry>) -> Self {
+        self.procs = procs;
+        self
     }
 
     /// Builds an engine by name (`doppel`, `occ`, `2pl`, `atomic`), mirroring
@@ -134,6 +146,7 @@ impl ServerEngine {
 pub struct Server {
     service: Arc<TransactionService>,
     doppel: Option<Arc<DoppelDb>>,
+    procs: Arc<ProcRegistry>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
@@ -182,9 +195,20 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<ConnRegistry> = Arc::default();
 
+        // Feed the registry's per-procedure contention hints to Doppel's
+        // classifier as manual split labels (paper §5.5): records the
+        // procedure packs know are contended start split instead of waiting
+        // for the conflict counters to notice.
+        if let Some(db) = &engine.doppel {
+            for (_, key, kind) in engine.procs.contention_hints() {
+                db.label_split(*key, *kind);
+            }
+        }
+
         let accept = {
             let service = Arc::clone(&service);
             let doppel = engine.doppel.clone();
+            let procs = Arc::clone(&engine.procs);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new().name("doppel-accept".into()).spawn(move || {
@@ -197,11 +221,12 @@ impl Server {
                     let conn_id = conns.register(clone);
                     let service = Arc::clone(&service);
                     let doppel = doppel.clone();
+                    let procs = Arc::clone(&procs);
                     let conns = Arc::clone(&conns);
                     std::thread::Builder::new()
                         .name("doppel-conn".into())
                         .spawn(move || {
-                            handle_connection(stream, service, doppel);
+                            handle_connection(stream, service, doppel, procs);
                             conns.deregister(conn_id);
                         })
                         .expect("failed to spawn connection thread");
@@ -212,6 +237,7 @@ impl Server {
         Ok(Server {
             service,
             doppel: engine.doppel,
+            procs: engine.procs,
             addr,
             stop,
             accept: parking_lot::Mutex::new(Some(accept)),
@@ -232,6 +258,11 @@ impl Server {
     /// The concrete Doppel database, when serving one.
     pub fn doppel(&self) -> Option<&Arc<DoppelDb>> {
         self.doppel.as_ref()
+    }
+
+    /// The stored-procedure registry (per-procedure statistics live here).
+    pub fn procs(&self) -> &Arc<ProcRegistry> {
+        &self.procs
     }
 
     /// Stops accepting, closes every connection, drains the service and
@@ -266,7 +297,34 @@ fn reply_to_msg(reply: ServiceReply, proc: &RemoteProcedure) -> ServerMsg {
                 Ok(tid) => (Ok(tid.raw()), proc.take_values()),
                 Err(e) => (Err(WireAbort::from_error(&e)), Vec::new()),
             };
-            ServerMsg::Done(WireDone { id: c.request.0, result, deferred: c.deferred, values })
+            ServerMsg::Done(WireDone {
+                id: c.request.0,
+                result,
+                deferred: c.deferred,
+                values,
+                proc_result: None,
+            })
+        }
+    }
+}
+
+/// Converts a service reply for a registered-procedure invocation into its
+/// wire form, resolving the typed [`doppel_common::ProcResult`] on commit.
+fn reply_to_call_msg(reply: ServiceReply, call: &RegisteredCall) -> ServerMsg {
+    match reply {
+        ServiceReply::Deferred(id) => ServerMsg::Deferred { id: id.0 },
+        ServiceReply::Done(c) => {
+            let (result, proc_result) = match c.result {
+                Ok(tid) => (Ok(tid.raw()), call.take_result()),
+                Err(e) => (Err(WireAbort::from_error(&e)), None),
+            };
+            ServerMsg::Done(WireDone {
+                id: c.request.0,
+                result,
+                deferred: c.deferred,
+                values: Vec::new(),
+                proc_result,
+            })
         }
     }
 }
@@ -275,6 +333,7 @@ fn handle_connection(
     stream: TcpStream,
     service: Arc<TransactionService>,
     doppel: Option<Arc<DoppelDb>>,
+    procs: Arc<ProcRegistry>,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
     let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = std::sync::mpsc::channel();
@@ -300,6 +359,36 @@ fn handle_connection(
                     })
                 };
                 match service.submit(RequestId(id), proc, sink) {
+                    Ok(_) => {}
+                    Err(SubmitError::Busy) => {
+                        let _ = tx.send(ServerMsg::Rejected { id, busy: true });
+                    }
+                    Err(SubmitError::Shutdown) => {
+                        let _ = tx.send(ServerMsg::Rejected { id, busy: false });
+                    }
+                }
+            }
+            ClientMsg::InvokeProc { id, proc, args } => {
+                let Some(call) = procs.call_by_name(&proc, args) else {
+                    // Typed rejection: the name is not registered on this
+                    // server (the client sees a non-retryable abort).
+                    let _ = tx.send(ServerMsg::Done(WireDone {
+                        id,
+                        result: Err(WireAbort::UnknownProc),
+                        deferred: false,
+                        values: Vec::new(),
+                        proc_result: None,
+                    }));
+                    continue;
+                };
+                let sink: ReplySink = {
+                    let tx = tx.clone();
+                    let call = Arc::clone(&call);
+                    Arc::new(move |reply| {
+                        let _ = tx.send(reply_to_call_msg(reply, &call));
+                    })
+                };
+                match service.submit(RequestId(id), call, sink) {
                     Ok(_) => {}
                     Err(SubmitError::Busy) => {
                         let _ = tx.send(ServerMsg::Rejected { id, busy: true });

@@ -184,8 +184,10 @@ impl ServiceState {
         let mut handle = engine.handle(core);
         let queue = &self.queues[core];
         let mut batch: Vec<Request> = Vec::with_capacity(self.config.batch_max);
-        // Stash-deferred procedures in flight on this worker.
-        let mut deferred: HashMap<Ticket, (RequestId, ReplySink)> = HashMap::new();
+        // Stash-deferred procedures in flight on this worker (the procedure
+        // rides along so registered calls get their final outcome counted).
+        let mut deferred: HashMap<Ticket, (RequestId, ReplySink, Arc<dyn Procedure>)> =
+            HashMap::new();
 
         loop {
             let open = queue.pop_batch(self.config.batch_max, self.config.idle_poll, &mut batch);
@@ -203,19 +205,32 @@ impl ServiceState {
             EngineStats::bump(&self.qstats.queue_batches);
             for req in batch.drain(..) {
                 match handle.execute(Arc::clone(&req.proc)) {
-                    Outcome::Committed(tid) => (req.reply)(ServiceReply::Done(ServiceCompletion {
-                        request: req.id,
-                        result: Ok(tid),
-                        deferred: false,
-                    })),
-                    Outcome::Aborted(e) => (req.reply)(ServiceReply::Done(ServiceCompletion {
-                        request: req.id,
-                        result: Err(e),
-                        deferred: false,
-                    })),
+                    Outcome::Committed(tid) => {
+                        if let Some(s) = req.proc.proc_stats() {
+                            s.note_outcome(core, true);
+                        }
+                        (req.reply)(ServiceReply::Done(ServiceCompletion {
+                            request: req.id,
+                            result: Ok(tid),
+                            deferred: false,
+                        }))
+                    }
+                    Outcome::Aborted(e) => {
+                        if let Some(s) = req.proc.proc_stats() {
+                            s.note_outcome(core, false);
+                        }
+                        (req.reply)(ServiceReply::Done(ServiceCompletion {
+                            request: req.id,
+                            result: Err(e),
+                            deferred: false,
+                        }))
+                    }
                     Outcome::Stashed(ticket) => {
+                        if let Some(s) = req.proc.proc_stats() {
+                            s.note_deferral(core);
+                        }
                         (req.reply)(ServiceReply::Deferred(req.id));
-                        deferred.insert(ticket, (req.id, req.reply));
+                        deferred.insert(ticket, (req.id, req.reply, req.proc));
                     }
                 }
             }
@@ -238,7 +253,10 @@ impl ServiceState {
             }
             std::thread::sleep(Duration::from_micros(50));
         }
-        for (_, (id, reply)) in deferred.drain() {
+        for (_, (id, reply, proc)) in deferred.drain() {
+            if let Some(s) = proc.proc_stats() {
+                s.note_outcome(core, false);
+            }
             reply(ServiceReply::Done(ServiceCompletion {
                 request: id,
                 result: Err(TxError::Shutdown),
@@ -251,13 +269,17 @@ impl ServiceState {
 
     fn deliver_completions(
         handle: &mut dyn TxHandle,
-        deferred: &mut HashMap<Ticket, (RequestId, ReplySink)>,
+        deferred: &mut HashMap<Ticket, (RequestId, ReplySink, Arc<dyn Procedure>)>,
     ) {
         if deferred.is_empty() {
             return;
         }
+        let core = handle.core();
         for completion in handle.take_completions() {
-            if let Some((id, reply)) = deferred.remove(&completion.ticket) {
+            if let Some((id, reply, proc)) = deferred.remove(&completion.ticket) {
+                if let Some(s) = proc.proc_stats() {
+                    s.note_outcome(core, completion.result.is_ok());
+                }
                 reply(ServiceReply::Done(ServiceCompletion {
                     request: id,
                     result: completion.result,

@@ -10,15 +10,21 @@
 //!
 //! Client → server:
 //!
-//! | kind | message      | body                                             |
-//! |------|--------------|--------------------------------------------------|
-//! | 0x01 | `Submit`     | `id u64`, `n u32`, then `n` statements           |
-//! | 0x02 | `LabelSplit` | `id u64`, `key`, `op` (split label, Doppel only) |
-//! | 0x03 | `Ping`       | `id u64`                                         |
+//! | kind | message      | body                                                  |
+//! |------|--------------|-------------------------------------------------------|
+//! | 0x01 | `Submit`     | `id u64`, `n u32`, then `n` statements                |
+//! | 0x02 | `LabelSplit` | `id u64`, `key`, `op` (split label, Doppel only)      |
+//! | 0x03 | `Ping`       | `id u64`                                              |
+//! | 0x04 | `InvokeProc` | `id u64`, `name` (length-prefixed UTF-8), `args`      |
 //!
 //! A statement is `0x00 Get key` or `0x01 Write key op`. Submitted
 //! statements form one transaction (one [`doppel_common::Procedure`]);
 //! `Get` results are returned in the completion, in statement order.
+//! `InvokeProc` instead *names* a procedure registered on the server
+//! ([`doppel_common::ProcRegistry`]) and ships a typed argument vector
+//! ([`doppel_common::Args`]); the matching `Done` carries the procedure's
+//! typed result. Raw statement lists remain fully supported as the
+//! compatibility path.
 //!
 //! Server → client:
 //!
@@ -29,10 +35,10 @@
 //! | 0x83 | `Rejected` | `id u64`, `reason u8` (0 = busy, 1 = shutdown)      |
 //! | 0x84 | `Ack`      | `id u64` (answers `LabelSplit` and `Ping`)          |
 
-use doppel_common::{Key, Op, TxError, Value};
+use doppel_common::{Args, Key, Op, ProcResult, TxError, Value};
 use doppel_wal::codec::{
-    decode_key, decode_op, decode_value, encode_key, encode_op, encode_value, put_u32, put_u64,
-    put_u8, Dec,
+    decode_args, decode_key, decode_op, decode_value, encode_args, encode_key, encode_op,
+    encode_value, put_slice, put_u32, put_u64, put_u8, Dec,
 };
 use doppel_wal::CodecError;
 use std::io::{self, Read, Write};
@@ -44,6 +50,7 @@ pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 const MSG_SUBMIT: u8 = 0x01;
 const MSG_LABEL_SPLIT: u8 = 0x02;
 const MSG_PING: u8 = 0x03;
+const MSG_INVOKE_PROC: u8 = 0x04;
 const MSG_DONE: u8 = 0x81;
 const MSG_DEFERRED: u8 = 0x82;
 const MSG_REJECTED: u8 = 0x83;
@@ -76,6 +83,8 @@ pub enum WireAbort {
     UserAbort = 4,
     /// The server is shutting down.
     Shutdown = 5,
+    /// An `InvokeProc` named a procedure the server has not registered.
+    UnknownProc = 6,
 }
 
 impl WireAbort {
@@ -100,6 +109,7 @@ impl WireAbort {
             3 => WireAbort::TypeMismatch,
             4 => WireAbort::UserAbort,
             5 => WireAbort::Shutdown,
+            6 => WireAbort::UnknownProc,
             _ => return Err(CodecError("unknown abort code")),
         })
     }
@@ -122,6 +132,9 @@ pub struct WireDone {
     /// Results of the transaction's `Get` statements, in statement order
     /// (empty on abort).
     pub values: Vec<Option<Value>>,
+    /// Typed result of a registered-procedure invocation (`Some` only for a
+    /// committed `InvokeProc`; `Submit` completions leave it `None`).
+    pub proc_result: Option<ProcResult>,
 }
 
 /// Any client → server message.
@@ -148,6 +161,18 @@ pub enum ClientMsg {
     Ping {
         /// Client-chosen id echoed in the `Ack`.
         id: u64,
+    },
+    /// Invoke a procedure registered on the server by name, with a typed
+    /// argument vector. Answered with `Done` (carrying the procedure's
+    /// [`ProcResult`] on commit) or, for an unregistered name, a `Done` with
+    /// [`WireAbort::UnknownProc`].
+    InvokeProc {
+        /// Client-chosen id echoed in every reply.
+        id: u64,
+        /// The registered procedure name (e.g. `"rubis.store_bid"`).
+        proc: String,
+        /// The argument vector.
+        args: Args,
     },
 }
 
@@ -209,6 +234,12 @@ pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
             put_u8(&mut buf, MSG_PING);
             put_u64(&mut buf, *id);
         }
+        ClientMsg::InvokeProc { id, proc, args } => {
+            put_u8(&mut buf, MSG_INVOKE_PROC);
+            put_u64(&mut buf, *id);
+            put_slice(&mut buf, proc.as_bytes());
+            encode_args(&mut buf, args);
+        }
     }
     buf
 }
@@ -249,6 +280,14 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
             ClientMsg::LabelSplit { id, key, op }
         }
         MSG_PING => ClientMsg::Ping { id: d.u64()? },
+        MSG_INVOKE_PROC => {
+            let id = d.u64()?;
+            let name_bytes = d.bytes()?;
+            let proc = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| CodecError("procedure name is not utf-8"))?;
+            let args = decode_args(&mut d)?;
+            ClientMsg::InvokeProc { id, proc, args }
+        }
         _ => return Err(CodecError("unknown client message kind")),
     };
     if !d.is_done() {
@@ -283,6 +322,13 @@ pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
                         put_u8(&mut buf, 1);
                         encode_value(&mut buf, v);
                     }
+                }
+            }
+            match &done.proc_result {
+                None => put_u8(&mut buf, 0),
+                Some(result) => {
+                    put_u8(&mut buf, 1);
+                    encode_args(&mut buf, result);
                 }
             }
         }
@@ -330,7 +376,12 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, CodecError> {
                     _ => return Err(CodecError("unknown option tag")),
                 });
             }
-            ServerMsg::Done(WireDone { id, result, deferred, values })
+            let proc_result = match d.u8()? {
+                0 => None,
+                1 => Some(decode_args(&mut d)?),
+                _ => return Err(CodecError("unknown option tag")),
+            };
+            ServerMsg::Done(WireDone { id, result, deferred, values, proc_result })
         }
         MSG_DEFERRED => ServerMsg::Deferred { id: d.u64()? },
         MSG_REJECTED => {
@@ -423,6 +474,26 @@ mod tests {
     }
 
     #[test]
+    fn invoke_proc_roundtrips() {
+        roundtrip_client(ClientMsg::InvokeProc {
+            id: 11,
+            proc: "rubis.store_bid".into(),
+            args: Args::new().uint(1).uint(2).int(-3).key(Key::raw(4)).str("x"),
+        });
+        roundtrip_client(ClientMsg::InvokeProc {
+            id: 12,
+            proc: "kv.get".into(),
+            args: Args::new(),
+        });
+        // A non-utf-8 procedure name is a decode error, not a panic.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x04);
+        put_u64(&mut buf, 1);
+        put_slice(&mut buf, &[0xFF, 0xFE]);
+        assert!(decode_client(&buf).is_err());
+    }
+
+    #[test]
     fn server_messages_roundtrip() {
         roundtrip_server(ServerMsg::Deferred { id: 3 });
         roundtrip_server(ServerMsg::Rejected { id: 4, busy: true });
@@ -433,6 +504,14 @@ mod tests {
             result: Ok(77),
             deferred: true,
             values: vec![None, Some(Value::Int(12)), Some(Value::from("bytes"))],
+            proc_result: None,
+        }));
+        roundtrip_server(ServerMsg::Done(WireDone {
+            id: 8,
+            result: Ok(42),
+            deferred: false,
+            values: vec![],
+            proc_result: Some(Args::new().int(9).value(Value::Int(1)).bytes(b"r".as_ref())),
         }));
         for abort in [
             WireAbort::Conflict,
@@ -440,12 +519,14 @@ mod tests {
             WireAbort::TypeMismatch,
             WireAbort::UserAbort,
             WireAbort::Shutdown,
+            WireAbort::UnknownProc,
         ] {
             roundtrip_server(ServerMsg::Done(WireDone {
                 id: 7,
                 result: Err(abort),
                 deferred: false,
                 values: vec![],
+                proc_result: None,
             }));
         }
     }
@@ -459,6 +540,7 @@ mod tests {
         assert!(WireAbort::Conflict.is_retryable());
         assert!(WireAbort::LockBusy.is_retryable());
         assert!(!WireAbort::Shutdown.is_retryable());
+        assert!(!WireAbort::UnknownProc.is_retryable());
         assert!(WireAbort::from_code(99).is_err());
     }
 

@@ -11,7 +11,7 @@
 //! records must be detectable by length alone.
 
 use bytes::Bytes;
-use doppel_common::{IntSet, Key, Op, OrderKey, Table, TopKSet, Value};
+use doppel_common::{ArgValue, Args, IntSet, Key, Op, OrderKey, Table, TopKSet, Value};
 use std::fmt;
 
 /// Decoding error: corrupt or truncated bytes.
@@ -74,6 +74,11 @@ impl<'a> Dec<'a> {
 
     pub fn is_done(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Bytes left to decode (used for corrupt-length sanity caps).
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -318,6 +323,84 @@ pub fn decode_op(d: &mut Dec<'_>) -> Result<Op> {
     }
 }
 
+// --------------------------------------------------- procedure args/results
+
+const ARG_INT: u8 = 0;
+const ARG_KEY: u8 = 1;
+const ARG_VALUE: u8 = 2;
+const ARG_BYTES: u8 = 3;
+const ARG_STR: u8 = 4;
+
+/// Encodes one element of an argument / result vector.
+pub fn encode_arg(buf: &mut Vec<u8>, a: &ArgValue) {
+    match a {
+        ArgValue::Int(n) => {
+            put_u8(buf, ARG_INT);
+            put_i64(buf, *n);
+        }
+        ArgValue::Key(k) => {
+            put_u8(buf, ARG_KEY);
+            encode_key(buf, *k);
+        }
+        ArgValue::Value(v) => {
+            put_u8(buf, ARG_VALUE);
+            encode_value(buf, v);
+        }
+        ArgValue::Bytes(b) => {
+            put_u8(buf, ARG_BYTES);
+            put_slice(buf, b.as_ref());
+        }
+        ArgValue::Str(s) => {
+            put_u8(buf, ARG_STR);
+            put_slice(buf, s.as_bytes());
+        }
+    }
+}
+
+/// Decodes one element of an argument / result vector.
+pub fn decode_arg(d: &mut Dec<'_>) -> Result<ArgValue> {
+    match d.u8()? {
+        ARG_INT => Ok(ArgValue::Int(d.i64()?)),
+        ARG_KEY => Ok(ArgValue::Key(decode_key(d)?)),
+        ARG_VALUE => Ok(ArgValue::Value(decode_value(d)?)),
+        ARG_BYTES => Ok(ArgValue::Bytes(d.bytes()?)),
+        ARG_STR => {
+            let b = d.bytes()?;
+            String::from_utf8(b.to_vec())
+                .map(ArgValue::Str)
+                .map_err(|_| CodecError("argument string is not utf-8"))
+        }
+        _ => Err(CodecError("unknown argument tag")),
+    }
+}
+
+/// Encodes a self-describing procedure argument / result vector
+/// ([`doppel_common::Args`] / [`doppel_common::ProcResult`]).
+pub fn encode_args(buf: &mut Vec<u8>, args: &Args) {
+    put_u32(buf, args.len() as u32);
+    for a in args.iter() {
+        encode_arg(buf, a);
+    }
+}
+
+/// Decodes a procedure argument / result vector.
+pub fn decode_args(d: &mut Dec<'_>) -> Result<Args> {
+    let n = d.u32()? as usize;
+    // The smallest element (an empty Bytes/Str) encodes to 5 bytes, so a
+    // count the buffer cannot possibly hold is corrupt. Unlike the WAL
+    // paths there is no CRC upstream of a wire `InvokeProc`, so this cap is
+    // what keeps a hostile count header from reserving gigabytes before the
+    // first element fails to decode.
+    if n > d.remaining() / 5 {
+        return Err(CodecError("argument count longer than record"));
+    }
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(decode_arg(d)?);
+    }
+    Ok(Args::from_vec(vals))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +506,42 @@ mod tests {
         assert_eq!(decode_value(&mut d), Err(CodecError("unknown value tag")));
         let mut d = Dec::new(&[0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(decode_key(&mut d).is_err());
+    }
+
+    #[test]
+    fn args_roundtrip_every_element_kind() {
+        let args = Args::new()
+            .int(-77)
+            .key(Key::new(Table::RubisMaxBid, 9, 1))
+            .value(Value::Set([3, 5].into_iter().collect()))
+            .bytes(b"blob".as_ref())
+            .str("rubis.store_bid");
+        let mut buf = Vec::new();
+        encode_args(&mut buf, &args);
+        let mut d = Dec::new(&buf);
+        assert_eq!(decode_args(&mut d).unwrap(), args);
+        assert!(d.is_done());
+
+        let empty = Args::new();
+        let mut buf = Vec::new();
+        encode_args(&mut buf, &empty);
+        assert_eq!(decode_args(&mut Dec::new(&buf)).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_args_error_instead_of_panicking() {
+        let args = Args::new().str("name").int(4).bytes(b"xy".as_ref());
+        let mut buf = Vec::new();
+        encode_args(&mut buf, &args);
+        for cut in 0..buf.len() {
+            let mut d = Dec::new(&buf[..cut]);
+            assert!(decode_args(&mut d).is_err(), "prefix of length {cut} must fail");
+        }
+        // Corrupt count and bad utf-8 are typed errors.
+        let mut d = Dec::new(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(decode_args(&mut d).is_err());
+        let bad_utf8 = [1, 0, 0, 0, ARG_STR, 2, 0, 0, 0, 0xFF, 0xFE];
+        assert!(decode_args(&mut Dec::new(&bad_utf8)).is_err());
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use crate::hist::{Histogram, LatencySummary};
 use doppel_common::{
-    Engine, Outcome, Procedure, RequestId, ServiceReply, StatsSnapshot, SubmitError, Ticket,
-    TxHandle,
+    Engine, Outcome, Procedure, ProcRegistry, ProcStatsSnapshot, RequestId, ServiceReply,
+    StatsSnapshot, SubmitError, Ticket, TxHandle,
 };
 use doppel_service::{ReplySink, ServiceConfig, ServiceState};
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,14 @@ pub trait Workload: Sync {
 
     /// Creates the generator for worker `core`.
     fn generator(&self, core: usize, seed: u64) -> Box<dyn TxnGenerator>;
+
+    /// The procedure registry this workload's generated transactions invoke,
+    /// when the workload routes through registered procedures. The driver
+    /// snapshots its per-procedure counters into
+    /// [`BenchResult::proc_stats`]; closure-based workloads return `None`.
+    fn proc_registry(&self) -> Option<Arc<ProcRegistry>> {
+        None
+    }
 }
 
 /// Options controlling one benchmark run.
@@ -127,6 +135,9 @@ pub struct BenchResult {
     /// Engine statistics delta over the run (service runs include the
     /// submission-queue counters).
     pub engine_stats: StatsSnapshot,
+    /// Per-procedure counters, when the workload routes through a
+    /// [`ProcRegistry`] (empty for closure-based workloads).
+    pub proc_stats: Vec<ProcStatsSnapshot>,
 }
 
 impl BenchResult {
@@ -134,6 +145,27 @@ impl BenchResult {
     pub fn per_core_throughput(&self) -> f64 {
         self.throughput / self.workers.max(1) as f64
     }
+}
+
+/// Per-run delta of a workload's per-procedure counters. A registry lives
+/// inside its workload and outlives a run (experiments reuse one workload
+/// across engines), so the cumulative snapshot must be differenced exactly
+/// like `engine_stats`.
+fn proc_stats_delta(
+    registry: Option<&Arc<ProcRegistry>>,
+    before: Option<Vec<ProcStatsSnapshot>>,
+) -> Vec<ProcStatsSnapshot> {
+    let Some(registry) = registry else { return Vec::new() };
+    let before = before.unwrap_or_default();
+    registry
+        .stats()
+        .into_iter()
+        .enumerate()
+        .map(|(i, after)| match before.get(i) {
+            Some(b) if b.name == after.name => after.delta(b),
+            _ => after,
+        })
+        .collect()
 }
 
 /// A transaction waiting to be retried after an abort.
@@ -181,6 +213,8 @@ impl Driver {
         );
         workload.load(engine);
         let stats_before = engine.stats();
+        let proc_registry = workload.proc_registry();
+        let proc_stats_before = proc_registry.as_ref().map(|r| r.stats());
         let service_config = ServiceConfig {
             queue_depth: options.queue_depth,
             ..ServiceConfig::default()
@@ -249,6 +283,7 @@ impl Driver {
             read_latency: reads.summary(),
             write_latency: writes.summary(),
             engine_stats: stats_after.delta(&stats_before),
+            proc_stats: proc_stats_delta(proc_registry.as_ref(), proc_stats_before),
         }
     }
 
@@ -269,6 +304,8 @@ impl Driver {
         );
         workload.load(engine);
         let stats_before = engine.stats();
+        let proc_registry = workload.proc_registry();
+        let proc_stats_before = proc_registry.as_ref().map(|r| r.stats());
         let stop = AtomicBool::new(false);
         let started = Instant::now();
 
@@ -318,6 +355,7 @@ impl Driver {
             read_latency: reads.summary(),
             write_latency: writes.summary(),
             engine_stats: stats_after.delta(&stats_before),
+            proc_stats: proc_stats_delta(proc_registry.as_ref(), proc_stats_before),
         }
     }
 }

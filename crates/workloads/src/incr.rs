@@ -12,13 +12,16 @@
 
 use crate::driver::{GeneratedTxn, TxnGenerator, Workload};
 use crate::zipf::ZipfSampler;
-use doppel_common::{Engine, Key, Procedure, Tx, TxError, Value};
+use doppel_common::{Args, Engine, Key, Procedure, ProcId, ProcRegistry, Tx, TxError, Value};
+use doppel_service::procs::kv_registry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A single-key increment transaction.
+/// A single-key increment transaction (the closure-style form; the INCR
+/// workloads themselves invoke the registered `kv.add` procedure so the
+/// microbenchmark family exercises the stored-procedure path end to end).
 pub struct IncrTxn {
     /// The key to increment.
     pub key: Key,
@@ -45,6 +48,8 @@ pub struct Incr1Workload {
     /// How often the identity of the hot key changes (`None` = never); used
     /// by the Figure 10 experiment, where it changes every 5 seconds.
     pub hot_key_rotation: Option<Duration>,
+    registry: Arc<ProcRegistry>,
+    kv_add: ProcId,
 }
 
 impl Incr1Workload {
@@ -52,7 +57,9 @@ impl Incr1Workload {
     /// write fraction.
     pub fn new(keys: u64, hot_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&hot_fraction), "hot_fraction must be in [0,1]");
-        Incr1Workload { keys, hot_fraction, hot_key_rotation: None }
+        let registry = kv_registry();
+        let kv_add = registry.lookup("kv.add").expect("kv pack registers kv.add");
+        Incr1Workload { keys, hot_fraction, hot_key_rotation: None, registry, kv_add }
     }
 
     /// Enables hot-key rotation every `period` (Figure 10).
@@ -96,7 +103,13 @@ impl Workload for Incr1Workload {
             workload_hot_key: self.hot_key_for_epoch(0),
             rng: SmallRng::seed_from_u64(seed.wrapping_add(core as u64)),
             rotation_base: self.keys,
+            registry: Arc::clone(&self.registry),
+            kv_add: self.kv_add,
         })
+    }
+
+    fn proc_registry(&self) -> Option<Arc<ProcRegistry>> {
+        Some(Arc::clone(&self.registry))
     }
 }
 
@@ -108,6 +121,8 @@ struct Incr1Generator {
     workload_hot_key: Key,
     rng: SmallRng,
     rotation_base: u64,
+    registry: Arc<ProcRegistry>,
+    kv_add: ProcId,
 }
 
 impl Incr1Generator {
@@ -136,7 +151,10 @@ impl TxnGenerator for Incr1Generator {
                 }
             }
         };
-        GeneratedTxn { proc: Arc::new(IncrTxn { key, amount: 1 }), is_write: true }
+        GeneratedTxn {
+            proc: self.registry.call(self.kv_add, Args::new().key(key).int(1)),
+            is_write: true,
+        }
     }
 }
 
@@ -147,12 +165,16 @@ pub struct IncrZWorkload {
     /// Zipf skew parameter α.
     pub alpha: f64,
     sampler: Arc<ZipfSampler>,
+    registry: Arc<ProcRegistry>,
+    kv_add: ProcId,
 }
 
 impl IncrZWorkload {
     /// Builds the INCRZ workload over `keys` keys with skew `alpha`.
     pub fn new(keys: u64, alpha: f64) -> Self {
-        IncrZWorkload { keys, alpha, sampler: Arc::new(ZipfSampler::new(keys, alpha)) }
+        let registry = kv_registry();
+        let kv_add = registry.lookup("kv.add").expect("kv pack registers kv.add");
+        IncrZWorkload { keys, alpha, sampler: Arc::new(ZipfSampler::new(keys, alpha)), registry, kv_add }
     }
 
     /// The shared Zipf sampler (exposed so Table 1 / Table 2 experiments can
@@ -177,13 +199,21 @@ impl Workload for IncrZWorkload {
         Box::new(IncrZGenerator {
             sampler: Arc::clone(&self.sampler),
             rng: SmallRng::seed_from_u64(seed.wrapping_add(core as u64)),
+            registry: Arc::clone(&self.registry),
+            kv_add: self.kv_add,
         })
+    }
+
+    fn proc_registry(&self) -> Option<Arc<ProcRegistry>> {
+        Some(Arc::clone(&self.registry))
     }
 }
 
 struct IncrZGenerator {
     sampler: Arc<ZipfSampler>,
     rng: SmallRng,
+    registry: Arc<ProcRegistry>,
+    kv_add: ProcId,
 }
 
 impl TxnGenerator for IncrZGenerator {
@@ -191,7 +221,10 @@ impl TxnGenerator for IncrZGenerator {
         // Rank r maps directly to key r: the paper's keys are equally "real",
         // popularity is purely a property of the access distribution.
         let key = Key::raw(self.sampler.sample(&mut self.rng));
-        GeneratedTxn { proc: Arc::new(IncrTxn { key, amount: 1 }), is_write: true }
+        GeneratedTxn {
+            proc: self.registry.call(self.kv_add, Args::new().key(key).int(1)),
+            is_write: true,
+        }
     }
 }
 
@@ -256,6 +289,17 @@ mod tests {
         let result = Driver::run(&engine, &w, &BenchOptions::new(2, Duration::from_millis(80)));
         let hot = engine.global_get(w.hot_key_for_epoch(0)).unwrap().as_int().unwrap();
         assert_eq!(hot as u64, result.committed, "100% hot: every commit hits the hot key");
+        // The increments ran as registered kv.add invocations, and the
+        // per-procedure counters rode along in the result.
+        let add = result.proc_stats.iter().find(|s| s.name == "kv.add").unwrap();
+        assert_eq!(add.commits, result.committed);
+
+        // A second run with the same workload (same registry instance)
+        // reports only its own counts — the snapshot is a per-run delta.
+        let engine2 = doppel_occ::OccEngine::new(2, 64);
+        let result2 = Driver::run(&engine2, &w, &BenchOptions::new(2, Duration::from_millis(80)));
+        let add2 = result2.proc_stats.iter().find(|s| s.name == "kv.add").unwrap();
+        assert_eq!(add2.commits, result2.committed, "proc stats must not accumulate across runs");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! (what the binaries print) and as JSON (what `EXPERIMENTS.md` tooling and
 //! tests consume).
 
-use doppel_common::StatsSnapshot;
+use crate::hist::LatencySummary;
+use doppel_common::{ProcStatsSnapshot, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -49,6 +50,49 @@ pub fn service_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
         Cell::Int(stats.queue_batches as i64),
         Cell::Float(avg_batch),
     ]
+}
+
+/// Column headers for a latency distribution, matching [`latency_cells`].
+/// The service-facing experiments report the full p50/p95/p99 tail next to
+/// throughput; splice these in instead of hand-picking quantile columns.
+pub const LATENCY_COLUMNS: &[&str] = &["p50", "p95", "p99"];
+
+/// The p50/p95/p99 quantiles of `latency` as one cell per
+/// [`LATENCY_COLUMNS`] entry.
+pub fn latency_cells(latency: &LatencySummary) -> Vec<Cell> {
+    vec![
+        Cell::Micros(latency.p50_us),
+        Cell::Micros(latency.p95_us),
+        Cell::Micros(latency.p99_us),
+    ]
+}
+
+/// Column headers for a per-procedure statistics table, matching
+/// [`proc_stat_row`].
+pub const PROC_STAT_COLUMNS: &[&str] =
+    &["procedure", "invocations", "commits", "aborts", "deferrals"];
+
+/// One row of a per-procedure statistics table.
+pub fn proc_stat_row(stats: &ProcStatsSnapshot) -> Vec<Cell> {
+    vec![
+        Cell::Text(stats.name.clone()),
+        Cell::Int(stats.invocations as i64),
+        Cell::Int(stats.commits as i64),
+        Cell::Int(stats.aborts as i64),
+        Cell::Int(stats.deferrals as i64),
+    ]
+}
+
+/// Builds the per-procedure statistics table for a run (skipping procedures
+/// that were never invoked).
+pub fn proc_stats_table(title: impl Into<String>, stats: &[ProcStatsSnapshot]) -> Table {
+    let mut table = Table::new(title, PROC_STAT_COLUMNS);
+    for proc in stats {
+        if proc.invocations > 0 {
+            table.push_row(proc_stat_row(proc));
+        }
+    }
+    table
 }
 
 /// One table cell.
@@ -212,6 +256,41 @@ mod tests {
         // No batches → no division by zero.
         let empty = service_stat_cells(&StatsSnapshot::default());
         assert_eq!(empty[4], Cell::Float(0.0));
+    }
+
+    #[test]
+    fn latency_cells_match_columns() {
+        let latency = LatencySummary {
+            count: 10,
+            mean_us: 40.0,
+            p50_us: 30.0,
+            p95_us: 90.0,
+            p99_us: 120.0,
+            max_us: 200.0,
+        };
+        let cells = latency_cells(&latency);
+        assert_eq!(cells.len(), LATENCY_COLUMNS.len());
+        assert_eq!(cells[0], Cell::Micros(30.0));
+        assert_eq!(cells[2], Cell::Micros(120.0));
+    }
+
+    #[test]
+    fn proc_stats_table_skips_uninvoked_procedures() {
+        let stats = vec![
+            ProcStatsSnapshot {
+                name: "rubis.store_bid".into(),
+                invocations: 5,
+                commits: 4,
+                aborts: 1,
+                deferrals: 2,
+            },
+            ProcStatsSnapshot { name: "rubis.about_me".into(), ..Default::default() },
+        ];
+        let table = proc_stats_table("procs", &stats);
+        assert_eq!(table.columns.len(), PROC_STAT_COLUMNS.len());
+        assert_eq!(table.rows.len(), 1, "uninvoked procedures are skipped");
+        assert_eq!(table.rows[0][0], Cell::Text("rubis.store_bid".into()));
+        assert_eq!(table.rows[0][4], Cell::Int(2));
     }
 
     #[test]

@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "fraud_flags",
     "durable_counter",
     "remote_counter",
+    "rubis_remote",
 ];
 
 fn examples_dir() -> PathBuf {

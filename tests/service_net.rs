@@ -1,8 +1,15 @@
 //! End-to-end tests of the TCP front-end: a real `Server` on an ephemeral
-//! localhost port driven through `RemoteClient` over actual sockets.
+//! localhost port driven through `RemoteClient` over actual sockets —
+//! raw statement lists (`Submit`) and registered procedures (`InvokeProc`).
 
-use doppel_common::{Key, Op, Value};
-use doppel_service::{RemoteClient, RemoteOutcome, RemoteTxn, Server, ServerEngine, ServiceConfig};
+use doppel_common::{Args, Key, Op, Value};
+use doppel_rubis::procs::args as rubis_args;
+use doppel_rubis::{rubis_registry, RubisData, RubisScale, TxnStyle};
+use doppel_service::{
+    kv_registry, RemoteClient, RemoteOutcome, RemoteTxn, Server, ServerEngine, ServiceConfig,
+    WireAbort,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn start_server(engine: &str, workers: usize, phase_ms: u64) -> Server {
@@ -115,6 +122,118 @@ fn doppel_split_increments_and_stash_deferred_reads_over_tcp() {
         Some(Value::Int(committed)),
         "drain must reconcile every slice"
     );
+}
+
+#[test]
+fn kv_procs_and_unknown_names_over_tcp() {
+    let engine = ServerEngine::build("occ", 2, 20, 256).unwrap().with_procs(kv_registry());
+    let server = Server::start(engine, ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+
+    // Typed invocations: put, add, then a get whose result comes back as a
+    // ProcResult.
+    let put = client
+        .call("kv.put", Args::new().key(Key::raw(9)).value(Value::Int(5)))
+        .unwrap();
+    assert!(put.is_committed());
+    for _ in 0..3 {
+        assert!(client.call("kv.add", Args::new().key(Key::raw(9)).int(2)).unwrap().is_committed());
+    }
+    let get = client.call("kv.get", Args::new().key(Key::raw(9))).unwrap();
+    let result = get.proc_result().expect("kv.get returns a result");
+    assert_eq!(result.get_value(0).unwrap(), &Value::Int(11));
+
+    // Unknown names and malformed argument vectors abort with typed codes.
+    match client.call("kv.not_registered", Args::new()).unwrap() {
+        RemoteOutcome::Aborted { code: WireAbort::UnknownProc, .. } => {}
+        other => panic!("expected UnknownProc, got {other:?}"),
+    }
+    match client.call("kv.add", Args::new().key(Key::raw(9))).unwrap() {
+        RemoteOutcome::Aborted { code: WireAbort::UserAbort, .. } => {}
+        other => panic!("expected a UserAbort for missing args, got {other:?}"),
+    }
+
+    // Raw statement lists keep working next to procedures on one connection.
+    match client.execute(&RemoteTxn::new().get(Key::raw(9))).unwrap() {
+        RemoteOutcome::Committed { values, .. } => assert_eq!(values, vec![Some(Value::Int(11))]),
+        other => panic!("raw Submit failed: {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn rubis_bidding_mix_over_tcp_with_pipelined_batches() {
+    // The acceptance scenario: RUBiS bids run end-to-end over TCP via
+    // InvokeProc (read-dependent StoreBid logic cannot ship as a raw
+    // statement list), pipelined with submit_batch, with per-procedure
+    // statistics maintained server-side.
+    let registry = rubis_registry();
+    let engine =
+        ServerEngine::build("doppel", 2, 5, 256).unwrap().with_procs(Arc::clone(&registry));
+    RubisData::new(RubisScale::small()).load(engine.engine.as_ref());
+    let server = Server::start(engine, ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+
+    let item = 3u64;
+    let before = client.call("rubis.view_item", rubis_args::view_item(item)).unwrap();
+    let before = before.proc_result().expect("aggregates").clone();
+    let (start_max, start_bids) = (before.get_int(0).unwrap(), before.get_int(1).unwrap());
+
+    // Pipeline a window of bids; retry the retryable aborts (concurrent
+    // workers validating against hot auction metadata).
+    let calls: Vec<(&str, Args)> = (0..30)
+        .map(|i| {
+            (
+                "rubis.store_bid",
+                rubis_args::store_bid(
+                    (1 << 41) | i as u64,
+                    i as u64 % 10,
+                    item,
+                    start_max + 1 + i as i64,
+                    i as i64,
+                    TxnStyle::Doppel,
+                ),
+            )
+        })
+        .collect();
+    let ids = client.submit_batch(&calls).unwrap();
+    assert_eq!(ids.len(), calls.len());
+    let mut committed = 0i64;
+    let mut retry = Vec::new();
+    for (i, id) in ids.into_iter().enumerate() {
+        match client.wait(id).unwrap() {
+            RemoteOutcome::Committed { .. } => committed += 1,
+            RemoteOutcome::Aborted { code, .. } if code.is_retryable() => retry.push(i),
+            other => panic!("bid failed: {other:?}"),
+        }
+    }
+    for i in retry {
+        let (name, args) = &calls[i];
+        loop {
+            match client.call(name, args.clone()).unwrap() {
+                RemoteOutcome::Committed { .. } => break,
+                RemoteOutcome::Aborted { code, .. } if code.is_retryable() => continue,
+                other => panic!("bid retry failed: {other:?}"),
+            }
+        }
+        committed += 1;
+    }
+    assert_eq!(committed, 30);
+
+    // The aggregates reflect every committed bid, read through the
+    // procedure path.
+    let after = client.call("rubis.view_item", rubis_args::view_item(item)).unwrap();
+    let after = after.proc_result().expect("aggregates").clone();
+    assert_eq!(after.get_int(1).unwrap() - start_bids, committed);
+    assert_eq!(after.get_int(0).unwrap(), start_max + 30);
+
+    server.shutdown();
+    // Per-procedure statistics were maintained by the server's dispatch.
+    let stats = registry.stats();
+    let bids = stats.iter().find(|s| s.name == "rubis.store_bid").unwrap();
+    assert!(bids.commits >= 30, "expected ≥30 committed bids, saw {}", bids.commits);
+    let views = stats.iter().find(|s| s.name == "rubis.view_item").unwrap();
+    assert_eq!(views.commits, 2);
 }
 
 #[test]
