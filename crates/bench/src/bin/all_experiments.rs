@@ -13,11 +13,14 @@ use std::process::Command;
 /// beyond-the-paper `scenarios` suite (new splittable operations), the
 /// `recovery` durability suite (write-ahead logging + crash recovery), the
 /// `service` suite (open-loop latency vs offered load through the
-/// transaction service) and the `rubis_service` suite (the RUBiS bidding mix
-/// over TCP via registered-procedure invocations).
+/// transaction service), the `rubis_service` suite (the RUBiS bidding mix
+/// over TCP via registered-procedure invocations) and the `connections`
+/// suite (connection scaling of the reactor vs thread-per-connection
+/// front-ends).
 const EXPERIMENTS: &[&str] = &[
     "fig8", "fig9", "fig10", "fig11", "table1", "table2", "fig12", "table3", "fig13", "fig14",
     "table4", "fig15", "ablation", "scenarios", "recovery", "service", "rubis_service",
+    "connections",
 ];
 
 fn main() {

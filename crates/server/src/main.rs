@@ -14,7 +14,7 @@
 
 use doppel_common::ProcRegistry;
 use doppel_rubis::{RubisData, RubisScale};
-use doppel_service::{Server, ServerEngine, ServiceConfig};
+use doppel_service::{FrontEnd, ReactorConfig, Server, ServerEngine, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,6 +47,22 @@ struct Flags {
     procs: Vec<String>,
     rubis_scale: Option<String>,
     hint_items: u64,
+    threaded: bool,
+    pollers: usize,
+    write_queue_kb: usize,
+}
+
+impl Flags {
+    /// The connection front-end the flags select: the epoll reactor unless
+    /// `--threaded` asked for the per-connection-threads baseline.
+    fn front_end(&self) -> FrontEnd {
+        let write_queue_bytes = self.write_queue_kb.max(1) * 1024;
+        if self.threaded {
+            FrontEnd::Threaded { write_queue_bytes }
+        } else {
+            FrontEnd::Reactor(ReactorConfig { pollers: self.pollers.max(1), write_queue_bytes })
+        }
+    }
 }
 
 fn pack_proc_names(pack: &str) -> Vec<&'static str> {
@@ -72,6 +88,11 @@ fn usage() -> ! {
            --batch N         max procedures dequeued per batch (default 64)\n\
            --seconds S       exit after S seconds (default: run until killed)\n\
            --durable DIR     write-ahead log directory (recovers it first)\n\
+           --reactor         epoll-reactor front-end (the default)\n\
+           --threaded        thread-per-connection front-end (the old default)\n\
+           --pollers N       reactor poller threads (default 2)\n\
+           --write-queue-kb N  per-connection reply-queue cap in KiB before a\n\
+                             slow client is shed (default 4096)\n\
            --procs LIST      comma-separated procedure packs (default kv)\n\
            --rubis-scale SZ  preload RUBiS data: small | paper\n\
            --hint-items N    label the N most popular RUBiS items' auction\n\
@@ -105,6 +126,9 @@ fn parse_flags() -> Flags {
         procs: vec!["kv".into()],
         rubis_scale: None,
         hint_items: 0,
+        threaded: false,
+        pollers: 2,
+        write_queue_kb: 4096,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +159,16 @@ fn parse_flags() -> Flags {
                 flags.seconds = Some(value("seconds").parse().expect("--seconds expects a number"))
             }
             "--durable" => flags.durable_dir = Some(value("durable")),
+            "--reactor" => flags.threaded = false,
+            "--threaded" => flags.threaded = true,
+            "--pollers" => {
+                flags.pollers = value("pollers").parse().expect("--pollers expects an integer")
+            }
+            "--write-queue-kb" => {
+                flags.write_queue_kb = value("write-queue-kb")
+                    .parse()
+                    .expect("--write-queue-kb expects an integer")
+            }
             "--procs" => {
                 flags.procs = value("procs")
                     .split(',')
@@ -255,7 +289,9 @@ fn main() {
         ..ServiceConfig::default()
     };
     let engine_name = engine.engine.name();
-    let server = Server::start(engine, config, (flags.host.as_str(), flags.port))
+    let front_end = flags.front_end();
+    let front_end_name = if flags.threaded { "threaded" } else { "reactor" };
+    let server = Server::start_with(engine, config, (flags.host.as_str(), flags.port), front_end)
         .unwrap_or_else(|e| {
             eprintln!("cannot bind {}:{}: {e}", flags.host, flags.port);
             std::process::exit(1);
@@ -263,7 +299,7 @@ fn main() {
 
     // The one line scripts parse; flush so a piped parent sees it promptly.
     println!(
-        "listening on {} (engine={engine_name}, workers={}, procs=[{}])",
+        "listening on {} (engine={engine_name}, workers={}, front-end={front_end_name}, procs=[{}])",
         server.local_addr(),
         flags.workers,
         flags.procs.join(",")
@@ -282,6 +318,11 @@ fn main() {
     eprintln!(
         "served {} commits, {} conflicts, {} enqueued, {} busy rejections",
         stats.commits, stats.conflicts, stats.queue_enqueued, stats.queue_busy_rejections
+    );
+    let net = server.net_stats();
+    eprintln!(
+        "front-end: {} conns accepted, {} accept errors, {} shed, {} protocol errors",
+        net.conns_accepted, net.accept_errors, net.conns_shed, net.decode_errors
     );
     // Per-procedure accounting: one line per invoked procedure.
     for proc in server.procs().stats() {

@@ -19,10 +19,16 @@
 //!   [`doppel_wal::codec`]), the `doppel-server` binary's guts, and the
 //!   [`RemoteClient`] library, so the system can be driven by external
 //!   processes.
+//! * [`reactor`] — the default connection front-end: an epoll poller pool
+//!   multiplexing every connection, with bounded per-connection reply queues
+//!   (slow clients are shed, not buffered without limit). The original
+//!   thread-per-connection front-end remains available as
+//!   [`FrontEnd::Threaded`].
 
 pub mod client;
 pub mod procs;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod wire;
@@ -30,6 +36,7 @@ pub mod wire;
 pub use client::{RemoteClient, RemoteOutcome, RemoteTxn};
 pub use procs::{kv_registry, register_kv, KV_PROCS};
 pub use queue::{PushError, SubmissionQueue};
-pub use server::{RemoteProcedure, Server, ServerEngine};
+pub use reactor::ReactorConfig;
+pub use server::{FrontEnd, NetStatsSnapshot, RemoteProcedure, Server, ServerEngine};
 pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};
 pub use wire::{ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};

@@ -1,26 +1,31 @@
 //! The TCP front-end: `doppel-server`.
 //!
-//! Each connection gets a reader thread (decodes frames, builds
-//! [`RemoteProcedure`]s, submits them to the shared [`TransactionService`])
-//! and a writer thread (serialises replies back onto the socket). Ordering
-//! guarantees are per-request, not per-connection: replies are written in
-//! completion order, which is exactly what the `Deferred` → `Done` protocol
-//! expresses.
+//! Two interchangeable front-ends accept the same wire protocol:
+//!
+//! * [`FrontEnd::Reactor`] (the default) — a small poller pool multiplexes
+//!   every connection over epoll; see [`crate::reactor`].
+//! * [`FrontEnd::Threaded`] — the original two-OS-threads-per-connection
+//!   design (a reader decoding frames, a writer draining replies), kept as a
+//!   baseline and for environments where a blocking stack is preferable.
+//!
+//! Both share the dispatch path ([`dispatch_client_msg`]) and the bounded
+//! per-connection reply queue ([`crate::reactor::Outbox`]), so the ordering
+//! guarantees are identical: replies are written in completion order, which
+//! is exactly what the `Deferred` → `Done` protocol expresses, and a client
+//! that stops reading its replies is shed rather than allowed to grow server
+//! memory without bound.
 
+use crate::reactor::{self, Outbox, OutboxSender, Reactor, ReactorConfig, Recv};
 use crate::service::{ReplySink, ServiceConfig, TransactionService};
-use crate::wire::{
-    decode_client, encode_server, read_frame, write_frame, ClientMsg, ServerMsg, WireAbort,
-    WireDone, WireStmt,
-};
+use crate::wire::{decode_client, read_frame, ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};
 use doppel_common::{
     DoppelConfig, Engine, Op, Procedure, ProcRegistry, RegisteredCall, RequestId, ServiceReply,
     SubmitError, Tx, TxError, Value,
 };
 use doppel_db::DoppelDb;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -140,6 +145,180 @@ impl ServerEngine {
     }
 }
 
+/// Which connection-handling machinery serves the listener.
+#[derive(Clone, Debug)]
+pub enum FrontEnd {
+    /// Two OS threads per connection (the original front-end): a blocking
+    /// reader and a writer draining the bounded reply queue.
+    Threaded {
+        /// Per-connection write-queue budget in bytes (overflow sheds the
+        /// connection).
+        write_queue_bytes: usize,
+    },
+    /// Epoll reactor: a poller pool multiplexes every connection.
+    Reactor(ReactorConfig),
+}
+
+impl FrontEnd {
+    /// The threaded front-end with the default write-queue budget.
+    pub fn threaded() -> FrontEnd {
+        FrontEnd::Threaded { write_queue_bytes: reactor::DEFAULT_WRITE_QUEUE_BYTES }
+    }
+
+    /// The reactor front-end with default tuning.
+    pub fn reactor() -> FrontEnd {
+        FrontEnd::Reactor(ReactorConfig::default())
+    }
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        FrontEnd::reactor()
+    }
+}
+
+/// Front-end health counters, shared by both front-ends.
+#[derive(Default)]
+pub struct NetStats {
+    accept_errors: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_shed: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn note_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_conn_accepted(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_conn_shed(&self) {
+        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the front-end health counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// `accept(2)` failures (e.g. `EMFILE`) plus connection-thread spawn
+    /// failures; each is followed by a short back-off, never a busy spin.
+    pub accept_errors: u64,
+    /// Connections successfully accepted.
+    pub conns_accepted: u64,
+    /// Connections disconnected because their reply queue overflowed (the
+    /// client stopped reading) or a reply could not be framed.
+    pub conns_shed: u64,
+    /// Connections dropped for sending bytes that do not decode as the wire
+    /// protocol (including hostile length prefixes).
+    pub decode_errors: u64,
+}
+
+/// What every connection handler needs to dispatch client messages, shared
+/// across both front-ends.
+pub(crate) struct ConnShared {
+    pub(crate) service: Arc<TransactionService>,
+    pub(crate) doppel: Option<Arc<DoppelDb>>,
+    pub(crate) procs: Arc<ProcRegistry>,
+    pub(crate) net: Arc<NetStats>,
+}
+
+/// Dispatches one decoded client message: submits to the service with a
+/// reply sink that encodes completions into the connection's outbox, or
+/// answers control messages directly. Used verbatim by both front-ends.
+pub(crate) fn dispatch_client_msg(shared: &ConnShared, msg: ClientMsg, sender: &OutboxSender) {
+    match msg {
+        ClientMsg::Submit { id, stmts } => {
+            let proc = Arc::new(RemoteProcedure::new(stmts));
+            let sink: ReplySink = {
+                let out = sender.clone();
+                let proc = Arc::clone(&proc);
+                Arc::new(move |reply| out.send(&reply_to_msg(reply, &proc)))
+            };
+            match shared.service.submit(RequestId(id), proc, sink) {
+                Ok(_) => {}
+                Err(SubmitError::Busy) => sender.send(&ServerMsg::Rejected { id, busy: true }),
+                Err(SubmitError::Shutdown) => {
+                    sender.send(&ServerMsg::Rejected { id, busy: false })
+                }
+            }
+        }
+        ClientMsg::InvokeProc { id, proc, args } => {
+            let Some(call) = shared.procs.call_by_name(&proc, args) else {
+                // Typed rejection: the name is not registered on this server
+                // (the client sees a non-retryable abort).
+                sender.send(&ServerMsg::Done(WireDone {
+                    id,
+                    result: Err(WireAbort::UnknownProc),
+                    deferred: false,
+                    values: Vec::new(),
+                    proc_result: None,
+                }));
+                return;
+            };
+            let sink: ReplySink = {
+                let out = sender.clone();
+                let call = Arc::clone(&call);
+                Arc::new(move |reply| out.send(&reply_to_call_msg(reply, &call)))
+            };
+            match shared.service.submit(RequestId(id), call, sink) {
+                Ok(_) => {}
+                Err(SubmitError::Busy) => sender.send(&ServerMsg::Rejected { id, busy: true }),
+                Err(SubmitError::Shutdown) => {
+                    sender.send(&ServerMsg::Rejected { id, busy: false })
+                }
+            }
+        }
+        ClientMsg::LabelSplit { id, key, op } => {
+            if let Some(db) = &shared.doppel {
+                db.label_split(key, op.kind());
+            }
+            sender.send(&ServerMsg::Ack { id });
+        }
+        ClientMsg::Ping { id } => {
+            sender.send(&ServerMsg::Ack { id });
+        }
+    }
+}
+
+/// How long the accept loop should sleep after `err`, or `None` for errors
+/// that need no back-off. Per-connection failures (the peer aborted its own
+/// handshake) carry no risk of spinning; resource exhaustion (`EMFILE`,
+/// `ENFILE`, `ENOMEM`) absolutely does — `accept(2)` fails instantly without
+/// consuming the pending connection, so a loop that just `continue`s pins a
+/// core until a descriptor frees up.
+pub(crate) fn accept_backoff(err: &io::Error) -> Option<Duration> {
+    match err.kind() {
+        io::ErrorKind::WouldBlock
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionReset => None,
+        _ => Some(Duration::from_millis(10)),
+    }
+}
+
+/// The two front-ends' runtime state.
+enum Runtime {
+    Threaded(Arc<ConnRegistry>),
+    Reactor(Reactor),
+}
+
 /// A running `doppel-server`: a listener plus the transaction service it
 /// feeds. Dropping (or [`Server::shutdown`]) closes connections, drains the
 /// service and shuts the engine down.
@@ -147,20 +326,21 @@ pub struct Server {
     service: Arc<TransactionService>,
     doppel: Option<Arc<DoppelDb>>,
     procs: Arc<ProcRegistry>,
+    net: Arc<NetStats>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
-    conns: Arc<ConnRegistry>,
+    runtime: Runtime,
 }
 
-/// Live-connection registry: each connection's stream clone is held only
-/// while its handler runs (the handler deregisters itself on exit), so a
-/// long-running server does not leak one descriptor per connection ever
-/// accepted. `shutdown` closes whatever is still live.
+/// Live-connection registry (threaded front-end only): each connection's
+/// stream clone is held only while its handler runs (the handler deregisters
+/// itself on exit), so a long-running server does not leak one descriptor
+/// per connection ever accepted. `shutdown` closes whatever is still live.
 #[derive(Default)]
 struct ConnRegistry {
     streams: parking_lot::Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next_id: std::sync::atomic::AtomicU64,
+    next_id: AtomicU64,
 }
 
 impl ConnRegistry {
@@ -183,17 +363,28 @@ impl ConnRegistry {
 
 impl Server {
     /// Binds `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts serving `engine` through a [`TransactionService`].
+    /// starts serving `engine` through a [`TransactionService`] behind the
+    /// default front-end (the epoll reactor).
     pub fn start(
         engine: ServerEngine,
         config: ServiceConfig,
         bind_addr: impl ToSocketAddrs,
-    ) -> std::io::Result<Server> {
+    ) -> io::Result<Server> {
+        Server::start_with(engine, config, bind_addr, FrontEnd::default())
+    }
+
+    /// [`Server::start`] with an explicit front-end choice.
+    pub fn start_with(
+        engine: ServerEngine,
+        config: ServiceConfig,
+        bind_addr: impl ToSocketAddrs,
+        front_end: FrontEnd,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let service = TransactionService::start(Arc::clone(&engine.engine), config);
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<ConnRegistry> = Arc::default();
+        let net: Arc<NetStats> = Arc::default();
 
         // Feed the registry's per-procedure contention hints to Doppel's
         // classifier as manual split labels (paper §5.5): records the
@@ -205,43 +396,56 @@ impl Server {
             }
         }
 
+        let shared = Arc::new(ConnShared {
+            service: Arc::clone(&service),
+            doppel: engine.doppel.clone(),
+            procs: Arc::clone(&engine.procs),
+            net: Arc::clone(&net),
+        });
+
+        let runtime = match &front_end {
+            FrontEnd::Threaded { .. } => Runtime::Threaded(Arc::default()),
+            FrontEnd::Reactor(config) => {
+                Runtime::Reactor(Reactor::start(Arc::clone(&shared), config.clone())?)
+            }
+        };
+
         let accept = {
-            let service = Arc::clone(&service);
-            let doppel = engine.doppel.clone();
-            let procs = Arc::clone(&engine.procs);
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new().name("doppel-accept".into()).spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let Ok(clone) = stream.try_clone() else { continue };
-                    let conn_id = conns.register(clone);
-                    let service = Arc::clone(&service);
-                    let doppel = doppel.clone();
-                    let procs = Arc::clone(&procs);
-                    let conns = Arc::clone(&conns);
-                    std::thread::Builder::new()
-                        .name("doppel-conn".into())
-                        .spawn(move || {
-                            handle_connection(stream, service, doppel, procs);
-                            conns.deregister(conn_id);
-                        })
-                        .expect("failed to spawn connection thread");
+            let net = Arc::clone(&net);
+            let sink: AcceptSink = match &runtime {
+                Runtime::Threaded(conns) => {
+                    let write_queue_bytes = match front_end {
+                        FrontEnd::Threaded { write_queue_bytes } => write_queue_bytes,
+                        FrontEnd::Reactor(_) => unreachable!(),
+                    };
+                    let conns = Arc::clone(conns);
+                    Box::new(move |stream| {
+                        spawn_threaded_conn(stream, &shared, &conns, write_queue_bytes)
+                    })
                 }
-            })?
+                Runtime::Reactor(reactor) => {
+                    let assign = reactor.handle();
+                    Box::new(move |stream| {
+                        assign.assign(stream);
+                        Ok(())
+                    })
+                }
+            };
+            std::thread::Builder::new()
+                .name("doppel-accept".into())
+                .spawn(move || accept_loop(listener, stop, net, sink))?
         };
 
         Ok(Server {
             service,
             doppel: engine.doppel,
             procs: engine.procs,
+            net,
             addr,
             stop,
             accept: parking_lot::Mutex::new(Some(accept)),
-            conns,
+            runtime,
         })
     }
 
@@ -265,6 +469,12 @@ impl Server {
         &self.procs
     }
 
+    /// Front-end health counters (accepts, accept errors, shed connections,
+    /// protocol errors).
+    pub fn net_stats(&self) -> NetStatsSnapshot {
+        self.net.snapshot()
+    }
+
     /// Stops accepting, closes every connection, drains the service and
     /// shuts the engine down. Idempotent.
     pub fn shutdown(&self) {
@@ -276,7 +486,10 @@ impl Server {
         if let Some(handle) = self.accept.lock().take() {
             let _ = handle.join();
         }
-        self.conns.close_all();
+        match &self.runtime {
+            Runtime::Threaded(conns) => conns.close_all(),
+            Runtime::Reactor(reactor) => reactor.shutdown(),
+        }
         self.service.shutdown();
     }
 }
@@ -285,6 +498,63 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+type AcceptSink = Box<dyn FnMut(TcpStream) -> io::Result<()> + Send>;
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    net: Arc<NetStats>,
+    mut sink: AcceptSink,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                // Resource exhaustion (EMFILE & friends) fails instantly and
+                // leaves the pending connection queued: back off instead of
+                // spinning the accept thread at 100% CPU.
+                net.note_accept_error();
+                if let Some(pause) = accept_backoff(&e) {
+                    std::thread::sleep(pause);
+                }
+                continue;
+            }
+        };
+        // Replies are small and latency-sensitive; never wait for Nagle.
+        let _ = stream.set_nodelay(true);
+        net.note_conn_accepted();
+        if sink(stream).is_err() {
+            // Could not stand the connection up (e.g. thread spawn failed
+            // under memory pressure): drop it and breathe, don't die.
+            net.note_accept_error();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn spawn_threaded_conn(
+    stream: TcpStream,
+    shared: &Arc<ConnShared>,
+    conns: &Arc<ConnRegistry>,
+    write_queue_bytes: usize,
+) -> io::Result<()> {
+    let clone = stream.try_clone()?;
+    let conn_id = conns.register(clone);
+    let shared = Arc::clone(shared);
+    let registry = Arc::clone(conns);
+    let spawned = std::thread::Builder::new().name("doppel-conn".into()).spawn(move || {
+        handle_connection(stream, &shared, write_queue_bytes);
+        registry.deregister(conn_id);
+    });
+    if spawned.is_err() {
+        conns.deregister(conn_id);
+    }
+    spawned.map(|_| ())
 }
 
 /// Converts a service reply into its wire form, resolving `Get` values from
@@ -329,107 +599,102 @@ fn reply_to_call_msg(reply: ServiceReply, call: &RegisteredCall) -> ServerMsg {
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    service: Arc<TransactionService>,
-    doppel: Option<Arc<DoppelDb>>,
-    procs: Arc<ProcRegistry>,
-) {
+fn handle_connection(stream: TcpStream, shared: &Arc<ConnShared>, write_queue_bytes: usize) {
     let Ok(write_half) = stream.try_clone() else { return };
-    let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = std::sync::mpsc::channel();
-    let writer = std::thread::Builder::new()
-        .name("doppel-conn-writer".into())
-        .spawn(move || writer_loop(write_half, rx))
-        .expect("failed to spawn writer thread");
+    let outbox = Outbox::new(write_queue_bytes, None);
+    let sender = outbox.sender();
+    let writer = {
+        let outbox = Arc::clone(&outbox);
+        let net = Arc::clone(&shared.net);
+        std::thread::Builder::new()
+            .name("doppel-conn-writer".into())
+            .spawn(move || writer_loop(write_half, outbox, net))
+    };
+    let Ok(writer) = writer else { return };
 
     let mut reader = BufReader::new(stream);
     while let Ok(Some(payload)) = read_frame(&mut reader) {
         let Ok(msg) = decode_client(&payload) else {
             // Protocol error: drop the connection rather than guessing.
+            shared.net.note_decode_error();
             break;
         };
-        match msg {
-            ClientMsg::Submit { id, stmts } => {
-                let proc = Arc::new(RemoteProcedure::new(stmts));
-                let sink: ReplySink = {
-                    let tx = tx.clone();
-                    let proc = Arc::clone(&proc);
-                    Arc::new(move |reply| {
-                        let _ = tx.send(reply_to_msg(reply, &proc));
-                    })
-                };
-                match service.submit(RequestId(id), proc, sink) {
-                    Ok(_) => {}
-                    Err(SubmitError::Busy) => {
-                        let _ = tx.send(ServerMsg::Rejected { id, busy: true });
-                    }
-                    Err(SubmitError::Shutdown) => {
-                        let _ = tx.send(ServerMsg::Rejected { id, busy: false });
-                    }
-                }
-            }
-            ClientMsg::InvokeProc { id, proc, args } => {
-                let Some(call) = procs.call_by_name(&proc, args) else {
-                    // Typed rejection: the name is not registered on this
-                    // server (the client sees a non-retryable abort).
-                    let _ = tx.send(ServerMsg::Done(WireDone {
-                        id,
-                        result: Err(WireAbort::UnknownProc),
-                        deferred: false,
-                        values: Vec::new(),
-                        proc_result: None,
-                    }));
-                    continue;
-                };
-                let sink: ReplySink = {
-                    let tx = tx.clone();
-                    let call = Arc::clone(&call);
-                    Arc::new(move |reply| {
-                        let _ = tx.send(reply_to_call_msg(reply, &call));
-                    })
-                };
-                match service.submit(RequestId(id), call, sink) {
-                    Ok(_) => {}
-                    Err(SubmitError::Busy) => {
-                        let _ = tx.send(ServerMsg::Rejected { id, busy: true });
-                    }
-                    Err(SubmitError::Shutdown) => {
-                        let _ = tx.send(ServerMsg::Rejected { id, busy: false });
-                    }
-                }
-            }
-            ClientMsg::LabelSplit { id, key, op } => {
-                if let Some(db) = &doppel {
-                    db.label_split(key, op.kind());
-                }
-                let _ = tx.send(ServerMsg::Ack { id });
-            }
-            ClientMsg::Ping { id } => {
-                let _ = tx.send(ServerMsg::Ack { id });
-            }
-        }
+        dispatch_client_msg(shared, msg, &sender);
     }
     // Dropping our sender lets the writer exit once every in-flight
     // completion (whose sinks hold clones) has been delivered.
-    drop(tx);
+    drop(sender);
     let _ = writer.join();
 }
 
-fn writer_loop(stream: TcpStream, rx: Receiver<ServerMsg>) {
-    let mut w = BufWriter::new(stream);
-    'outer: while let Ok(msg) = rx.recv() {
-        if write_frame(&mut w, &encode_server(&msg)).is_err() {
-            break;
-        }
-        // Batch everything already queued under one flush.
-        while let Ok(next) = rx.try_recv() {
-            if write_frame(&mut w, &encode_server(&next)).is_err() {
-                break 'outer;
+fn writer_loop(stream: TcpStream, outbox: Arc<Outbox>, net: Arc<NetStats>) {
+    let mut w = io::BufWriter::new(&stream);
+    loop {
+        match outbox.recv_blocking() {
+            Recv::Batch(frames) => {
+                // Frames carry their headers already; batch the whole queue
+                // under one flush.
+                for frame in frames {
+                    if w.write_all(&frame).is_err() {
+                        drop(w);
+                        hang_up(&stream, &outbox);
+                        return;
+                    }
+                }
+                if w.flush().is_err() {
+                    drop(w);
+                    hang_up(&stream, &outbox);
+                    return;
+                }
+            }
+            Recv::Shed => {
+                // The client stopped reading and its queue overflowed:
+                // disconnect rather than buffer without bound.
+                net.note_conn_shed();
+                drop(w);
+                hang_up(&stream, &outbox);
+                return;
+            }
+            Recv::Disconnected => {
+                let _ = w.flush();
+                return;
             }
         }
-        if w.flush().is_err() {
-            break;
+    }
+}
+
+/// Tears a threaded connection down from the writer side: closing the outbox
+/// stops accumulation, shutting the socket down unblocks the reader thread.
+fn hang_up(stream: &TcpStream, outbox: &Outbox) {
+    outbox.close();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_sleeps_on_resource_exhaustion() {
+        // EMFILE / ENFILE: the pending connection stays queued and accept(2)
+        // fails instantly — exactly the busy-spin case the back-off exists
+        // for.
+        let emfile = io::Error::from_raw_os_error(24);
+        let enfile = io::Error::from_raw_os_error(23);
+        assert!(accept_backoff(&emfile).is_some());
+        assert!(accept_backoff(&enfile).is_some());
+    }
+
+    #[test]
+    fn accept_backoff_skips_per_connection_failures() {
+        for kind in [
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+        ] {
+            let err = io::Error::new(kind, "transient");
+            assert!(accept_backoff(&err).is_none(), "{kind:?} should not pause accepting");
         }
     }
-    let _ = w.flush();
 }

@@ -259,7 +259,11 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
             if n > payload.len() / 17 {
                 return Err(CodecError("statement count longer than message"));
             }
-            let mut stmts = Vec::with_capacity(n);
+            // Belt and braces: even a count the payload *could* hold is
+            // untrusted, so cap the speculative reservation the same way the
+            // `values` decode path does and let the vector grow organically
+            // past it.
+            let mut stmts = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 match d.u8()? {
                     STMT_GET => stmts.push(WireStmt::Get(decode_key(&mut d)?)),
@@ -405,11 +409,38 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, CodecError> {
 // -------------------------------------------------------------------- frames
 
 /// Writes one frame: length prefix plus payload.
+///
+/// A payload over [`MAX_FRAME`] is an [`io::ErrorKind::InvalidData`] error —
+/// the peer would reject the frame as corrupt, so emitting it (as a
+/// `debug_assert!` previously allowed in release builds) only defers the
+/// failure to the other side of the wire.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = payload.len() as u32;
-    debug_assert!(len <= MAX_FRAME);
+    let len = checked_frame_len(payload)?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)
+}
+
+/// Validates a payload length against [`MAX_FRAME`].
+fn checked_frame_len(payload: &[u8]) -> io::Result<u32> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    Ok(payload.len() as u32)
+}
+
+/// Renders one frame — length prefix plus payload — as contiguous bytes,
+/// with the same [`MAX_FRAME`] check as [`write_frame`]. This is the form
+/// the reactor's per-connection write queues hold so a flush is a single
+/// coalesced write.
+pub fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
+    let len = checked_frame_len(payload)?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
 /// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a frame
@@ -438,6 +469,66 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// A resumable frame decoder for nonblocking readers.
+///
+/// The blocking [`read_frame`] owns its stream until a whole frame arrives;
+/// an epoll reactor instead gets bytes in arbitrary chunks and must park the
+/// partial state between readiness events. [`FrameDecoder::feed`] absorbs
+/// whatever just arrived and [`FrameDecoder::next_frame`] yields each
+/// completed payload, applying the same [`MAX_FRAME`] bound *before* any
+/// payload allocation — a hostile length prefix costs four bytes of buffer,
+/// not gigabytes.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `start` are already-consumed frames awaiting compaction.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Absorbs freshly-read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefixes would otherwise pin the
+        // buffer at its high-water mark forever.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame payload, `Ok(None)` when more bytes
+    /// are needed, or [`io::ErrorKind::InvalidData`] on a hostile length
+    /// prefix (the connection should be dropped).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.start += total;
+        Ok(Some(payload))
+    }
 }
 
 #[cfg(test)]
@@ -563,6 +654,94 @@ mod tests {
         oversize.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         let mut cursor = std::io::Cursor::new(oversize);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversize_payloads_are_write_errors_not_debug_asserts() {
+        // Regression: this used to be a debug_assert!, so release builds
+        // silently emitted a frame the peer would reject as corrupt.
+        let payload = vec![0u8; MAX_FRAME as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+        assert_eq!(frame_bytes(&payload).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        // The boundary itself is fine.
+        let exact = vec![0u8; MAX_FRAME as usize];
+        assert!(write_frame(&mut sink, &exact).is_ok());
+        assert_eq!(frame_bytes(b"ok").unwrap(), [&2u32.to_le_bytes()[..], b"ok"].concat());
+    }
+
+    #[test]
+    fn hostile_submit_count_is_rejected_without_reserving() {
+        // A Submit header claiming u32::MAX statements but carrying none:
+        // must be a decode error (and must not reserve gigabytes first).
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x01);
+        put_u64(&mut buf, 7);
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_client(&buf).is_err());
+        // Same for a count that is large but plausible-looking.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x01);
+        put_u64(&mut buf, 7);
+        put_u32(&mut buf, 1 << 20);
+        put_u8(&mut buf, STMT_GET);
+        assert!(decode_client(&buf).is_err());
+    }
+
+    #[test]
+    fn hostile_done_value_count_is_rejected() {
+        // Server → client direction: a Done frame whose value count exceeds
+        // what the payload could hold must fail fast on the client.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x81); // Done
+        put_u64(&mut buf, 1); // id
+        put_u8(&mut buf, 0); // committed
+        put_u64(&mut buf, 9); // tid
+        put_u8(&mut buf, 0); // not deferred
+        put_u32(&mut buf, u32::MAX); // hostile value count
+        assert!(decode_server(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_decoder_resumes_across_arbitrary_chunks() {
+        let frames: Vec<Vec<u8>> = vec![b"hello".to_vec(), Vec::new(), vec![7u8; 300]];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        // Feed one byte at a time: every frame must still come out intact.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(p) = dec.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.pending(), 0);
+
+        // Feed everything at once: same result.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_frame().unwrap() {
+            out.push(p);
+        }
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_hostile_length_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(dec.next_frame().unwrap_err().kind(), io::ErrorKind::InvalidData);
+        // Three bytes of header: not an error, just incomplete.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0xFF, 0xFF, 0xFF]);
+        assert!(dec.next_frame().unwrap().is_none());
     }
 
     #[test]

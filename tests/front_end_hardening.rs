@@ -1,0 +1,229 @@
+//! Hardening tests for the TCP front-ends: hostile frames, oversize
+//! payloads, and clients that stop reading their replies.
+//!
+//! Every scenario runs against both front-ends (the epoll reactor and the
+//! thread-per-connection baseline) where the behaviour is a server-side
+//! guarantee, because the two share the dispatch path but not the I/O
+//! machinery.
+
+use doppel_service::wire::{encode_client, write_frame, ClientMsg, WireStmt};
+use doppel_service::{
+    FrontEnd, ReactorConfig, RemoteClient, RemoteOutcome, RemoteTxn, Server, ServerEngine,
+    ServiceConfig,
+};
+use doppel_common::{Key, Value};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The front-ends every server-side scenario must hold for, with small
+/// write queues so shed behaviour is reachable in a test.
+fn front_ends(write_queue_bytes: usize) -> Vec<(&'static str, FrontEnd)> {
+    vec![
+        ("reactor", FrontEnd::Reactor(ReactorConfig { pollers: 1, write_queue_bytes })),
+        ("threaded", FrontEnd::Threaded { write_queue_bytes }),
+    ]
+}
+
+fn start_server(front_end: FrontEnd) -> Server {
+    let engine = ServerEngine::build("occ", 1, 20, 64).expect("known engine");
+    Server::start_with(engine, ServiceConfig::default(), "127.0.0.1:0", front_end)
+        .expect("bind server")
+}
+
+/// Polls `check` until it returns true or ~2s elapse.
+fn eventually(mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// A hostile `Submit` whose statement count claims far more than the payload
+/// holds must cost the sender its connection — and nothing else: the decoder
+/// rejects it without reserving memory for the claimed count, and the server
+/// keeps serving well-behaved clients.
+#[test]
+fn hostile_statement_count_drops_connection_but_server_survives() {
+    for (name, front_end) in front_ends(1 << 20) {
+        let server = start_server(front_end);
+
+        let mut evil = TcpStream::connect(server.local_addr()).expect("connect");
+        // kind=Submit, id, then a statement count the 13-byte payload cannot
+        // possibly hold.
+        let mut payload = vec![0x01u8];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        write_frame(&mut evil, &payload).expect("send hostile frame");
+        evil.flush().expect("flush");
+
+        // The server hangs up on the hostile connection...
+        evil.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut buf = [0u8; 64];
+        match evil.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("[{name}] expected hang-up, got {n} bytes"),
+        }
+        assert!(
+            eventually(|| server.net_stats().decode_errors >= 1),
+            "[{name}] the protocol error should be counted"
+        );
+
+        // ...and keeps serving everyone else.
+        let mut client = RemoteClient::connect(server.local_addr()).expect("connect");
+        let outcome =
+            client.execute(&RemoteTxn::new().add(Key::from(1u64), 1)).expect("execute");
+        assert!(outcome.is_committed(), "[{name}] server must stay up");
+        server.shutdown();
+    }
+}
+
+/// A reply frame with a hostile length prefix or value count must surface in
+/// the client as `InvalidData`, not as an allocation or a hang.
+#[test]
+fn hostile_server_reply_is_invalid_data_client_side() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        // Swallow the client's request frame (length prefix + payload).
+        let mut len = [0u8; 4];
+        conn.read_exact(&mut len).expect("read request header");
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        conn.read_exact(&mut body).expect("read request body");
+        // Reply with a Done whose value count claims ~2 billion entries.
+        let mut payload = vec![0x81u8];
+        payload.extend_from_slice(&1u64.to_le_bytes()); // request id
+        payload.push(0); // status: committed
+        payload.extend_from_slice(&7u64.to_le_bytes()); // tid
+        payload.push(0); // not deferred
+        payload.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // value count
+        write_frame(&mut conn, &payload).expect("send hostile reply");
+        conn.flush().expect("flush");
+    });
+
+    let mut client = RemoteClient::connect(addr).expect("connect");
+    let id = client.submit(&RemoteTxn::new().get(Key::from(1u64))).expect("submit");
+    let err = client.wait(id).expect_err("hostile reply must not decode");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    fake.join().expect("fake server thread");
+}
+
+/// A request that cannot fit in one frame fails at the client with
+/// `InvalidData` instead of being written (the old `debug_assert!` would
+/// ship a corrupt frame in release builds).
+#[test]
+fn oversize_submit_fails_client_side_with_invalid_data() {
+    let server = start_server(FrontEnd::default());
+    let mut client = RemoteClient::connect(server.local_addr()).expect("connect");
+    let huge = Value::Bytes(bytes::Bytes::from(vec![0u8; 17 * 1024 * 1024]));
+    let err = client
+        .submit(&RemoteTxn::new().put(Key::from(1u64), huge))
+        .expect_err("a 17MiB payload exceeds MAX_FRAME");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // The connection is still usable: nothing was written for the bad frame.
+    let outcome = client.execute(&RemoteTxn::new().add(Key::from(1u64), 1)).expect("execute");
+    assert!(outcome.is_committed());
+    server.shutdown();
+}
+
+/// A client that submits but never reads its replies must be disconnected
+/// once its bounded reply queue overflows — server memory stays bounded and
+/// the shed is visible in the stats — while other clients keep working.
+#[test]
+fn slow_reader_is_shed_not_buffered_without_bound() {
+    for (name, front_end) in front_ends(1024) {
+        let server = start_server(front_end);
+        let big_key = Key::from(42u64);
+
+        // Preload a value whose reply frame alone exceeds the queue budget.
+        let mut loader = RemoteClient::connect(server.local_addr()).expect("connect");
+        let payload = Value::Bytes(bytes::Bytes::from(vec![0xCDu8; 64 * 1024]));
+        assert!(loader
+            .execute(&RemoteTxn::new().put(big_key, payload))
+            .expect("preload")
+            .is_committed());
+
+        // The slow reader: submit a read of the big value, never read the
+        // reply.
+        let mut slow = TcpStream::connect(server.local_addr()).expect("connect");
+        let msg = ClientMsg::Submit { id: 1, stmts: vec![WireStmt::Get(big_key)] };
+        write_frame(&mut slow, &encode_client(&msg)).expect("submit");
+        slow.flush().expect("flush");
+
+        assert!(
+            eventually(|| server.net_stats().conns_shed >= 1),
+            "[{name}] the overflowing connection must be shed"
+        );
+        // The shed closes the socket: reading now sees EOF or a reset, never
+        // a hang.
+        slow.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = [0u8; 4096];
+        loop {
+            match slow.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+
+        // Unrelated clients are unaffected.
+        let outcome =
+            loader.execute(&RemoteTxn::new().add(Key::from(7u64), 1)).expect("execute");
+        assert!(outcome.is_committed(), "[{name}] healthy clients must keep working");
+        server.shutdown();
+    }
+}
+
+/// The thread-per-connection baseline stays fully functional behind the
+/// explicit opt-in, including pipelined submission and value reads.
+#[test]
+fn threaded_front_end_still_serves_roundtrips() {
+    let server = start_server(FrontEnd::threaded());
+    let mut client = RemoteClient::connect(server.local_addr()).expect("connect");
+    let mut ids = Vec::new();
+    for _ in 0..32 {
+        let txn = RemoteTxn::new().add(Key::from(9u64), 1).get(Key::from(9u64));
+        ids.push(client.submit(&txn).expect("submit"));
+    }
+    let mut committed = 0;
+    for id in ids {
+        if let RemoteOutcome::Committed { .. } = client.wait(id).expect("wait") {
+            committed += 1;
+        }
+    }
+    assert_eq!(committed, 32);
+    assert_eq!(server.net_stats().conns_accepted, 1);
+    server.shutdown();
+}
+
+/// The reactor multiplexes many simultaneously-open connections on one
+/// poller thread.
+#[test]
+fn reactor_serves_many_concurrent_connections() {
+    let server = start_server(FrontEnd::Reactor(ReactorConfig {
+        pollers: 1,
+        write_queue_bytes: 1 << 20,
+    }));
+    let addr = server.local_addr();
+    let mut clients: Vec<RemoteClient> =
+        (0..32).map(|_| RemoteClient::connect(addr).expect("connect")).collect();
+    // All connections submit before any waits: every socket has bytes in
+    // flight through the single poller at once.
+    let ids: Vec<u64> = clients
+        .iter_mut()
+        .enumerate()
+        .map(|(i, c)| {
+            c.submit(&RemoteTxn::new().add(Key::from(i as u64), 1)).expect("submit")
+        })
+        .collect();
+    for (client, id) in clients.iter_mut().zip(ids) {
+        assert!(client.wait(id).expect("wait").is_committed());
+    }
+    assert_eq!(server.net_stats().conns_accepted, 32);
+    server.shutdown();
+}
