@@ -88,6 +88,7 @@ impl Engine for AtomicEngine {
             // read (attach must precede handle creation).
             sink: self.sink.read().clone(),
             tid_gen: TidGenerator::new(core),
+            capture_buf: Vec::new(),
         })
     }
 
@@ -141,6 +142,10 @@ pub struct AtomicHandle {
     stats: Arc<EngineStats>,
     sink: Option<Arc<dyn CommitSink>>,
     tid_gen: TidGenerator,
+    /// Reused capture buffer for the durable path: each procedure's write log
+    /// borrows this vector and hands it back cleared, so steady-state
+    /// execution allocates nothing per transaction.
+    capture_buf: Vec<(Key, Op)>,
 }
 
 struct AtomicTx<'s> {
@@ -236,17 +241,21 @@ impl TxHandle for AtomicHandle {
         let mut tx = AtomicTx {
             core: self.core,
             store: &self.store,
-            captured: sink.map(|_| Vec::new()),
+            captured: sink.map(|_| std::mem::take(&mut self.capture_buf)),
         };
         let run = proc.run(&mut tx);
-        let captured = tx.captured.take().unwrap_or_default();
+        let mut captured = tx.captured.take().unwrap_or_default();
         let tid = self.tid_gen.next();
         // Applied operations are logged on both paths: Atomic has no
         // rollback, so a failed procedure's earlier writes are store state
         // and must be recoverable.
         if let (Some(sink), false) = (&sink, captured.is_empty()) {
-            self.stats.absorb_log(&sink.log_commit(tid, &captured));
+            self.stats
+                .absorb_log(&sink.log_commit(tid, &mut captured.iter().map(|(k, op)| (*k, op))));
         }
+        // Hand the buffer back for the next transaction (capacity kept).
+        captured.clear();
+        self.capture_buf = captured;
         match run {
             Ok(()) => {
                 EngineStats::bump(&self.stats.commits);
@@ -372,7 +381,11 @@ mod tests {
         #[derive(Default)]
         struct CountingSink(AtomicU64);
         impl CommitSink for CountingSink {
-            fn log_commit(&self, _tid: doppel_common::Tid, writes: &[(Key, Op)]) -> doppel_common::LogReceipt {
+            fn log_commit(
+                &self,
+                _tid: doppel_common::Tid,
+                writes: &mut dyn ExactSizeIterator<Item = (Key, &Op)>,
+            ) -> doppel_common::LogReceipt {
                 self.0.fetch_add(writes.len() as u64, Ordering::Relaxed);
                 doppel_common::LogReceipt::default()
             }

@@ -23,7 +23,9 @@ use doppel_service::{
     ServiceConfig,
 };
 use doppel_workloads::hist::Histogram;
-use doppel_workloads::report::{latency_cells, Cell, Table, LATENCY_COLUMNS};
+use doppel_workloads::report::{
+    alloc_stat_cells, latency_cells, Cell, Table, ALLOC_STAT_COLUMNS, LATENCY_COLUMNS,
+};
 use std::time::{Duration, Instant};
 
 #[derive(Default)]
@@ -122,6 +124,7 @@ fn main() {
             &["front-end", "conns", "done/s", "rejected", "dead"][..],
             LATENCY_COLUMNS,
             &["shed", "acc-err"][..],
+            ALLOC_STAT_COLUMNS,
         ]
         .concat(),
     );
@@ -147,6 +150,9 @@ fn main() {
             // Client threads each own a slice of the connections.
             let threads = config.cores.min(conns).max(1);
             let duration = Duration::from_secs_f64(config.seconds);
+            // Allocation window per cell: covers clients, front-end and
+            // engine workers together.
+            let alloc_cp = doppel_common::AllocCheckpoint::now();
             let started = Instant::now();
             let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
                 let mut joins = Vec::with_capacity(threads);
@@ -183,6 +189,7 @@ fn main() {
                 joins.into_iter().map(|j| j.join().expect("client thread panicked")).collect()
             });
             let elapsed = started.elapsed().as_secs_f64();
+            let (alloc_count, alloc_bytes) = alloc_cp.delta();
 
             let mut totals = ClientTally::default();
             for t in &tallies {
@@ -205,6 +212,14 @@ fn main() {
             row.extend(latency_cells(&totals.latency.summary()));
             row.push(Cell::Int(net.conns_shed as i64));
             row.push(Cell::Int(net.accept_errors as i64));
+            // No engine-stats snapshot on this path; build one so the alloc
+            // cells (including allocs-per-committed-txn) render uniformly.
+            let alloc_stats = doppel_common::StatsSnapshot {
+                commits: totals.committed,
+                ..Default::default()
+            }
+            .with_alloc_counters(alloc_count, alloc_bytes);
+            row.extend(alloc_stat_cells(&alloc_stats));
             table.push_row(row);
         }
     }

@@ -28,7 +28,7 @@ fn main() {
              ({} cores, {} keys, {:.1}s per point)",
             config.cores, config.keys, config.seconds
         ),
-        &["hot%", "Doppel", "OCC", "2PL", "Atomic", "Doppel/OCC"],
+        &["hot%", "Doppel", "OCC", "2PL", "Atomic", "Doppel/OCC", "allocs/txn"],
     );
 
     for hot in &hot_percentages {
@@ -36,23 +36,38 @@ fn main() {
         let mut row: Vec<Cell> = vec![Cell::Int(*hot as i64)];
         let mut doppel_tput = 0.0;
         let mut occ_tput = 0.0;
+        // Allocation traffic pooled across the row's four engine runs: the
+        // headline hot-path allocation number for the INCR workload.
+        let mut row_allocs = 0u64;
+        let mut row_commits = 0u64;
         for kind in EngineKind::ALL {
             let result = run_point(*kind, &workload, &config);
             eprintln!(
-                "  hot={hot}% {}: {:.0} txns/sec ({} commits, {} aborts)",
+                "  hot={hot}% {}: {:.0} txns/sec ({} commits, {} aborts, {} allocs/txn)",
                 kind.label(),
                 result.throughput,
                 result.committed,
-                result.aborts
+                result.aborts,
+                result
+                    .engine_stats
+                    .allocs_per_commit()
+                    .map_or("-".to_string(), |x| format!("{x:.2}")),
             );
             match kind {
                 EngineKind::Doppel => doppel_tput = result.throughput,
                 EngineKind::Occ => occ_tput = result.throughput,
                 _ => {}
             }
+            row_allocs += result.engine_stats.alloc_count;
+            row_commits += result.engine_stats.commits;
             row.push(Cell::Mtps(result.throughput));
         }
         row.push(Cell::Float(if occ_tput > 0.0 { doppel_tput / occ_tput } else { 0.0 }));
+        row.push(if row_commits == 0 {
+            Cell::Empty
+        } else {
+            Cell::Float(row_allocs as f64 / row_commits as f64)
+        });
         table.push_row(row);
     }
 

@@ -17,7 +17,9 @@ use doppel_common::{DurabilityConfig, Engine, Key, Value};
 use doppel_wal::{checkpoint_engine, recover_into, TempWalDir, Wal};
 use doppel_workloads::driver::Driver;
 use doppel_workloads::incr::Incr1Workload;
-use doppel_workloads::report::{wal_stat_cells, Cell, Table, WAL_STAT_COLUMNS};
+use doppel_workloads::report::{
+    alloc_stat_cells, wal_stat_cells, Cell, Table, ALLOC_STAT_COLUMNS, WAL_STAT_COLUMNS,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,6 +69,7 @@ fn main() {
         &[
             &["engine", "durable", "volatile", "overhead%"][..],
             WAL_STAT_COLUMNS,
+            ALLOC_STAT_COLUMNS,
             &["recovery_ms"][..],
         ]
         .concat(),
@@ -135,6 +138,7 @@ fn main() {
             Cell::Float(overhead),
         ];
         row.extend(wal_stat_cells(&wal_stats));
+        row.extend(alloc_stat_cells(&wal_stats));
         row.push(Cell::Micros(recovery_ms * 1e3));
         table.push_row(row);
     }

@@ -21,8 +21,8 @@ use doppel_rubis::{rubis_registry, RubisData, RubisScale, RubisWorkload, TxnStyl
 use doppel_service::{RemoteClient, RemoteOutcome, Server, ServerEngine, ServiceConfig};
 use doppel_workloads::hist::Histogram;
 use doppel_workloads::report::{
-    latency_cells, proc_stats_table, service_stat_cells, Cell, Table, LATENCY_COLUMNS,
-    SERVICE_STAT_COLUMNS,
+    alloc_stat_cells, latency_cells, proc_stats_table, service_stat_cells, Cell, Table,
+    ALLOC_STAT_COLUMNS, LATENCY_COLUMNS, SERVICE_STAT_COLUMNS,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,8 +70,13 @@ fn main() {
              {} items, {:.1}s per engine)",
             config.cores, pipeline, scale.users, scale.items, config.seconds
         ),
-        &[&["engine", "done/s", "aborts", "rejected"][..], LATENCY_COLUMNS, SERVICE_STAT_COLUMNS]
-            .concat(),
+        &[
+            &["engine", "done/s", "aborts", "rejected"][..],
+            LATENCY_COLUMNS,
+            SERVICE_STAT_COLUMNS,
+            ALLOC_STAT_COLUMNS,
+        ]
+        .concat(),
     );
 
     for kind in &engines {
@@ -92,6 +97,9 @@ fn main() {
         let addr = server.local_addr();
 
         let duration = Duration::from_secs_f64(config.seconds);
+        // Allocation window covers this engine's measured run: clients,
+        // server threads and engine workers all count into the process total.
+        let alloc_cp = doppel_common::AllocCheckpoint::now();
         let started = Instant::now();
         let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
             let mut joins = Vec::with_capacity(config.cores);
@@ -129,6 +137,7 @@ fn main() {
             joins.into_iter().map(|j| j.join().expect("client thread panicked")).collect()
         });
         let elapsed = started.elapsed().as_secs_f64();
+        let (alloc_count, alloc_bytes) = alloc_cp.delta();
 
         let mut totals = ClientTally::default();
         for t in &tallies {
@@ -137,7 +146,7 @@ fn main() {
             totals.rejected += t.rejected;
             totals.latency.merge(&t.latency);
         }
-        let stats = server.service().stats();
+        let stats = server.service().stats().with_alloc_counters(alloc_count, alloc_bytes);
         server.shutdown();
 
         let mut row = vec![
@@ -148,6 +157,7 @@ fn main() {
         ];
         row.extend(latency_cells(&totals.latency.summary()));
         row.extend(service_stat_cells(&stats));
+        row.extend(alloc_stat_cells(&stats));
         table.push_row(row);
 
         // The per-procedure accounting the registry keeps for free.

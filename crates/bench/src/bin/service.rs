@@ -15,8 +15,8 @@ use doppel_bench::{build_engine, emit, Args, EngineKind, ExperimentConfig};
 use doppel_workloads::incr::Incr1Workload;
 use doppel_workloads::open_loop::{run_open_loop, OpenLoopOptions};
 use doppel_workloads::report::{
-    latency_cells, service_stat_cells, wal_stat_cells, Cell, Table, LATENCY_COLUMNS,
-    SERVICE_STAT_COLUMNS, WAL_STAT_COLUMNS,
+    alloc_stat_cells, latency_cells, service_stat_cells, wal_stat_cells, Cell, Table,
+    ALLOC_STAT_COLUMNS, LATENCY_COLUMNS, SERVICE_STAT_COLUMNS, WAL_STAT_COLUMNS,
 };
 use doppel_workloads::Driver;
 use std::time::Duration;
@@ -66,6 +66,7 @@ fn main() {
             LATENCY_COLUMNS,
             SERVICE_STAT_COLUMNS,
             WAL_STAT_COLUMNS,
+            ALLOC_STAT_COLUMNS,
         ]
         .concat(),
     );
@@ -107,6 +108,7 @@ fn main() {
             row.extend(latency_cells(&result.latency));
             row.extend(service_stat_cells(&result.engine_stats));
             row.extend(wal_stat_cells(&result.engine_stats));
+            row.extend(alloc_stat_cells(&result.engine_stats));
             table.push_row(row);
         }
     }

@@ -17,6 +17,14 @@ pub mod engines;
 pub mod experiment;
 pub mod output;
 
+/// The workspace's one `#[global_allocator]` registration. Every experiment
+/// binary — and the root integration tests, which link this crate — runs
+/// under [`doppel_common::CountingAlloc`], so the `alloc_*` report columns
+/// and the allocation-discipline tests observe real counts. A binary admits
+/// exactly one global allocator: do not register another elsewhere.
+#[global_allocator]
+static GLOBAL_ALLOC: doppel_common::CountingAlloc = doppel_common::CountingAlloc;
+
 pub use args::Args;
 pub use engines::{build_engine, EngineKind};
 pub use experiment::{run_point, sample_during_run, ExperimentConfig, SampledRun};

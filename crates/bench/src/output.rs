@@ -33,6 +33,8 @@ struct TrajectoryEntry {
 /// line).
 pub fn emit(table: &Table, slug: &str, args: &Args) {
     println!("{table}");
+    let (allocs, bytes) = doppel_common::alloc::alloc_totals();
+    println!("heap: {allocs} allocations, {:.1} MB since process start\n", bytes as f64 / 1e6);
     if let Some(dir) = args.get("out") {
         let dir = PathBuf::from(dir);
         if let Err(e) = fs::create_dir_all(&dir) {

@@ -1,0 +1,154 @@
+//! A counting global allocator, so allocation traffic is a first-class
+//! metric.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and counts every `alloc` /
+//! `alloc_zeroed` / `realloc` call (and its requested bytes) into relaxed
+//! process-wide totals plus per-thread counters. The counters are monitoring
+//! data only: they impose two relaxed atomic adds and two thread-local adds
+//! per allocation and nothing on `dealloc`.
+//!
+//! A Rust binary admits exactly one `#[global_allocator]`. In this workspace
+//! it is registered by `doppel_bench` (which the benchmark binaries and the
+//! root integration tests all link), so benchmarks and the allocation
+//! discipline tests observe real counts while library unit tests — which
+//! don't link `doppel_bench` — read zeros. Code consuming the counters must
+//! therefore treat `0` as "allocator not installed", never as proof that no
+//! allocation happened.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-initialised Cells: no lazy init, no destructor, so touching them
+    // from inside the allocator cannot recurse or abort during thread exit.
+    static THREAD_ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn record(bytes: usize) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    let _ = THREAD_ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// System allocator wrapper that counts allocations. Register with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Process-wide `(allocation count, allocated bytes)` since start.
+pub fn alloc_totals() -> (u64, u64) {
+    (ALLOC_COUNT.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+/// This thread's `(allocation count, allocated bytes)` since it started.
+pub fn thread_alloc_totals() -> (u64, u64) {
+    let count = THREAD_ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    let bytes = THREAD_ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    (count, bytes)
+}
+
+/// A point-in-time mark of the process-wide totals, for measuring an
+/// interval: `let cp = AllocCheckpoint::now(); work(); cp.delta()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocCheckpoint {
+    count: u64,
+    bytes: u64,
+}
+
+impl AllocCheckpoint {
+    /// Marks the current process-wide totals.
+    pub fn now() -> AllocCheckpoint {
+        let (count, bytes) = alloc_totals();
+        AllocCheckpoint { count, bytes }
+    }
+
+    /// `(allocations, bytes)` since this checkpoint was taken.
+    pub fn delta(&self) -> (u64, u64) {
+        let (count, bytes) = alloc_totals();
+        (count.saturating_sub(self.count), bytes.saturating_sub(self.bytes))
+    }
+}
+
+/// Like [`AllocCheckpoint`] but over this thread's counters only, immune to
+/// allocation noise from other threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadAllocCheckpoint {
+    count: u64,
+    bytes: u64,
+}
+
+impl ThreadAllocCheckpoint {
+    /// Marks the current thread-local totals.
+    pub fn now() -> ThreadAllocCheckpoint {
+        let (count, bytes) = thread_alloc_totals();
+        ThreadAllocCheckpoint { count, bytes }
+    }
+
+    /// `(allocations, bytes)` on this thread since the checkpoint.
+    pub fn delta(&self) -> (u64, u64) {
+        let (count, bytes) = thread_alloc_totals();
+        (count.saturating_sub(self.count), bytes.saturating_sub(self.bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this crate's unit tests, so only the
+    // bookkeeping itself can be exercised here; end-to-end counting is pinned
+    // by the root `alloc_discipline` integration tests.
+    #[test]
+    fn record_accumulates_globally_and_per_thread() {
+        let before_global = alloc_totals();
+        let before_thread = thread_alloc_totals();
+        record(128);
+        record(64);
+        let global = alloc_totals();
+        let thread = thread_alloc_totals();
+        assert!(global.0 >= before_global.0 + 2);
+        assert!(global.1 >= before_global.1 + 192);
+        assert_eq!(thread.0, before_thread.0 + 2);
+        assert_eq!(thread.1, before_thread.1 + 192);
+    }
+
+    #[test]
+    fn checkpoints_measure_intervals() {
+        let cp = AllocCheckpoint::now();
+        let tcp = ThreadAllocCheckpoint::now();
+        record(32);
+        let (count, bytes) = cp.delta();
+        assert!(count >= 1);
+        assert!(bytes >= 32);
+        let (tcount, tbytes) = tcp.delta();
+        assert_eq!(tcount, 1);
+        assert_eq!(tbytes, 32);
+    }
+}

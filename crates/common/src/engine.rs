@@ -327,7 +327,18 @@ impl LogReceipt {
 /// serialization order for replay.
 pub trait CommitSink: Send + Sync {
     /// Appends one commit record for a transaction's write set.
-    fn log_commit(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt;
+    ///
+    /// The write set is streamed as borrowed `(key, &op)` pairs so callers
+    /// log straight out of their in-place write sets — the commit hot path
+    /// must not have to materialize an owned `Vec<(Key, Op)>` (cloning every
+    /// op) just to cross this trait boundary. `ExactSizeIterator` lets
+    /// implementations emit the entry count up front. Slice-shaped callers
+    /// (tests, recovery replay) can use [`CommitSinkExt::log_commit_slice`].
+    fn log_commit(
+        &self,
+        tid: Tid,
+        writes: &mut dyn ExactSizeIterator<Item = (Key, &Op)>,
+    ) -> LogReceipt;
 
     /// Appends one merged-delta record for a split key's reconciliation
     /// (`ops` are the merge operations produced by the per-core slice).
@@ -335,6 +346,20 @@ pub trait CommitSink: Send + Sync {
 
     /// Blocks until everything appended so far is durable (flush + fsync).
     fn sync(&self) -> LogReceipt;
+}
+
+/// Slice-shaped convenience over [`CommitSink::log_commit`] for callers that
+/// already hold an owned `&[(Key, Op)]` (tests, recovery replay, captured
+/// write logs). Blanket-implemented for every sink, including trait objects.
+pub trait CommitSinkExt {
+    /// Appends one commit record from a `(key, op)` slice.
+    fn log_commit_slice(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt;
+}
+
+impl<T: CommitSink + ?Sized> CommitSinkExt for T {
+    fn log_commit_slice(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt {
+        self.log_commit(tid, &mut writes.iter().map(|(k, op)| (*k, op)))
+    }
 }
 
 /// A transactional engine: creates per-core handles and exposes global state.

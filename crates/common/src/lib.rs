@@ -20,6 +20,7 @@
 //!   where "both OCC and 2PL are implemented in the same framework as
 //!   Doppel" (§8.1).
 
+pub mod alloc;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -32,9 +33,11 @@ pub mod stats;
 pub mod tid;
 pub mod value;
 
+pub use alloc::{AllocCheckpoint, CountingAlloc, ThreadAllocCheckpoint};
 pub use config::{DoppelConfig, DurabilityConfig, PhaseFeedback};
 pub use engine::{
-    Completion, CommitSink, Engine, LogReceipt, Outcome, Procedure, ProcedureFn, Ticket, Tx,
+    Completion, CommitSink, CommitSinkExt, Engine, LogReceipt, Outcome, Procedure, ProcedureFn,
+    Ticket, Tx,
     TxHandle,
 };
 pub use error::TxError;

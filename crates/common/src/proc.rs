@@ -118,6 +118,18 @@ impl Args {
         Args { vals }
     }
 
+    /// Clears the argument list, keeping its allocation so the vector can be
+    /// refilled in place (pooled callers reuse one `Args` across calls).
+    pub fn clear(&mut self) {
+        self.vals.clear();
+    }
+
+    /// Appends an element in place (non-consuming counterpart of the builder
+    /// methods, for pooled buffers).
+    pub fn push(&mut self, v: ArgValue) {
+        self.vals.push(v);
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.vals.len()

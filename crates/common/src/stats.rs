@@ -103,6 +103,8 @@ impl EngineStats {
             queue_enqueued: self.queue_enqueued.load(Ordering::Relaxed),
             queue_busy_rejections: self.queue_busy_rejections.load(Ordering::Relaxed),
             queue_batches: self.queue_batches.load(Ordering::Relaxed),
+            alloc_count: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -169,6 +171,13 @@ pub struct StatsSnapshot {
     pub queue_busy_rejections: u64,
     /// See [`EngineStats::queue_batches`].
     pub queue_batches: u64,
+    /// Heap allocations performed during the measured interval, overlaid by
+    /// [`StatsSnapshot::with_alloc_counters`]. Zero when the counting
+    /// allocator is not installed (see [`crate::alloc`]).
+    pub alloc_count: u64,
+    /// Heap bytes requested during the measured interval (same caveat as
+    /// [`StatsSnapshot::alloc_count`]).
+    pub alloc_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -199,6 +208,25 @@ impl StatsSnapshot {
         self
     }
 
+    /// Overlays allocation counters measured by [`crate::alloc`] onto this
+    /// snapshot. The global allocator owns these counts (they are not
+    /// per-engine atomics), so drivers stamp them on after computing the
+    /// engine-side delta.
+    pub fn with_alloc_counters(mut self, count: u64, bytes: u64) -> StatsSnapshot {
+        self.alloc_count = count;
+        self.alloc_bytes = bytes;
+        self
+    }
+
+    /// Mean allocations per committed transaction, `None` when idle.
+    pub fn allocs_per_commit(&self) -> Option<f64> {
+        if self.commits == 0 {
+            None
+        } else {
+            Some(self.alloc_count as f64 / self.commits as f64)
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (for per-interval rates).
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -223,6 +251,8 @@ impl StatsSnapshot {
             queue_enqueued: self.queue_enqueued - earlier.queue_enqueued,
             queue_busy_rejections: self.queue_busy_rejections - earlier.queue_busy_rejections,
             queue_batches: self.queue_batches - earlier.queue_batches,
+            alloc_count: self.alloc_count - earlier.alloc_count,
+            alloc_bytes: self.alloc_bytes - earlier.alloc_bytes,
         }
     }
 }
@@ -294,6 +324,20 @@ mod tests {
         let merged = engine_side.with_queue_counters(&snap);
         assert_eq!(merged.commits, 9);
         assert_eq!(merged.queue_enqueued, 10);
+    }
+
+    #[test]
+    fn alloc_counters_overlay_and_delta() {
+        let snap = StatsSnapshot { commits: 4, ..Default::default() }
+            .with_alloc_counters(20, 4096);
+        assert_eq!(snap.alloc_count, 20);
+        assert_eq!(snap.alloc_bytes, 4096);
+        assert_eq!(snap.allocs_per_commit(), Some(5.0));
+        assert_eq!(StatsSnapshot::default().allocs_per_commit(), None);
+        let earlier = StatsSnapshot::default().with_alloc_counters(5, 1024);
+        let d = snap.delta(&earlier);
+        assert_eq!(d.alloc_count, 15);
+        assert_eq!(d.alloc_bytes, 3072);
     }
 
     #[test]

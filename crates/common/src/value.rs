@@ -12,6 +12,7 @@ use crate::CoreId;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The order component of an [`OrderedTuple`] or top-K entry.
 ///
@@ -77,17 +78,22 @@ impl OrderedTuple {
 /// let orders: Vec<i64> = top.iter().map(|t| t.order.primary()).collect();
 /// assert_eq!(orders, vec![20, 15]);
 /// ```
+///
+/// The entry vector is shared copy-on-write (`Arc` + [`Arc::make_mut`]):
+/// cloning a `TopKSet` — which every stamped read of a top-K record does —
+/// bumps a refcount instead of deep-copying `K` tuples, and mutation only
+/// copies when a reader still holds the previous version.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TopKSet {
     k: usize,
     /// Entries sorted descending by (order, core).
-    entries: Vec<OrderedTuple>,
+    entries: Arc<Vec<OrderedTuple>>,
 }
 
 impl TopKSet {
     /// Creates an empty top-K set with capacity `k`.
     pub fn new(k: usize) -> Self {
-        TopKSet { k, entries: Vec::new() }
+        TopKSet { k, entries: Arc::new(Vec::new()) }
     }
 
     /// The configured capacity `K`.
@@ -118,15 +124,16 @@ impl TopKSet {
         // broken by payload so insertion order never matters).
         if let Some(pos) = self.entries.iter().position(|e| e.order == tuple.order) {
             if tuple.supersedes(&self.entries[pos]) {
-                self.entries[pos] = tuple;
+                Arc::make_mut(&mut self.entries)[pos] = tuple;
                 return true;
             }
             return false;
         }
-        self.entries.push(tuple);
-        self.entries.sort_by(|a, b| b.order.cmp(&a.order).then(b.core.cmp(&a.core)));
-        if self.entries.len() > self.k {
-            self.entries.truncate(self.k);
+        let entries = Arc::make_mut(&mut self.entries);
+        entries.push(tuple);
+        entries.sort_by(|a, b| b.order.cmp(&a.order).then(b.core.cmp(&a.core)));
+        if entries.len() > self.k {
+            entries.truncate(self.k);
             // The inserted tuple may itself have been the one dropped.
         }
         true
@@ -134,7 +141,12 @@ impl TopKSet {
 
     /// Merges another top-K set into this one (used during reconciliation).
     pub fn merge_from(&mut self, other: &TopKSet) {
-        for t in &other.entries {
+        if self.entries.is_empty() && other.entries.len() <= self.k {
+            // O(1) adoption: the other side is already sorted and fits.
+            self.entries = Arc::clone(&other.entries);
+            return;
+        }
+        for t in other.entries.iter() {
             self.insert_tuple(t.clone());
         }
     }
@@ -168,10 +180,14 @@ impl TopKSet {
 /// order. The set's size is bounded by the number of *distinct* elements ever
 /// inserted, not by the number of operations, which keeps reconciliation cost
 /// independent of the split phase's operation count (§4 guideline 4).
+///
+/// Like [`TopKSet`], the element vector is shared copy-on-write so that
+/// cloning a set-valued record (every stamped read) is a refcount bump, not
+/// an O(n) copy.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IntSet {
     /// Elements in ascending order, no duplicates.
-    elems: Vec<i64>,
+    elems: Arc<Vec<i64>>,
 }
 
 impl IntSet {
@@ -182,7 +198,7 @@ impl IntSet {
 
     /// Creates a set holding exactly one element.
     pub fn singleton(e: i64) -> Self {
-        IntSet { elems: vec![e] }
+        IntSet { elems: Arc::new(vec![e]) }
     }
 
     /// Number of distinct elements.
@@ -205,7 +221,7 @@ impl IntSet {
         match self.elems.binary_search(&e) {
             Ok(_) => false,
             Err(pos) => {
-                self.elems.insert(pos, e);
+                Arc::make_mut(&mut self.elems).insert(pos, e);
                 true
             }
         }
@@ -217,7 +233,8 @@ impl IntSet {
             return;
         }
         if self.elems.is_empty() {
-            self.elems = other.elems.clone();
+            // O(1) adoption of the other side's shared vector.
+            self.elems = Arc::clone(&other.elems);
             return;
         }
         // Single-element unions (the common `set_insert` case) stay a binary
@@ -248,7 +265,7 @@ impl IntSet {
         }
         merged.extend_from_slice(&self.elems[i..]);
         merged.extend_from_slice(&other.elems[j..]);
-        self.elems = merged;
+        self.elems = Arc::new(merged);
     }
 
     /// Iterates over the elements in ascending order.

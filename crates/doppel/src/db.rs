@@ -439,12 +439,12 @@ mod tests {
         fn log_commit(
             &self,
             tid: doppel_common::Tid,
-            writes: &[(Key, doppel_common::Op)],
+            writes: &mut dyn ExactSizeIterator<Item = (Key, &doppel_common::Op)>,
         ) -> doppel_common::LogReceipt {
-            if writes.is_empty() {
+            if writes.len() == 0 {
                 return doppel_common::LogReceipt::default();
             }
-            self.commits.lock().push((tid, writes.to_vec()));
+            self.commits.lock().push((tid, writes.map(|(k, op)| (k, op.clone())).collect()));
             doppel_common::LogReceipt { records: 1, bytes: 1, ..Default::default() }
         }
 

@@ -84,7 +84,7 @@ pub use db::DoppelDb;
 pub use phase::{Phase, PhaseState, PhaseTarget};
 pub use slices::Slice;
 pub use split_registry::{SplitRegistry, SplitSet};
-pub use txn::DoppelTx;
+pub use txn::{DoppelTx, TxBuffers};
 pub use worker::DoppelWorker;
 
 pub use doppel_common::{DoppelConfig, Engine, Outcome, Procedure, ProcedureFn, TxHandle};

@@ -18,7 +18,7 @@
 
 use crate::split_registry::SplitSet;
 use doppel_common::{CoreId, Key, Op, OpKind, Tid, TidGenerator, TxError, Value};
-use doppel_occ::OccTx;
+use doppel_occ::{OccTx, ReadSet, WriteSet};
 use doppel_store::Store;
 use std::sync::Arc;
 
@@ -31,6 +31,18 @@ enum TxMode {
         /// Split decisions for the current split phase.
         split_set: Arc<SplitSet>,
     },
+}
+
+/// The reusable buffers of a [`DoppelTx`]: the OCC read/write sets plus the
+/// split write set and intent list. [`crate::DoppelWorker`] pools one of
+/// these across transactions so steady-state execution allocates no
+/// per-transaction bookkeeping.
+#[derive(Default)]
+pub struct TxBuffers {
+    read_set: ReadSet,
+    write_set: WriteSet,
+    split_writes: Vec<(Key, Op)>,
+    intents: Vec<(Key, OpKind)>,
 }
 
 /// A running Doppel transaction.
@@ -47,22 +59,58 @@ pub struct DoppelTx<'s> {
 impl<'s> DoppelTx<'s> {
     /// Starts a joined-phase transaction.
     pub fn joined(store: &'s Store, core: CoreId) -> Self {
+        Self::joined_with(store, core, TxBuffers::default())
+    }
+
+    /// [`DoppelTx::joined`] reusing pooled buffers (cleared here).
+    pub fn joined_with(store: &'s Store, core: CoreId, bufs: TxBuffers) -> Self {
+        let mut split_writes = bufs.split_writes;
+        let mut intents = bufs.intents;
+        split_writes.clear();
+        intents.clear();
         DoppelTx {
-            occ: OccTx::new(store, core),
+            occ: OccTx::from_parts(store, core, bufs.read_set, bufs.write_set),
             mode: TxMode::Joined,
-            split_writes: Vec::new(),
-            intents: Vec::new(),
+            split_writes,
+            intents,
         }
     }
 
     /// Starts a split-phase transaction restricted by `split_set`.
     pub fn split(store: &'s Store, core: CoreId, split_set: Arc<SplitSet>) -> Self {
+        Self::split_with(store, core, split_set, TxBuffers::default())
+    }
+
+    /// [`DoppelTx::split`] reusing pooled buffers (cleared here).
+    pub fn split_with(
+        store: &'s Store,
+        core: CoreId,
+        split_set: Arc<SplitSet>,
+        bufs: TxBuffers,
+    ) -> Self {
+        let mut split_writes = bufs.split_writes;
+        let mut intents = bufs.intents;
+        split_writes.clear();
+        intents.clear();
         DoppelTx {
-            occ: OccTx::new(store, core),
+            occ: OccTx::from_parts(store, core, bufs.read_set, bufs.write_set),
             mode: TxMode::Split { split_set },
-            split_writes: Vec::new(),
-            intents: Vec::new(),
+            split_writes,
+            intents,
         }
+    }
+
+    /// Recovers the internal buffers (capacity intact, contents cleared) for
+    /// reuse by the next transaction on this worker.
+    pub fn into_buffers(mut self) -> TxBuffers {
+        let (mut read_set, mut write_set) = self.occ.into_sets();
+        // Clear eagerly so pooled `Arc<Record>` handles don't keep records
+        // alive between transactions.
+        read_set.clear();
+        write_set.clear();
+        self.split_writes.clear();
+        self.intents.clear();
+        TxBuffers { read_set, write_set, split_writes: self.split_writes, intents: self.intents }
     }
 
     fn note_intent(&mut self, key: Key, op: OpKind) {
@@ -106,6 +154,13 @@ impl<'s> DoppelTx<'s> {
     /// successful OCC commit).
     pub fn take_split_writes(&mut self) -> Vec<(Key, Op)> {
         std::mem::take(&mut self.split_writes)
+    }
+
+    /// Drains the buffered split writes in place, keeping the buffer's
+    /// allocation (preferred over [`DoppelTx::take_split_writes`] when the
+    /// transaction's buffers are pooled).
+    pub fn drain_split_writes(&mut self) -> std::vec::Drain<'_, (Key, Op)> {
+        self.split_writes.drain(..)
     }
 
     /// Number of split writes buffered so far.

@@ -16,7 +16,7 @@ use crate::phase::Phase;
 use crate::shared::DoppelShared;
 use crate::slices::Slice;
 use crate::split_registry::SplitSet;
-use crate::txn::DoppelTx;
+use crate::txn::{DoppelTx, TxBuffers};
 use doppel_common::{
     CommitSink, Completion, CoreId, EngineStats, Key, Outcome, Procedure, Ticket, TidGenerator,
     TxError, TxHandle,
@@ -53,6 +53,10 @@ pub struct DoppelWorker {
     /// path nor reconciliation reads the shared sink cell (attach the sink
     /// before creating handles).
     sink: Option<Arc<dyn CommitSink>>,
+    /// Transaction buffers (OCC sets, split write set, intent list) reused
+    /// across transactions so steady-state execution allocates no
+    /// per-transaction bookkeeping.
+    tx_bufs: TxBuffers,
 }
 
 impl DoppelWorker {
@@ -72,6 +76,7 @@ impl DoppelWorker {
             next_ticket: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15 ^ ((core as u64 + 1) << 17),
             sink: shared.commit_sink(),
+            tx_bufs: TxBuffers::default(),
             shared,
         }
     }
@@ -130,64 +135,71 @@ impl DoppelWorker {
         // Hold a local clone of the shared state so the transaction's borrow
         // of the store does not pin `self`.
         let shared = Arc::clone(&self.shared);
-        let mut tx = DoppelTx::joined(&shared.store, self.core);
-        if let Err(e) = proc.run(&mut tx) {
-            return self.handle_body_error(&tx, e);
-        }
-        match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
-            Ok((tid, receipt)) => {
-                self.shared.stats.absorb_log(&receipt);
-                self.record_commit();
-                Outcome::Committed(tid)
-            }
-            Err(e) => self.handle_commit_error(&tx, e),
-        }
+        let bufs = std::mem::take(&mut self.tx_bufs);
+        let mut tx = DoppelTx::joined_with(&shared.store, self.core, bufs);
+        let outcome = match proc.run(&mut tx) {
+            Err(e) => self.handle_body_error(&tx, e),
+            Ok(()) => match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
+                Ok((tid, receipt)) => {
+                    self.shared.stats.absorb_log(&receipt);
+                    self.record_commit();
+                    Outcome::Committed(tid)
+                }
+                Err(e) => self.handle_commit_error(&tx, e),
+            },
+        };
+        self.tx_bufs = tx.into_buffers();
+        outcome
     }
 
     /// Runs one transaction in split mode (OCC for reconciled data, per-core
     /// slices for split data).
     fn run_split(&mut self, proc: &Arc<dyn Procedure>) -> Outcome {
         let shared = Arc::clone(&self.shared);
-        let mut tx = DoppelTx::split(&shared.store, self.core, Arc::clone(&self.split_set));
-        if let Err(e) = proc.run(&mut tx) {
-            if let TxError::Stash { key, attempted } = e {
+        let bufs = std::mem::take(&mut self.tx_bufs);
+        let mut tx =
+            DoppelTx::split_with(&shared.store, self.core, Arc::clone(&self.split_set), bufs);
+        let outcome = match proc.run(&mut tx) {
+            Err(TxError::Stash { key, attempted }) => {
                 // Stash the transaction for the next joined phase (§5.2).
                 self.shared.samplers[self.core].lock().record_stash(key, attempted);
                 EngineStats::bump(&self.shared.stats.stashes);
                 self.shared.phase_stashed.fetch_add(1, Ordering::Relaxed);
                 let ticket = self.fresh_ticket();
                 self.stash.push_back(StashedTxn { ticket, proc: Arc::clone(proc) });
-                return Outcome::Stashed(ticket);
+                Outcome::Stashed(ticket)
             }
-            return self.handle_body_error(&tx, e);
-        }
-        // The OCC (reconciled) part of the write set logs conventionally;
-        // split writes are not logged per-operation — each worker emits one
-        // merged-delta record per split key at reconciliation instead. A
-        // mixed transaction therefore becomes durable in two pieces: its
-        // reconciled writes at commit, its split writes when the next
-        // reconciliation's delta records reach disk (see the "Durability"
-        // section of the README for the contract).
-        match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
-            Ok((tid, receipt)) => {
-                self.shared.stats.absorb_log(&receipt);
-                // Apply the split write set to the per-core slices (Figure 3,
-                // part 3). Slices are invisible to other cores, so no locks
-                // or version checks are needed.
-                for (key, op) in tx.take_split_writes() {
-                    let slice =
-                        self.slices.entry(key).or_insert_with(|| Slice::new(op.kind()));
-                    slice
-                        .apply(&op)
-                        .expect("selected operation always matches its slice kind");
-                    EngineStats::bump(&self.shared.stats.slice_ops);
-                    self.shared.samplers[self.core].lock().record_split_write(key);
+            Err(e) => self.handle_body_error(&tx, e),
+            // The OCC (reconciled) part of the write set logs conventionally;
+            // split writes are not logged per-operation — each worker emits
+            // one merged-delta record per split key at reconciliation
+            // instead. A mixed transaction therefore becomes durable in two
+            // pieces: its reconciled writes at commit, its split writes when
+            // the next reconciliation's delta records reach disk (see the
+            // "Durability" section of the README for the contract).
+            Ok(()) => match tx.commit_occ_durable(&mut self.tid_gen, self.sink.as_deref()) {
+                Ok((tid, receipt)) => {
+                    self.shared.stats.absorb_log(&receipt);
+                    // Apply the split write set to the per-core slices
+                    // (Figure 3, part 3). Slices are invisible to other
+                    // cores, so no locks or version checks are needed.
+                    for (key, op) in tx.drain_split_writes() {
+                        let slice =
+                            self.slices.entry(key).or_insert_with(|| Slice::new(op.kind()));
+                        slice
+                            .apply(&op)
+                            .expect("selected operation always matches its slice kind");
+                        EngineStats::bump(&self.shared.stats.slice_ops);
+                        self.shared.samplers[self.core].lock().record_split_write(key);
+                    }
+                    self.record_commit();
+                    Outcome::Committed(tid)
                 }
-                self.record_commit();
-                Outcome::Committed(tid)
-            }
-            Err(e) => self.handle_commit_error(&tx, e),
-        }
+                Err(e) => self.handle_commit_error(&tx, e),
+            },
+        };
+        self.tx_bufs = tx.into_buffers();
+        outcome
     }
 
     fn handle_body_error(&mut self, tx: &DoppelTx<'_>, e: TxError) -> Outcome {
@@ -227,8 +239,9 @@ impl DoppelWorker {
         if self.slices.is_empty() {
             return;
         }
-        let slices = std::mem::take(&mut self.slices);
-        for (key, slice) in slices {
+        // Drain in place (instead of `mem::take`) so the slice map's table
+        // allocation survives into the next split phase.
+        for (key, slice) in self.slices.drain() {
             let merge_ops = slice.into_merge_ops();
             if merge_ops.is_empty() {
                 continue;
@@ -260,8 +273,10 @@ impl DoppelWorker {
         if self.stash.is_empty() {
             return;
         }
-        let stashed: Vec<StashedTxn> = self.stash.drain(..).collect();
-        for entry in stashed {
+        // Replay directly off the deque: joined-phase execution never pushes
+        // to the stash, so popping while replaying is safe and avoids
+        // collecting into a temporary list.
+        while let Some(entry) = self.stash.pop_front() {
             let mut attempts = 0u32;
             loop {
                 match self.run_joined(entry.proc.as_ref()) {

@@ -4,6 +4,7 @@
 //! concurrency control with no phases and no split data. Doppel degenerates
 //! to exactly this behaviour when nothing is contended.
 
+use crate::rwsets::{ReadSet, WriteSet};
 use crate::tx::OccTx;
 use doppel_common::{
     CommitSink, Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot,
@@ -63,6 +64,7 @@ impl Engine for OccEngine {
             // must precede handle creation).
             sink: self.sink.read().clone(),
             tid_gen: TidGenerator::new(core),
+            scratch: (ReadSet::new(), WriteSet::new()),
         })
     }
 
@@ -109,32 +111,44 @@ pub struct OccHandle {
     stats: Arc<EngineStats>,
     sink: Option<Arc<dyn CommitSink>>,
     tid_gen: TidGenerator,
+    /// Read/write set buffers reused across transactions: a transaction takes
+    /// them via [`OccTx::from_parts`] and hands them back via
+    /// [`OccTx::into_sets`], so steady-state execution allocates no set
+    /// storage per transaction.
+    scratch: (ReadSet, WriteSet),
 }
 
 impl OccHandle {
     fn run_once(&mut self, proc: &dyn Procedure) -> Outcome {
-        let mut tx = OccTx::new(&self.store, self.core);
-        match proc.run(&mut tx) {
-            Ok(()) => {}
+        let (rs, ws) = std::mem::take(&mut self.scratch);
+        let mut tx = OccTx::from_parts(&self.store, self.core, rs, ws);
+        let outcome = match proc.run(&mut tx) {
+            Ok(()) => match tx.commit_durable(&mut self.tid_gen, self.sink.as_deref()) {
+                Ok((tid, receipt)) => {
+                    self.stats.absorb_log(&receipt);
+                    EngineStats::bump(&self.stats.commits);
+                    Outcome::Committed(tid)
+                }
+                Err(e) => {
+                    EngineStats::bump(&self.stats.conflicts);
+                    Outcome::Aborted(e)
+                }
+            },
             Err(e) => {
                 match &e {
                     TxError::UserAbort { .. } => EngineStats::bump(&self.stats.user_aborts),
                     _ => EngineStats::bump(&self.stats.conflicts),
                 }
-                return Outcome::Aborted(e);
-            }
-        }
-        match tx.commit_durable(&mut self.tid_gen, self.sink.as_deref()) {
-            Ok((tid, receipt)) => {
-                self.stats.absorb_log(&receipt);
-                EngineStats::bump(&self.stats.commits);
-                Outcome::Committed(tid)
-            }
-            Err(e) => {
-                EngineStats::bump(&self.stats.conflicts);
                 Outcome::Aborted(e)
             }
-        }
+        };
+        // Recover the buffers and clear them immediately so pooled
+        // `Arc<Record>` handles don't keep records alive between transactions.
+        let (mut rs, mut ws) = tx.into_sets();
+        rs.clear();
+        ws.clear();
+        self.scratch = (rs, ws);
+        outcome
     }
 }
 

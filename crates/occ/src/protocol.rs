@@ -6,7 +6,7 @@
 //! split-write-set application that Doppel performs afterwards).
 
 use crate::rwsets::{ReadSet, WriteSet};
-use doppel_common::{CommitSink, Key, LogReceipt, Op, Tid, TidGenerator, TxError};
+use doppel_common::{CommitSink, LogReceipt, Tid, TidGenerator, TxError};
 
 /// Runs the three-part OCC commit protocol over the given read and write
 /// sets, returning the commit TID on success.
@@ -115,9 +115,10 @@ pub fn commit_durable(
                     return Err(e);
                 }
             }
-            let writes: Vec<(Key, Op)> =
-                write_set.entries().iter().map(|e| (e.key, e.op.clone())).collect();
-            let receipt = sink.log_commit(commit_tid, &writes);
+            // Log straight out of the write set: rebuilding an owned op list
+            // here used to clone every buffered op on every commit attempt.
+            let receipt = sink
+                .log_commit(commit_tid, &mut write_set.entries().iter().map(|e| (e.key, &e.op)));
             for entry in write_set.entries() {
                 entry.record.publish_and_unlock(commit_tid);
             }

@@ -28,7 +28,24 @@ pub struct OccTx<'s> {
 impl<'s> OccTx<'s> {
     /// Starts a transaction against `store` on worker `core`.
     pub fn new(store: &'s Store, core: CoreId) -> Self {
-        OccTx { store, core, read_set: ReadSet::new(), write_set: WriteSet::new() }
+        Self::from_parts(store, core, ReadSet::new(), WriteSet::new())
+    }
+
+    /// Starts a transaction reusing previously allocated set buffers.
+    ///
+    /// Engine handles keep a `(ReadSet, WriteSet)` scratch pair alive across
+    /// transactions (recovered via [`OccTx::into_sets`]) so the per-txn hot
+    /// path performs no set allocation. Both sets are cleared here, so handing
+    /// in dirty buffers is fine.
+    pub fn from_parts(
+        store: &'s Store,
+        core: CoreId,
+        mut read_set: ReadSet,
+        mut write_set: WriteSet,
+    ) -> Self {
+        read_set.clear();
+        write_set.clear();
+        OccTx { store, core, read_set, write_set }
     }
 
     /// The read set accumulated so far (used by Doppel's commit path).

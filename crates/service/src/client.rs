@@ -6,8 +6,8 @@
 //! stash-deferred transactions is not submission order).
 
 use crate::wire::{
-    decode_server, encode_client, read_frame, write_frame, ClientMsg, ServerMsg, WireAbort,
-    WireStmt,
+    decode_server, encode_client_into, read_frame_into, write_frame, ClientMsg, ServerMsg,
+    WireAbort, WireStmt,
 };
 use doppel_common::{Args, Key, Op, OrderKey, ProcResult, Value};
 use std::collections::{HashMap, HashSet};
@@ -138,6 +138,10 @@ pub struct RemoteClient {
     /// Outcomes that arrived while waiting for a different request.
     buffered: HashMap<u64, RemoteOutcome>,
     deferred_seen: HashSet<u64>,
+    /// Reused encode scratch: one buffer for every outgoing frame.
+    wbuf: Vec<u8>,
+    /// Reused receive buffer: frames decode in place, no per-reply allocation.
+    rbuf: Vec<u8>,
 }
 
 impl RemoteClient {
@@ -147,11 +151,24 @@ impl RemoteClient {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(RemoteClient { reader, writer, next_id: 0, buffered: HashMap::new(), deferred_seen: HashSet::new() })
+        Ok(RemoteClient {
+            reader,
+            writer,
+            next_id: 0,
+            buffered: HashMap::new(),
+            deferred_seen: HashSet::new(),
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        })
+    }
+
+    fn write_msg(&mut self, msg: &ClientMsg) -> io::Result<()> {
+        encode_client_into(msg, &mut self.wbuf);
+        write_frame(&mut self.writer, &self.wbuf)
     }
 
     fn send(&mut self, msg: &ClientMsg) -> io::Result<()> {
-        write_frame(&mut self.writer, &encode_client(msg))?;
+        self.write_msg(msg)?;
         self.writer.flush()
     }
 
@@ -173,9 +190,10 @@ impl RemoteClient {
     }
 
     fn read_msg(&mut self) -> io::Result<ServerMsg> {
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
-        decode_server(&payload)
+        if !read_frame_into(&mut self.reader, &mut self.rbuf)? {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        decode_server(&self.rbuf)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
@@ -257,7 +275,7 @@ impl RemoteClient {
             let id = self.fresh_id();
             let msg =
                 ClientMsg::InvokeProc { id, proc: name.to_string(), args: args.clone() };
-            write_frame(&mut self.writer, &encode_client(&msg))?;
+            self.write_msg(&msg)?;
             ids.push(id);
         }
         self.writer.flush()?;

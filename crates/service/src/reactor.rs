@@ -29,7 +29,7 @@
 //! ordering is all the protocol promises.
 
 use crate::server::{dispatch_client_msg, ConnShared};
-use crate::wire::{decode_client, encode_server, frame_bytes, FrameDecoder, ServerMsg};
+use crate::wire::{decode_client, server_frame, ClientMsg, FrameDecoder, ServerMsg};
 use mio::{Events, Interest, Poll, Token, Waker};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -230,9 +230,12 @@ pub(crate) struct OutboxSender {
 }
 
 impl OutboxSender {
-    /// Encodes and enqueues one server message.
+    /// Encodes and enqueues one server message. The reply is framed in a
+    /// single allocation ([`server_frame`]) — the queue must own its frames,
+    /// so one `Vec` per queued reply is the floor, but the old
+    /// encode-then-frame two-step paid a second allocation plus a full copy.
     pub(crate) fn send(&self, msg: &ServerMsg) {
-        match frame_bytes(&encode_server(msg)) {
+        match server_frame(msg) {
             Ok(frame) => self.outbox.push(frame),
             // A reply that cannot be framed (over MAX_FRAME) can never reach
             // the peer intact; the connection is beyond repair.
@@ -340,6 +343,7 @@ impl Reactor {
                 next_token: 1,
                 write_queue_bytes: config.write_queue_bytes,
                 scratch: vec![0u8; 64 * 1024],
+                msg_buf: Vec::new(),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -418,6 +422,9 @@ struct Poller {
     next_token: usize,
     write_queue_bytes: usize,
     scratch: Vec<u8>,
+    /// Decoded-message staging buffer, reused across readiness events so a
+    /// busy connection costs no per-event allocation.
+    msg_buf: Vec<ClientMsg>,
 }
 
 impl Poller {
@@ -516,7 +523,7 @@ impl Poller {
     /// the connection for `after_io` to finish once replies drain.
     fn read_and_dispatch(&mut self, token: usize) -> Option<CloseReason> {
         let conn = self.conns.get_mut(&token)?;
-        let mut msgs = Vec::new();
+        self.msg_buf.clear();
         for _ in 0..READS_PER_EVENT {
             match conn.stream.read(&mut self.scratch) {
                 Ok(0) => {
@@ -527,9 +534,12 @@ impl Poller {
                 Ok(n) => {
                     conn.decoder.feed(&self.scratch[..n]);
                     loop {
-                        match conn.decoder.next_frame() {
-                            Ok(Some(payload)) => match decode_client(&payload) {
-                                Ok(msg) => msgs.push(msg),
+                        // Borrow each completed frame straight out of the
+                        // receive buffer; `decode_client` produces the owned
+                        // message, so the payload is never copied.
+                        match conn.decoder.next_frame_ref() {
+                            Ok(Some(payload)) => match decode_client(payload) {
+                                Ok(msg) => self.msg_buf.push(msg),
                                 Err(_) => return Some(CloseReason::Protocol),
                             },
                             Ok(None) => break,
@@ -543,7 +553,7 @@ impl Poller {
                 Err(_) => return Some(CloseReason::Done),
             }
         }
-        if !msgs.is_empty() {
+        if !self.msg_buf.is_empty() {
             // Clone the sender handle out of the map so dispatch (which may
             // synchronously enqueue acks) does not alias the connection.
             let sender = match &conn.sender {
@@ -553,7 +563,7 @@ impl Poller {
                 None => conn.outbox.sender(),
             };
             let shared = Arc::clone(&self.shared);
-            for msg in msgs {
+            for msg in self.msg_buf.drain(..) {
                 dispatch_client_msg(&shared, msg, &sender);
             }
         }

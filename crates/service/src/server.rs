@@ -17,7 +17,7 @@
 
 use crate::reactor::{self, Outbox, OutboxSender, Reactor, ReactorConfig, Recv};
 use crate::service::{ReplySink, ServiceConfig, TransactionService};
-use crate::wire::{decode_client, read_frame, ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};
+use crate::wire::{decode_client, read_frame_into, ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};
 use doppel_common::{
     DoppelConfig, Engine, Op, Procedure, ProcRegistry, RegisteredCall, RequestId, ServiceReply,
     SubmitError, Tx, TxError, Value,
@@ -54,7 +54,11 @@ impl RemoteProcedure {
 
 impl Procedure for RemoteProcedure {
     fn run(&self, tx: &mut dyn Tx) -> Result<(), TxError> {
-        let mut vals = Vec::new();
+        // Reuse the previous execution's value buffer: Doppel may stash and
+        // re-run this procedure several times, and the service replays it on
+        // conflicts — each run would otherwise allocate a fresh vector.
+        let mut vals = std::mem::take(&mut *self.reads.lock());
+        vals.clear();
         for stmt in &self.stmts {
             match stmt {
                 WireStmt::Get(k) => vals.push(tx.get(*k)?),
@@ -613,7 +617,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ConnShared>, write_queue_by
     let Ok(writer) = writer else { return };
 
     let mut reader = BufReader::new(stream);
-    while let Ok(Some(payload)) = read_frame(&mut reader) {
+    // One payload buffer for the connection's lifetime: frames decode in
+    // place, so the read loop performs no per-frame allocation.
+    let mut payload = Vec::new();
+    while let Ok(true) = read_frame_into(&mut reader, &mut payload) {
         let Ok(msg) = decode_client(&payload) else {
             // Protocol error: drop the connection rather than guessing.
             shared.net.note_decode_error();

@@ -205,43 +205,51 @@ pub enum ServerMsg {
 /// Encodes a client message payload (no frame header).
 pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
+    encode_client_into(msg, &mut buf);
+    buf
+}
+
+/// [`encode_client`] into a caller-supplied buffer (cleared first), so a
+/// connection can reuse one encode buffer across messages instead of
+/// allocating a fresh `Vec` per message.
+pub fn encode_client_into(msg: &ClientMsg, buf: &mut Vec<u8>) {
+    buf.clear();
     match msg {
         ClientMsg::Submit { id, stmts } => {
-            put_u8(&mut buf, MSG_SUBMIT);
-            put_u64(&mut buf, *id);
-            put_u32(&mut buf, stmts.len() as u32);
+            put_u8(buf, MSG_SUBMIT);
+            put_u64(buf, *id);
+            put_u32(buf, stmts.len() as u32);
             for stmt in stmts {
                 match stmt {
                     WireStmt::Get(k) => {
-                        put_u8(&mut buf, STMT_GET);
-                        encode_key(&mut buf, *k);
+                        put_u8(buf, STMT_GET);
+                        encode_key(buf, *k);
                     }
                     WireStmt::Write(k, op) => {
-                        put_u8(&mut buf, STMT_WRITE);
-                        encode_key(&mut buf, *k);
-                        encode_op(&mut buf, op);
+                        put_u8(buf, STMT_WRITE);
+                        encode_key(buf, *k);
+                        encode_op(buf, op);
                     }
                 }
             }
         }
         ClientMsg::LabelSplit { id, key, op } => {
-            put_u8(&mut buf, MSG_LABEL_SPLIT);
-            put_u64(&mut buf, *id);
-            encode_key(&mut buf, *key);
-            encode_op(&mut buf, op);
+            put_u8(buf, MSG_LABEL_SPLIT);
+            put_u64(buf, *id);
+            encode_key(buf, *key);
+            encode_op(buf, op);
         }
         ClientMsg::Ping { id } => {
-            put_u8(&mut buf, MSG_PING);
-            put_u64(&mut buf, *id);
+            put_u8(buf, MSG_PING);
+            put_u64(buf, *id);
         }
         ClientMsg::InvokeProc { id, proc, args } => {
-            put_u8(&mut buf, MSG_INVOKE_PROC);
-            put_u64(&mut buf, *id);
-            put_slice(&mut buf, proc.as_bytes());
-            encode_args(&mut buf, args);
+            put_u8(buf, MSG_INVOKE_PROC);
+            put_u64(buf, *id);
+            put_slice(buf, proc.as_bytes());
+            encode_args(buf, args);
         }
     }
-    buf
 }
 
 /// Decodes a client message payload.
@@ -303,54 +311,91 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
 /// Encodes a server message payload (no frame header).
 pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
     let mut buf = Vec::with_capacity(32);
+    encode_server_into(msg, &mut buf);
+    buf
+}
+
+/// [`encode_server`] into a caller-supplied buffer (cleared first), so a
+/// connection can reuse one encode buffer across replies instead of
+/// allocating a fresh `Vec` per reply.
+pub fn encode_server_into(msg: &ServerMsg, buf: &mut Vec<u8>) {
+    buf.clear();
+    encode_server_body(msg, buf);
+}
+
+/// Appends a server message payload to `buf` without clearing it (the shared
+/// core of [`encode_server_into`] and [`server_frame_into`], which encodes
+/// behind a length placeholder).
+fn encode_server_body(msg: &ServerMsg, buf: &mut Vec<u8>) {
     match msg {
         ServerMsg::Done(done) => {
-            put_u8(&mut buf, MSG_DONE);
-            put_u64(&mut buf, done.id);
+            put_u8(buf, MSG_DONE);
+            put_u64(buf, done.id);
             match &done.result {
                 Ok(tid) => {
-                    put_u8(&mut buf, 0);
-                    put_u64(&mut buf, *tid);
+                    put_u8(buf, 0);
+                    put_u64(buf, *tid);
                 }
                 Err(abort) => {
-                    put_u8(&mut buf, 1);
-                    put_u8(&mut buf, *abort as u8);
+                    put_u8(buf, 1);
+                    put_u8(buf, *abort as u8);
                 }
             }
-            put_u8(&mut buf, done.deferred as u8);
-            put_u32(&mut buf, done.values.len() as u32);
+            put_u8(buf, done.deferred as u8);
+            put_u32(buf, done.values.len() as u32);
             for v in &done.values {
                 match v {
-                    None => put_u8(&mut buf, 0),
+                    None => put_u8(buf, 0),
                     Some(v) => {
-                        put_u8(&mut buf, 1);
-                        encode_value(&mut buf, v);
+                        put_u8(buf, 1);
+                        encode_value(buf, v);
                     }
                 }
             }
             match &done.proc_result {
-                None => put_u8(&mut buf, 0),
+                None => put_u8(buf, 0),
                 Some(result) => {
-                    put_u8(&mut buf, 1);
-                    encode_args(&mut buf, result);
+                    put_u8(buf, 1);
+                    encode_args(buf, result);
                 }
             }
         }
         ServerMsg::Deferred { id } => {
-            put_u8(&mut buf, MSG_DEFERRED);
-            put_u64(&mut buf, *id);
+            put_u8(buf, MSG_DEFERRED);
+            put_u64(buf, *id);
         }
         ServerMsg::Rejected { id, busy } => {
-            put_u8(&mut buf, MSG_REJECTED);
-            put_u64(&mut buf, *id);
-            put_u8(&mut buf, if *busy { 0 } else { 1 });
+            put_u8(buf, MSG_REJECTED);
+            put_u64(buf, *id);
+            put_u8(buf, if *busy { 0 } else { 1 });
         }
         ServerMsg::Ack { id } => {
-            put_u8(&mut buf, MSG_ACK);
-            put_u64(&mut buf, *id);
+            put_u8(buf, MSG_ACK);
+            put_u64(buf, *id);
         }
     }
-    buf
+}
+
+/// Encodes a server message directly as a finished frame — length prefix and
+/// payload in **one** allocation. The reactor's write queues hold owned
+/// framed replies, so this is the cheapest form a reply can be queued in
+/// (previously the payload was encoded into one `Vec` and copied into a
+/// second framed one).
+pub fn server_frame(msg: &ServerMsg) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    server_frame_into(msg, &mut out)?;
+    Ok(out)
+}
+
+/// [`server_frame`] into a caller-supplied buffer (cleared first): length
+/// placeholder, payload encoded in place, prefix patched.
+pub fn server_frame_into(msg: &ServerMsg, out: &mut Vec<u8>) -> io::Result<()> {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_server_body(msg, out);
+    let len = checked_frame_len(&out[4..])?;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
 /// Decodes a server message payload.
@@ -446,13 +491,22 @@ pub fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
 /// Reads one frame's payload. Returns `Ok(None)` on a clean EOF at a frame
 /// boundary (the peer closed the connection).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.then_some(payload))
+}
+
+/// [`read_frame`] into a caller-supplied buffer, reused across frames so a
+/// blocking connection loop performs no per-frame payload allocation.
+/// Returns `Ok(false)` on a clean EOF at a frame boundary; on `Ok(true)`,
+/// `payload` holds exactly one frame's payload.
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<bool> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
         match r.read(&mut len_buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 {
-                    Ok(None)
+                    Ok(false)
                 } else {
                     Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn frame header"))
                 };
@@ -466,9 +520,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    Ok(true)
 }
 
 /// A resumable frame decoder for nonblocking readers.
@@ -509,10 +564,23 @@ impl FrameDecoder {
         self.buf.len() - self.start
     }
 
-    /// Yields the next complete frame payload, `Ok(None)` when more bytes
+    /// Yields the next complete frame payload as an owned vector.
+    ///
+    /// Prefer [`FrameDecoder::next_frame_ref`] on hot paths: this variant
+    /// copies the payload out of the receive buffer, which is only worth
+    /// paying when the payload must outlive the decoder.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.next_frame_ref()?.map(<[u8]>::to_vec))
+    }
+
+    /// Yields the next complete frame payload **borrowed from the receive
+    /// buffer** — no copy, no allocation. Returns `Ok(None)` when more bytes
     /// are needed, or [`io::ErrorKind::InvalidData`] on a hostile length
     /// prefix (the connection should be dropped).
-    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+    ///
+    /// The slice is valid until the next call to [`FrameDecoder::feed`] /
+    /// `next_frame*`; decode it into an owned message before reading more.
+    pub fn next_frame_ref(&mut self) -> io::Result<Option<&[u8]>> {
         let avail = &self.buf[self.start..];
         if avail.len() < 4 {
             return Ok(None);
@@ -525,9 +593,9 @@ impl FrameDecoder {
         if avail.len() < total {
             return Ok(None);
         }
-        let payload = avail[4..total].to_vec();
+        let frame_start = self.start;
         self.start += total;
-        Ok(Some(payload))
+        Ok(Some(&self.buf[frame_start + 4..frame_start + total]))
     }
 }
 
@@ -742,6 +810,65 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.feed(&[0xFF, 0xFF, 0xFF]);
         assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn server_frame_matches_two_step_encoding() {
+        let msg = ServerMsg::Done(WireDone {
+            id: 1,
+            result: Ok(5),
+            deferred: false,
+            values: vec![None, Some(Value::Int(3))],
+            proc_result: Some(Args::new().int(9)),
+        });
+        let two_step = frame_bytes(&encode_server(&msg)).unwrap();
+        assert_eq!(server_frame(&msg).unwrap(), two_step);
+        // The in-place variant clears whatever the scratch held before.
+        let mut scratch = vec![0xAA; 7];
+        server_frame_into(&msg, &mut scratch).unwrap();
+        assert_eq!(scratch, two_step);
+    }
+
+    #[test]
+    fn encode_into_reuses_and_clears_buffers() {
+        let c = ClientMsg::Ping { id: 3 };
+        let s = ServerMsg::Ack { id: 4 };
+        let mut buf = vec![1, 2, 3];
+        encode_client_into(&c, &mut buf);
+        assert_eq!(buf, encode_client(&c));
+        encode_server_into(&s, &mut buf);
+        assert_eq!(buf, encode_server(&s));
+    }
+
+    #[test]
+    fn next_frame_ref_borrows_payloads_in_order() {
+        let frames: Vec<Vec<u8>> = vec![b"abc".to_vec(), Vec::new(), vec![9u8; 100]];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        while let Some(p) = dec.next_frame_ref().unwrap() {
+            out.push(p.to_vec());
+        }
+        assert_eq!(out, frames);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn read_frame_into_reuses_buffer_and_signals_eof() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first-longer").unwrap();
+        write_frame(&mut stream, b"2nd").unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut buf = Vec::new();
+        assert!(read_frame_into(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"first-longer");
+        assert!(read_frame_into(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"2nd", "shorter frame fully replaces the longer one");
+        assert!(!read_frame_into(&mut cursor, &mut buf).unwrap(), "clean EOF");
     }
 
     #[test]

@@ -73,16 +73,28 @@ impl Record {
         // through mutating the value while we clone it; checking the lock bit
         // afterwards rejects snapshots taken while a committer has announced
         // intent but not yet applied its writes.
+        //
+        // Lock-bit check comes before the clone: a locked record used to pay
+        // for a full value copy it then threw away. The clone itself is a
+        // cheap handle — every variant shares its backing storage
+        // copy-on-write (`Bytes`, `TopKSet`, `IntSet`), so snapshotting a
+        // 10k-element set under the guard is a refcount bump, not an O(n)
+        // copy held across the critical section.
         let guard = self.value.read();
         let meta = self.meta.load(Ordering::Acquire);
         if meta & LOCK_BIT != 0 {
             return Err(RecordReadError::Locked);
         }
-        Ok((Tid(meta), guard.clone()))
+        let snapshot = guard.clone();
+        drop(guard);
+        Ok((Tid(meta), snapshot))
     }
 
     /// Reads the value without any concurrency control. Only meaningful when
-    /// the store is quiescent (loading, test assertions, post-run checks).
+    /// the store is quiescent (loading, test assertions, post-run checks) or
+    /// when the caller holds the value lock another way (2PL's shared lock).
+    /// Like [`Record::read_stable`], the returned value is a copy-on-write
+    /// handle, not a deep copy.
     pub fn read_unlocked(&self) -> Option<Value> {
         self.value.read().clone()
     }

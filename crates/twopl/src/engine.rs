@@ -1,7 +1,7 @@
 //! The 2PL engine and its per-worker handle.
 
 use crate::lock_manager::LockManager;
-use crate::tx::TwoplTx;
+use crate::tx::{TwoplTx, TxBuffers};
 use doppel_common::{
     CommitSink, Completion, CoreId, Engine, EngineStats, Key, Outcome, Procedure, StatsSnapshot,
     TidGenerator, TxError, TxHandle, Value,
@@ -63,6 +63,7 @@ impl Engine for TwoplEngine {
             sink: self.sink.read().clone(),
             next_ts: Arc::clone(&self.next_ts),
             tid_gen: TidGenerator::new(core),
+            bufs: TxBuffers::default(),
         })
     }
 
@@ -110,6 +111,10 @@ pub struct TwoplHandle {
     sink: Option<Arc<dyn CommitSink>>,
     next_ts: Arc<AtomicU64>,
     tid_gen: TidGenerator,
+    /// Transaction buffers reused across transactions (and across wait-die
+    /// retries of the same transaction), so steady-state execution allocates
+    /// nothing for lock bookkeeping or buffered writes.
+    bufs: TxBuffers,
 }
 
 impl TxHandle for TwoplHandle {
@@ -124,25 +129,30 @@ impl TxHandle for TwoplHandle {
         // aborts" (§8.2).
         let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
         let mut backoff = 0u32;
+        let mut bufs = std::mem::take(&mut self.bufs);
         loop {
-            let mut tx = TwoplTx::new(&self.store, &self.locks, self.core, ts);
+            let mut tx = TwoplTx::from_parts(&self.store, &self.locks, self.core, ts, bufs);
             let run = proc.run(&mut tx);
             match run {
-                Ok(()) => match tx.commit_durable(&mut self.tid_gen, self.sink.as_deref()) {
-                    Ok((tid, receipt)) => {
-                        self.stats.absorb_log(&receipt);
-                        EngineStats::bump(&self.stats.commits);
-                        return Outcome::Committed(tid);
-                    }
-                    Err(e) => {
-                        EngineStats::bump(&self.stats.user_aborts);
-                        return Outcome::Aborted(e);
-                    }
-                },
+                Ok(()) => {
+                    let committed = tx.commit_durable(&mut self.tid_gen, self.sink.as_deref());
+                    self.bufs = tx.into_buffers();
+                    return match committed {
+                        Ok((tid, receipt)) => {
+                            self.stats.absorb_log(&receipt);
+                            EngineStats::bump(&self.stats.commits);
+                            Outcome::Committed(tid)
+                        }
+                        Err(e) => {
+                            EngineStats::bump(&self.stats.user_aborts);
+                            Outcome::Aborted(e)
+                        }
+                    };
+                }
                 Err(TxError::LockBusy { .. }) => {
-                    // Wait-die told us to back off: drop the transaction
-                    // (releasing its locks), yield, and retry.
-                    drop(tx);
+                    // Wait-die told us to back off: release the transaction's
+                    // locks (keeping its buffers for the retry), yield, retry.
+                    bufs = tx.into_buffers();
                     EngineStats::bump(&self.stats.conflicts);
                     backoff = (backoff + 1).min(10);
                     for _ in 0..(1u32 << backoff.min(6)) {
@@ -150,11 +160,8 @@ impl TxHandle for TwoplHandle {
                     }
                     std::thread::yield_now();
                 }
-                Err(e @ TxError::UserAbort { .. }) => {
-                    EngineStats::bump(&self.stats.user_aborts);
-                    return Outcome::Aborted(e);
-                }
                 Err(e) => {
+                    self.bufs = tx.into_buffers();
                     EngineStats::bump(&self.stats.user_aborts);
                     return Outcome::Aborted(e);
                 }

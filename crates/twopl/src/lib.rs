@@ -24,4 +24,4 @@ pub mod tx;
 
 pub use engine::{TwoplEngine, TwoplHandle};
 pub use lock_manager::{LockManager, LockMode, LockRequestOutcome};
-pub use tx::TwoplTx;
+pub use tx::{TwoplTx, TxBuffers};

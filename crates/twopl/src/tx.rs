@@ -26,17 +26,53 @@ pub struct TwoplTx<'s> {
     write_order: Vec<Key>,
 }
 
+/// The reusable buffers of a [`TwoplTx`], pooled by [`crate::TwoplHandle`]
+/// across transactions and wait-die retries so the hot path performs no
+/// per-transaction allocation for lock bookkeeping or the write buffer.
+#[derive(Default)]
+pub struct TxBuffers {
+    held: Vec<Key>,
+    writes: HashMap<Key, Op>,
+    write_order: Vec<Key>,
+}
+
 impl<'s> TwoplTx<'s> {
     /// Starts a 2PL transaction with wait-die timestamp `ts`.
     pub fn new(store: &'s Store, locks: &'s LockManager, core: CoreId, ts: Timestamp) -> Self {
+        Self::from_parts(store, locks, core, ts, TxBuffers::default())
+    }
+
+    /// Starts a 2PL transaction reusing previously allocated buffers
+    /// (recovered from a finished transaction via [`TwoplTx::into_buffers`]).
+    pub fn from_parts(
+        store: &'s Store,
+        locks: &'s LockManager,
+        core: CoreId,
+        ts: Timestamp,
+        mut bufs: TxBuffers,
+    ) -> Self {
+        bufs.held.clear();
+        bufs.writes.clear();
+        bufs.write_order.clear();
         TwoplTx {
             store,
             locks,
             core,
             ts,
-            held: Vec::new(),
-            writes: HashMap::new(),
-            write_order: Vec::new(),
+            held: bufs.held,
+            writes: bufs.writes,
+            write_order: bufs.write_order,
+        }
+    }
+
+    /// Releases any locks still held and returns the internal buffers with
+    /// their capacity intact, for reuse by the next transaction.
+    pub fn into_buffers(mut self) -> TxBuffers {
+        self.release();
+        TxBuffers {
+            held: std::mem::take(&mut self.held),
+            writes: std::mem::take(&mut self.writes),
+            write_order: std::mem::take(&mut self.write_order),
         }
     }
 
@@ -105,9 +141,14 @@ impl<'s> TwoplTx<'s> {
         }
         let receipt = match sink {
             Some(sink) if !self.write_order.is_empty() => {
-                let writes: Vec<(Key, Op)> =
-                    self.write_order.iter().map(|k| (*k, self.writes[k].clone())).collect();
-                sink.log_commit(commit_tid, &writes)
+                // Stream the write set in lock-acquisition order straight out
+                // of the buffer — no owned `Vec<(Key, Op)>` rebuild, no
+                // per-entry op clone.
+                let writes = &self.writes;
+                sink.log_commit(
+                    commit_tid,
+                    &mut self.write_order.iter().map(|k| (*k, &writes[k])),
+                )
             }
             _ => doppel_common::LogReceipt::default(),
         };

@@ -240,13 +240,16 @@ impl Wal {
         LogReceipt { records: 0, bytes: 0, fsyncs: 1, batches: 1 }
     }
 
-    fn encode_commit(tid: Tid, writes: &[(Key, Op)]) -> Vec<u8> {
+    fn encode_commit(
+        tid: Tid,
+        writes: &mut dyn ExactSizeIterator<Item = (Key, &Op)>,
+    ) -> Vec<u8> {
         let mut payload = Vec::with_capacity(16 + writes.len() * 32);
         put_u8(&mut payload, REC_COMMIT);
         put_u64(&mut payload, tid.raw());
         put_u32(&mut payload, writes.len() as u32);
         for (k, op) in writes {
-            encode_key(&mut payload, *k);
+            encode_key(&mut payload, k);
             encode_op(&mut payload, op);
         }
         payload
@@ -278,8 +281,12 @@ impl Drop for Wal {
 }
 
 impl CommitSink for Wal {
-    fn log_commit(&self, tid: Tid, writes: &[(Key, Op)]) -> LogReceipt {
-        if writes.is_empty() {
+    fn log_commit(
+        &self,
+        tid: Tid,
+        writes: &mut dyn ExactSizeIterator<Item = (Key, &Op)>,
+    ) -> LogReceipt {
+        if writes.len() == 0 {
             // Read-only transactions leave no trace: replaying an empty
             // write set is a no-op, so the record would be pure overhead.
             return LogReceipt::default();
@@ -304,7 +311,7 @@ impl CommitSink for Wal {
 mod tests {
     use super::*;
     use crate::tempdir::TempWalDir;
-    use doppel_common::Value;
+    use doppel_common::{CommitSinkExt, Value};
 
     fn tid(n: u64) -> Tid {
         Tid::from_parts(n, 0)
@@ -314,7 +321,7 @@ mod tests {
     fn synchronous_appends_are_immediately_durable() {
         let dir = TempWalDir::new("sync-append");
         let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-        let r = wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+        let r = wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
         assert_eq!(r.records, 1);
         assert_eq!(r.fsyncs, 1);
         assert_eq!(r.batches, 1);
@@ -333,7 +340,7 @@ mod tests {
         let wal = Wal::open(dir.path(), cfg).unwrap();
         let mut receipts = LogReceipt::default();
         for i in 0..4 {
-            receipts = receipts.merge(wal.log_commit(tid(i), &[(Key::raw(i), Op::Add(1))]));
+            receipts = receipts.merge(wal.log_commit_slice(tid(i), &[(Key::raw(i), Op::Add(1))]));
         }
         assert_eq!(receipts.records, 4);
         assert_eq!(receipts.fsyncs, 1, "one fsync covered the whole batch");
@@ -341,7 +348,7 @@ mod tests {
         assert_eq!(wal.durable_lsn(), wal.end_lsn());
 
         // A fifth record stays buffered until sync().
-        let r = wal.log_commit(tid(9), &[(Key::raw(9), Op::Add(1))]);
+        let r = wal.log_commit_slice(tid(9), &[(Key::raw(9), Op::Add(1))]);
         assert_eq!(r.fsyncs, 0);
         assert!(wal.durable_lsn() < wal.end_lsn());
         let s = wal.sync();
@@ -364,7 +371,7 @@ mod tests {
         {
             let wal = Wal::open(dir.path(), cfg).unwrap();
             for i in 0..3 {
-                let r = wal.log_commit(tid(i), &[(Key::raw(i), Op::Add(i as i64 + 1))]);
+                let r = wal.log_commit_slice(tid(i), &[(Key::raw(i), Op::Add(i as i64 + 1))]);
                 assert_eq!(r.fsyncs, 0, "batch of 100 must not flush after {i} records");
             }
             assert!(wal.durable_lsn() < wal.end_lsn(), "records are buffered, not durable");
@@ -386,7 +393,7 @@ mod tests {
             DurabilityConfig { crash_at_byte: Some(crash_at), ..DurabilityConfig::synchronous() };
         {
             let wal = Wal::open(dir.path(), cfg).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Put(Value::from("payload bytes")))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Put(Value::from("payload bytes")))]);
             assert!(wal.is_crashed());
         }
         assert_eq!(
@@ -400,7 +407,7 @@ mod tests {
     fn empty_write_sets_are_not_logged() {
         let dir = TempWalDir::new("empty-ws");
         let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-        assert_eq!(wal.log_commit(tid(1), &[]), LogReceipt::default());
+        assert_eq!(wal.log_commit_slice(tid(1), &[]), LogReceipt::default());
         assert_eq!(wal.log_merged_delta(tid(1), Key::raw(1), &[]), LogReceipt::default());
         assert_eq!(wal.end_lsn(), LOG_MAGIC.len() as u64);
     }
@@ -412,12 +419,12 @@ mod tests {
         let cfg = DurabilityConfig { crash_at_byte: Some(crash_at), ..DurabilityConfig::synchronous() };
         let wal = Wal::open(dir.path(), cfg).unwrap();
         // One record is bigger than 20 bytes, so the first flush dies.
-        wal.log_commit(tid(1), &[(Key::raw(1), Op::Put(Value::from("some payload")))]);
+        wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Put(Value::from("some payload")))]);
         assert!(wal.is_crashed());
         let on_disk = std::fs::read(dir.path().join(LOG_FILE)).unwrap();
         assert_eq!(on_disk.len() as u64, crash_at);
         // Everything after the crash is silently dropped.
-        assert_eq!(wal.log_commit(tid(2), &[(Key::raw(2), Op::Add(1))]), LogReceipt::default());
+        assert_eq!(wal.log_commit_slice(tid(2), &[(Key::raw(2), Op::Add(1))]), LogReceipt::default());
         assert_eq!(wal.sync(), LogReceipt::default());
         assert_eq!(std::fs::read(dir.path().join(LOG_FILE)).unwrap().len() as u64, crash_at);
     }
@@ -427,7 +434,7 @@ mod tests {
         let dir = TempWalDir::new("reopen");
         {
             let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
         }
         // Tear the file by hand: append garbage.
         let path = dir.path().join(LOG_FILE);
@@ -438,7 +445,7 @@ mod tests {
 
         let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
         assert_eq!(wal.durable_lsn(), valid_len, "torn tail trimmed on reopen");
-        wal.log_commit(tid(2), &[(Key::raw(2), Op::Add(1))]);
+        wal.log_commit_slice(tid(2), &[(Key::raw(2), Op::Add(1))]);
         assert!(wal.durable_lsn() > valid_len);
     }
 

@@ -219,7 +219,7 @@ mod tests {
     use super::*;
     use crate::log::Wal;
     use crate::tempdir::TempWalDir;
-    use doppel_common::{CommitSink, DurabilityConfig, Value};
+    use doppel_common::{CommitSink, CommitSinkExt, DurabilityConfig, Value};
 
     fn tid(n: u64) -> Tid {
         Tid::from_parts(n, 0)
@@ -239,7 +239,7 @@ mod tests {
         let dir = TempWalDir::new("roundtrip");
         {
             let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5)), (Key::raw(2), Op::Put(Value::from("x")))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5)), (Key::raw(2), Op::Put(Value::from("x")))]);
             wal.log_merged_delta(tid(2), Key::raw(9), &[Op::Add(40)]);
         }
         let r = recover(dir.path()).unwrap();
@@ -263,7 +263,7 @@ mod tests {
         let dir = TempWalDir::new("torn");
         {
             let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
         }
         let path = dir.path().join(LOG_FILE);
         let valid = std::fs::metadata(&path).unwrap().len();
@@ -288,8 +288,8 @@ mod tests {
         let dir = TempWalDir::new("bitflip");
         {
             let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
-            wal.log_commit(tid(2), &[(Key::raw(2), Op::Add(6))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
+            wal.log_commit_slice(tid(2), &[(Key::raw(2), Op::Add(6))]);
         }
         let path = dir.path().join(LOG_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
@@ -307,9 +307,9 @@ mod tests {
         let dir = TempWalDir::new("replay");
         {
             let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
-            wal.log_commit(tid(1), &[(Key::raw(1), Op::Add(5))]);
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
             wal.log_merged_delta(tid(2), Key::raw(1), &[Op::Add(7)]);
-            wal.log_commit(tid(3), &[(Key::raw(2), Op::Max(10))]);
+            wal.log_commit_slice(tid(3), &[(Key::raw(2), Op::Max(10))]);
         }
         let engine = doppel_occ::OccEngine::new(1, 16);
         let report = recover_into(&engine, dir.path()).unwrap();

@@ -19,8 +19,8 @@
 
 use crate::hist::{Histogram, LatencySummary};
 use doppel_common::{
-    Engine, Outcome, Procedure, ProcRegistry, ProcStatsSnapshot, RequestId, ServiceReply,
-    StatsSnapshot, SubmitError, Ticket, TxHandle,
+    AllocCheckpoint, Engine, Outcome, Procedure, ProcRegistry, ProcStatsSnapshot, RequestId,
+    ServiceReply, StatsSnapshot, SubmitError, Ticket, TxHandle,
 };
 use doppel_service::{ReplySink, ServiceConfig, ServiceState};
 use serde::{Deserialize, Serialize};
@@ -221,6 +221,8 @@ impl Driver {
         };
         let state = Arc::new(ServiceState::new(options.workers, service_config));
         let stop = AtomicBool::new(false);
+        // Allocation window covers the measured run only, not store loading.
+        let alloc_cp = AllocCheckpoint::now();
         let started = Instant::now();
         let mut measured = Duration::ZERO;
 
@@ -256,6 +258,7 @@ impl Driver {
             }
             tallies
         });
+        let (alloc_count, alloc_bytes) = alloc_cp.delta();
 
         let mut committed = 0;
         let mut aborts = 0;
@@ -282,7 +285,9 @@ impl Driver {
             stashed,
             read_latency: reads.summary(),
             write_latency: writes.summary(),
-            engine_stats: stats_after.delta(&stats_before),
+            engine_stats: stats_after
+                .delta(&stats_before)
+                .with_alloc_counters(alloc_count, alloc_bytes),
             proc_stats: proc_stats_delta(proc_registry.as_ref(), proc_stats_before),
         }
     }
@@ -307,6 +312,8 @@ impl Driver {
         let proc_registry = workload.proc_registry();
         let proc_stats_before = proc_registry.as_ref().map(|r| r.stats());
         let stop = AtomicBool::new(false);
+        // Allocation window covers the measured run only, not store loading.
+        let alloc_cp = AllocCheckpoint::now();
         let started = Instant::now();
 
         let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
@@ -328,6 +335,7 @@ impl Driver {
             engine.shutdown();
             joins.into_iter().map(|j| j.join().expect("benchmark worker panicked")).collect()
         });
+        let (alloc_count, alloc_bytes) = alloc_cp.delta();
 
         let elapsed = started.elapsed();
         let mut committed = 0;
@@ -354,7 +362,9 @@ impl Driver {
             stashed,
             read_latency: reads.summary(),
             write_latency: writes.summary(),
-            engine_stats: stats_after.delta(&stats_before),
+            engine_stats: stats_after
+                .delta(&stats_before)
+                .with_alloc_counters(alloc_count, alloc_bytes),
             proc_stats: proc_stats_delta(proc_registry.as_ref(), proc_stats_before),
         }
     }

@@ -120,6 +120,8 @@ pub fn run_open_loop(
     let service_config =
         ServiceConfig { queue_depth: options.queue_depth, ..ServiceConfig::default() };
     let state = Arc::new(ServiceState::new(options.workers, service_config));
+    // Allocation window covers the measured run only, not store loading.
+    let alloc_cp = doppel_common::AllocCheckpoint::now();
     let started = Instant::now();
 
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
@@ -146,6 +148,7 @@ pub fn run_open_loop(
         }
         tallies
     });
+    let (alloc_count, alloc_bytes) = alloc_cp.delta();
 
     let mut totals = ClientTally::default();
     for t in &tallies {
@@ -173,7 +176,9 @@ pub fn run_open_loop(
         deferred: totals.deferred,
         throughput: totals.committed as f64 / seconds,
         latency: totals.latency.summary(),
-        engine_stats: stats_after.delta(&stats_before),
+        engine_stats: stats_after
+            .delta(&stats_before)
+            .with_alloc_counters(alloc_count, alloc_bytes),
     }
 }
 

@@ -52,6 +52,26 @@ pub fn service_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
     ]
 }
 
+/// Column headers for the allocation counters of a run, matching
+/// [`alloc_stat_cells`]. Allocation traffic is a first-class metric: every
+/// experiment binary splices these in so hot-path allocation regressions are
+/// as visible as throughput regressions. The counters read zero when the
+/// counting allocator is not installed (see `doppel_common::alloc`).
+pub const ALLOC_STAT_COLUMNS: &[&str] = &["allocs", "alloc_KB", "allocs/txn"];
+
+/// The allocation counters of `stats` as one cell per
+/// [`ALLOC_STAT_COLUMNS`] entry.
+pub fn alloc_stat_cells(stats: &StatsSnapshot) -> Vec<Cell> {
+    vec![
+        Cell::Int(stats.alloc_count as i64),
+        Cell::Float(stats.alloc_bytes as f64 / 1024.0),
+        match stats.allocs_per_commit() {
+            Some(x) => Cell::Float(x),
+            None => Cell::Empty,
+        },
+    ]
+}
+
 /// Column headers for a latency distribution, matching [`latency_cells`].
 /// The service-facing experiments report the full p50/p95/p99 tail next to
 /// throughput; splice these in instead of hand-picking quantile columns.
@@ -256,6 +276,19 @@ mod tests {
         // No batches → no division by zero.
         let empty = service_stat_cells(&StatsSnapshot::default());
         assert_eq!(empty[4], Cell::Float(0.0));
+    }
+
+    #[test]
+    fn alloc_cells_match_columns() {
+        let stats = StatsSnapshot { commits: 10, ..Default::default() }
+            .with_alloc_counters(30, 2048);
+        let cells = alloc_stat_cells(&stats);
+        assert_eq!(cells.len(), ALLOC_STAT_COLUMNS.len());
+        assert_eq!(cells[0], Cell::Int(30));
+        assert_eq!(cells[1], Cell::Float(2.0));
+        assert_eq!(cells[2], Cell::Float(3.0));
+        // Idle runs leave the per-txn cell empty instead of dividing by zero.
+        assert_eq!(alloc_stat_cells(&StatsSnapshot::default())[2], Cell::Empty);
     }
 
     #[test]

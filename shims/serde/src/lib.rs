@@ -277,6 +277,18 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_json(&self) -> Json {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize_json(j: &Json) -> Result<Self, JsonError> {
+        T::deserialize_json(j).map(std::sync::Arc::new)
+    }
+}
+
 impl Serialize for std::time::Duration {
     fn serialize_json(&self) -> Json {
         // Real serde's encoding: an object with whole seconds and the
