@@ -149,6 +149,7 @@ fn main() {
 
             // Client threads each own a slice of the connections.
             let threads = config.cores.min(conns).max(1);
+            let stats_before = server.service().stats();
             let duration = Duration::from_secs_f64(config.seconds);
             // Allocation window per cell: covers clients, front-end and
             // engine workers together.
@@ -200,6 +201,14 @@ fn main() {
                 totals.latency.merge(&t.latency);
             }
             let net = server.net_stats();
+            // The measured window's engine-side counters: the same
+            // before/after delta the in-process drivers report, so the alloc
+            // cells (including allocs-per-committed-txn) render uniformly.
+            let stats = server
+                .service()
+                .stats()
+                .delta(&stats_before)
+                .with_alloc_counters(alloc_count, alloc_bytes);
             server.shutdown();
 
             let mut row = vec![
@@ -212,14 +221,7 @@ fn main() {
             row.extend(latency_cells(&totals.latency.summary()));
             row.push(Cell::Int(net.conns_shed as i64));
             row.push(Cell::Int(net.accept_errors as i64));
-            // No engine-stats snapshot on this path; build one so the alloc
-            // cells (including allocs-per-committed-txn) render uniformly.
-            let alloc_stats = doppel_common::StatsSnapshot {
-                commits: totals.committed,
-                ..Default::default()
-            }
-            .with_alloc_counters(alloc_count, alloc_bytes);
-            row.extend(alloc_stat_cells(&alloc_stats));
+            row.extend(alloc_stat_cells(&stats));
             table.push_row(row);
         }
     }

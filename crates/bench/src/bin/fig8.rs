@@ -15,6 +15,12 @@ fn main() {
         &[],
     );
     let config = ExperimentConfig::from_args(&args);
+    // DOPPEL_TRACE=1 turns event tracing on for the whole run — the knob the
+    // tracing-overhead numbers in README.md are measured with.
+    if std::env::var_os("DOPPEL_TRACE").is_some_and(|v| v != "0") {
+        doppel_telemetry::trace::set_enabled(true);
+        eprintln!("  (event tracing enabled via DOPPEL_TRACE)");
+    }
     // The paper sweeps 0–100%; the quick configuration uses fewer points.
     let hot_percentages: Vec<u64> = if args.flag("full") {
         vec![0, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
@@ -38,8 +44,7 @@ fn main() {
         let mut occ_tput = 0.0;
         // Allocation traffic pooled across the row's four engine runs: the
         // headline hot-path allocation number for the INCR workload.
-        let mut row_allocs = 0u64;
-        let mut row_commits = 0u64;
+        let mut row_stats = doppel_common::StatsSnapshot::default();
         for kind in EngineKind::ALL {
             let result = run_point(*kind, &workload, &config);
             eprintln!(
@@ -58,16 +63,11 @@ fn main() {
                 EngineKind::Occ => occ_tput = result.throughput,
                 _ => {}
             }
-            row_allocs += result.engine_stats.alloc_count;
-            row_commits += result.engine_stats.commits;
+            row_stats = row_stats.merge(&result.engine_stats);
             row.push(Cell::Mtps(result.throughput));
         }
         row.push(Cell::Float(if occ_tput > 0.0 { doppel_tput / occ_tput } else { 0.0 }));
-        row.push(if row_commits == 0 {
-            Cell::Empty
-        } else {
-            Cell::Float(row_allocs as f64 / row_commits as f64)
-        });
+        row.push(row_stats.allocs_per_commit().map_or(Cell::Empty, Cell::Float));
         table.push_row(row);
     }
 

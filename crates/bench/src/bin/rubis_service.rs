@@ -97,6 +97,10 @@ fn main() {
         let addr = server.local_addr();
 
         let duration = Duration::from_secs_f64(config.seconds);
+        // Snapshot before the measured window so the reported counters are a
+        // delta over it — the dataset load above commits transactions too,
+        // and those must not pollute the service columns.
+        let stats_before = server.service().stats();
         // Allocation window covers this engine's measured run: clients,
         // server threads and engine workers all count into the process total.
         let alloc_cp = doppel_common::AllocCheckpoint::now();
@@ -146,7 +150,11 @@ fn main() {
             totals.rejected += t.rejected;
             totals.latency.merge(&t.latency);
         }
-        let stats = server.service().stats().with_alloc_counters(alloc_count, alloc_bytes);
+        let stats = server
+            .service()
+            .stats()
+            .delta(&stats_before)
+            .with_alloc_counters(alloc_count, alloc_bytes);
         server.shutdown();
 
         let mut row = vec![

@@ -429,6 +429,14 @@ pub trait Engine: Send + Sync {
     fn note_recovered(&self, records: u64) {
         let _ = records;
     }
+
+    /// The engine's telemetry registry (phase-duration and stash-latency
+    /// histograms, the conflict heat sketch), when the engine is
+    /// instrumented. Baseline engines return `None`: their behavior is fully
+    /// described by [`Engine::stats`] counters.
+    fn telemetry(&self) -> Option<Arc<doppel_telemetry::Registry>> {
+        None
+    }
 }
 
 #[cfg(test)]

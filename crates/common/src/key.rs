@@ -172,6 +172,18 @@ impl Key {
         x ^= x >> 31;
         x
     }
+
+    /// A *lossy* 64-bit packing of the key for the telemetry heat sketch:
+    /// table in the top byte, the low 8 bits of `sub` next, the low 48 bits
+    /// of `id` below. Collisions are possible for ids past 2^48 or subs past
+    /// 255 — acceptable for a hot-key sketch, where the token is decoded
+    /// back to `table/id` only for display.
+    #[inline]
+    pub const fn heat_token(&self) -> u64 {
+        ((self.table as u64) << 56)
+            | (((self.sub as u64) & 0xFF) << 48)
+            | (self.id & 0x0000_FFFF_FFFF_FFFF)
+    }
 }
 
 impl fmt::Debug for Key {

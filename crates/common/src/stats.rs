@@ -227,6 +227,70 @@ impl StatsSnapshot {
         }
     }
 
+    /// Every counter as a `(name, value)` pair, for self-describing exports
+    /// (the wire telemetry snapshot, generic renderers). Keep in sync with
+    /// the field list — [`StatsSnapshot::delta`] already forces that
+    /// discipline on any new counter.
+    pub fn named_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("commits", self.commits),
+            ("conflicts", self.conflicts),
+            ("stashes", self.stashes),
+            ("stash_commits", self.stash_commits),
+            ("user_aborts", self.user_aborts),
+            ("slice_ops", self.slice_ops),
+            ("slices_merged", self.slices_merged),
+            ("joined_phases", self.joined_phases),
+            ("split_phases", self.split_phases),
+            ("split_records", self.split_records),
+            ("total_splits", self.total_splits),
+            ("total_unsplits", self.total_unsplits),
+            ("log_records", self.log_records),
+            ("log_bytes", self.log_bytes),
+            ("fsyncs", self.fsyncs),
+            ("group_commit_batches", self.group_commit_batches),
+            ("recovered_txns", self.recovered_txns),
+            ("queue_depth", self.queue_depth),
+            ("queue_enqueued", self.queue_enqueued),
+            ("queue_busy_rejections", self.queue_busy_rejections),
+            ("queue_batches", self.queue_batches),
+            ("alloc_count", self.alloc_count),
+            ("alloc_bytes", self.alloc_bytes),
+        ]
+    }
+
+    /// Counter-wise sum, for pooling snapshots across independent runs
+    /// (e.g. one benchmark row covering several engines). The two gauges —
+    /// `split_records` and `queue_depth` — take the maximum instead: adding
+    /// instantaneous levels from different runs means nothing.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits + other.commits,
+            conflicts: self.conflicts + other.conflicts,
+            stashes: self.stashes + other.stashes,
+            stash_commits: self.stash_commits + other.stash_commits,
+            user_aborts: self.user_aborts + other.user_aborts,
+            slice_ops: self.slice_ops + other.slice_ops,
+            slices_merged: self.slices_merged + other.slices_merged,
+            joined_phases: self.joined_phases + other.joined_phases,
+            split_phases: self.split_phases + other.split_phases,
+            split_records: self.split_records.max(other.split_records),
+            total_splits: self.total_splits + other.total_splits,
+            total_unsplits: self.total_unsplits + other.total_unsplits,
+            log_records: self.log_records + other.log_records,
+            log_bytes: self.log_bytes + other.log_bytes,
+            fsyncs: self.fsyncs + other.fsyncs,
+            group_commit_batches: self.group_commit_batches + other.group_commit_batches,
+            recovered_txns: self.recovered_txns + other.recovered_txns,
+            queue_depth: self.queue_depth.max(other.queue_depth),
+            queue_enqueued: self.queue_enqueued + other.queue_enqueued,
+            queue_busy_rejections: self.queue_busy_rejections + other.queue_busy_rejections,
+            queue_batches: self.queue_batches + other.queue_batches,
+            alloc_count: self.alloc_count + other.alloc_count,
+            alloc_bytes: self.alloc_bytes + other.alloc_bytes,
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (for per-interval rates).
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -300,6 +364,30 @@ mod tests {
         assert_eq!(d.log_records, 4);
         assert_eq!(d.log_bytes, 160);
         assert_eq!(d.fsyncs, 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let a = StatsSnapshot {
+            commits: 10,
+            alloc_count: 100,
+            queue_depth: 3,
+            split_records: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            commits: 5,
+            alloc_count: 40,
+            queue_depth: 7,
+            split_records: 1,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.commits, 15);
+        assert_eq!(m.alloc_count, 140);
+        assert_eq!(m.queue_depth, 7, "gauge takes the max");
+        assert_eq!(m.split_records, 2, "gauge takes the max");
+        assert_eq!(m.allocs_per_commit(), Some(140.0 / 15.0));
     }
 
     #[test]

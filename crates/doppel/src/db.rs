@@ -240,6 +240,10 @@ impl Engine for DoppelDb {
     fn note_recovered(&self, records: u64) {
         EngineStats::add(&self.shared.stats.recovered_txns, records);
     }
+
+    fn telemetry(&self) -> Option<Arc<doppel_telemetry::Registry>> {
+        Some(Arc::clone(&self.shared.telemetry))
+    }
 }
 
 impl Drop for DoppelDb {

@@ -5,9 +5,12 @@ use crate::phase::{Phase, PhaseState};
 use crate::split_registry::SplitRegistry;
 use doppel_common::{CommitSink, DoppelConfig, EngineStats};
 use doppel_store::Store;
+use doppel_telemetry::trace::{self, EventKind};
+use doppel_telemetry::{Registry, SharedHistogram};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything a Doppel worker or coordinator needs to reach through one
 /// `Arc`.
@@ -41,12 +44,30 @@ pub struct DoppelShared {
     /// write sets through it, and reconciling workers log one merged delta
     /// per split key. `None` keeps the engine volatile (the default).
     pub wal: RwLock<Option<Arc<dyn CommitSink>>>,
+    /// The engine's telemetry registry (always on; recording never
+    /// allocates). Exposed through [`doppel_common::Engine::telemetry`].
+    pub telemetry: Arc<Registry>,
+    /// Joined-phase durations, recorded at each joined→split transition.
+    pub hist_phase_joined: Arc<SharedHistogram>,
+    /// Split-phase durations, recorded at each split→joined transition.
+    pub hist_phase_split: Arc<SharedHistogram>,
+    /// Per-worker reconciliation (slice-merge) durations.
+    pub hist_reconcile: Arc<SharedHistogram>,
+    /// Stash-to-replay-completion latency of stashed transactions.
+    pub hist_stash_replay: Arc<SharedHistogram>,
+    /// When the current phase began (updated by the transition completer).
+    phase_started: Mutex<Instant>,
 }
 
 impl DoppelShared {
     /// Creates shared state for a database with `config`.
     pub fn new(config: DoppelConfig) -> Self {
         let workers = config.workers;
+        let telemetry = Arc::new(Registry::new());
+        let hist_phase_joined = telemetry.histogram("phase_joined");
+        let hist_phase_split = telemetry.histogram("phase_split");
+        let hist_reconcile = telemetry.histogram("reconcile");
+        let hist_stash_replay = telemetry.histogram("stash_replay");
         DoppelShared {
             store: Store::new(config.store_shards),
             stats: EngineStats::new(),
@@ -60,6 +81,12 @@ impl DoppelShared {
             phase_stashed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             wal: RwLock::new(None),
+            telemetry,
+            hist_phase_joined,
+            hist_phase_split,
+            hist_reconcile,
+            hist_stash_replay,
+            phase_started: Mutex::new(Instant::now()),
             config,
         }
     }
@@ -107,11 +134,19 @@ impl DoppelShared {
             aggregate.absorb(sampler.lock().take());
         }
 
+        // The phase that just ended: its duration goes to the matching
+        // histogram, and (when tracing) onto the timeline as one span.
+        let now = Instant::now();
+        let started = std::mem::replace(&mut *self.phase_started.lock(), now);
+        let phase_len = now.saturating_duration_since(started);
+
         let mut classifier = self.classifier.lock();
         match target.phase {
             Phase::Split => {
                 // A joined phase just ended: decide what to split and install
                 // the split set the workers will pick up after the release.
+                self.hist_phase_joined.record(0, phase_len);
+                trace::span_since(EventKind::PhaseJoined, target.seq, started);
                 let outcome = classifier.end_joined_phase(&aggregate);
                 self.registry.install(classifier.split_set());
                 EngineStats::bump(&self.stats.joined_phases);
@@ -123,6 +158,8 @@ impl DoppelShared {
             Phase::Joined => {
                 // A split phase just ended (workers merged their slices
                 // before acknowledging): reconsider the split decisions.
+                self.hist_phase_split.record(0, phase_len);
+                trace::span_since(EventKind::PhaseSplit, target.seq, started);
                 let outcome = classifier.end_split_phase(&aggregate);
                 self.registry.install(classifier.split_set());
                 EngineStats::bump(&self.stats.split_phases);

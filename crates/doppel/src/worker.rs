@@ -21,9 +21,11 @@ use doppel_common::{
     CommitSink, Completion, CoreId, EngineStats, Key, Outcome, Procedure, Ticket, TidGenerator,
     TxError, TxHandle,
 };
+use doppel_telemetry::trace::{self, EventKind};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Maximum inline retries for a stashed transaction replayed during a joined
 /// phase before its failure is reported back to the caller.
@@ -32,6 +34,9 @@ const STASH_REPLAY_RETRIES: u32 = 64;
 struct StashedTxn {
     ticket: Ticket,
     proc: Arc<dyn Procedure>,
+    /// When the transaction was stashed: its replay completion reports the
+    /// full stash-to-resolution latency (the cost a deferred client paid).
+    stashed_at: Instant,
 }
 
 /// Per-core execution handle of a [`crate::DoppelDb`].
@@ -116,6 +121,9 @@ impl DoppelWorker {
 
     /// Attributes a conflict abort to `(key, op)` for the classifier.
     fn sample_conflict(&mut self, key: Key, op: doppel_common::OpKind) {
+        // The heat sketch is unsampled (a few relaxed atomics): the hot-key
+        // table should reflect every conflict, not the classifier's sample.
+        self.shared.telemetry.heat().record(key.heat_token());
         if self.should_sample() {
             self.shared.samplers[self.core].lock().record_conflict(key, op);
             if op.splittable() {
@@ -166,7 +174,12 @@ impl DoppelWorker {
                 EngineStats::bump(&self.shared.stats.stashes);
                 self.shared.phase_stashed.fetch_add(1, Ordering::Relaxed);
                 let ticket = self.fresh_ticket();
-                self.stash.push_back(StashedTxn { ticket, proc: Arc::clone(proc) });
+                trace::instant(EventKind::TxnStash, self.core as u64);
+                self.stash.push_back(StashedTxn {
+                    ticket,
+                    proc: Arc::clone(proc),
+                    stashed_at: Instant::now(),
+                });
                 Outcome::Stashed(ticket)
             }
             Err(e) => self.handle_body_error(&tx, e),
@@ -239,6 +252,7 @@ impl DoppelWorker {
         if self.slices.is_empty() {
             return;
         }
+        let started = Instant::now();
         // Drain in place (instead of `mem::take`) so the slice map's table
         // allocation survives into the next split phase.
         for (key, slice) in self.slices.drain() {
@@ -263,6 +277,8 @@ impl DoppelWorker {
             record.publish_and_unlock(tid);
             EngineStats::bump(&self.shared.stats.slices_merged);
         }
+        self.shared.hist_reconcile.record(self.core, started.elapsed());
+        trace::span_since(EventKind::Reconcile, self.core as u64, started);
     }
 
     /// Replays stashed transactions in joined mode ("each worker restarts any
@@ -282,6 +298,8 @@ impl DoppelWorker {
                 match self.run_joined(entry.proc.as_ref()) {
                     Outcome::Committed(tid) => {
                         EngineStats::bump(&self.shared.stats.stash_commits);
+                        self.shared.hist_stash_replay.record(self.core, entry.stashed_at.elapsed());
+                        trace::span_since(EventKind::StashReplay, 1, entry.stashed_at);
                         self.completions.push(Completion { ticket: entry.ticket, result: Ok(tid) });
                         break;
                     }
@@ -292,6 +310,8 @@ impl DoppelWorker {
                         }
                     }
                     Outcome::Aborted(e) => {
+                        self.shared.hist_stash_replay.record(self.core, entry.stashed_at.elapsed());
+                        trace::span_since(EventKind::StashReplay, 0, entry.stashed_at);
                         self.completions
                             .push(Completion { ticket: entry.ticket, result: Err(e) });
                         break;

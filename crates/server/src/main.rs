@@ -50,6 +50,8 @@ struct Flags {
     threaded: bool,
     pollers: usize,
     write_queue_kb: usize,
+    trace_out: Option<String>,
+    stats_interval: Option<f64>,
 }
 
 impl Flags {
@@ -97,6 +99,10 @@ fn usage() -> ! {
            --rubis-scale SZ  preload RUBiS data: small | paper\n\
            --hint-items N    label the N most popular RUBiS items' auction\n\
                              aggregates split at startup (needs rubis pack)\n\
+           --trace-out PATH  enable event tracing and write a Chrome\n\
+                             trace-event JSON (Perfetto-loadable) on exit\n\
+           --stats-interval S  print a one-line telemetry ticker to stderr\n\
+                             every S seconds\n\
            --help            print this message"
     );
     println!("\nEngines:");
@@ -129,6 +135,8 @@ fn parse_flags() -> Flags {
         threaded: false,
         pollers: 2,
         write_queue_kb: 4096,
+        trace_out: None,
+        stats_interval: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -177,6 +185,12 @@ fn parse_flags() -> Flags {
                     .collect()
             }
             "--rubis-scale" => flags.rubis_scale = Some(value("rubis-scale")),
+            "--trace-out" => flags.trace_out = Some(value("trace-out")),
+            "--stats-interval" => {
+                flags.stats_interval = Some(
+                    value("stats-interval").parse().expect("--stats-interval expects a number"),
+                )
+            }
             "--hint-items" => {
                 flags.hint_items =
                     value("hint-items").parse().expect("--hint-items expects an integer")
@@ -240,6 +254,11 @@ fn rubis_scale(name: &str) -> RubisScale {
 
 fn main() {
     let flags = parse_flags();
+    // Tracing goes live before the engine starts so phase transitions from
+    // the very first phase land in the export.
+    if flags.trace_out.is_some() {
+        doppel_telemetry::trace::set_enabled(true);
+    }
     let registry = build_registry(&flags);
     let engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
         .unwrap_or_else(|| {
@@ -307,13 +326,38 @@ fn main() {
     use std::io::Write;
     std::io::stdout().flush().ok();
 
+    let server = Arc::new(server);
+    let ticker_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ticker = flags.stats_interval.map(|secs| {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&ticker_stop);
+        std::thread::Builder::new()
+            .name("doppel-stat-ticker".into())
+            .spawn(move || stats_ticker(&server, Duration::from_secs_f64(secs.max(0.05)), &stop))
+            .expect("failed to spawn stats ticker")
+    });
+
     match flags.seconds {
         Some(s) => std::thread::sleep(Duration::from_secs_f64(s)),
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));
         },
     }
+    ticker_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = ticker {
+        let _ = handle.join();
+    }
     server.shutdown();
+    if let Some(path) = &flags.trace_out {
+        let json = doppel_telemetry::trace::export_chrome_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "wrote {} bytes of trace events to {path} (load in Perfetto or chrome://tracing)",
+                json.len()
+            ),
+            Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+        }
+    }
     let stats = server.service().stats();
     eprintln!(
         "served {} commits, {} conflicts, {} enqueued, {} busy rejections",
@@ -332,5 +376,50 @@ fn main() {
                 proc.name, proc.invocations, proc.commits, proc.aborts, proc.deferrals
             );
         }
+    }
+}
+
+/// The `--stats-interval` loop: one line per interval with the rates and
+/// latencies an operator watches first. Interval rates come from
+/// counter deltas; the p99 from the bucket-wise histogram delta, so it
+/// reflects only this interval's executions.
+fn stats_ticker(
+    server: &Server,
+    interval: Duration,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    let mut prev = server.telemetry_snapshot();
+    let mut prev_at = std::time::Instant::now();
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        let cur = server.telemetry_snapshot();
+        let now = std::time::Instant::now();
+        let secs = now.duration_since(prev_at).as_secs_f64().max(1e-9);
+        let rate = |name: &str| {
+            let delta = cur.scalar(name).unwrap_or(0).saturating_sub(prev.scalar(name).unwrap_or(0));
+            delta as f64 / secs
+        };
+        let aborts = rate("conflicts") + rate("user_aborts");
+        // Transactions stashed but not yet replayed (approximate: replay
+        // aborts also leave the stash, so this is an upper bound).
+        let backlog = cur
+            .scalar("stashes")
+            .unwrap_or(0)
+            .saturating_sub(cur.scalar("stash_commits").unwrap_or(0));
+        let p99_us = match (cur.hist("exec"), prev.hist("exec")) {
+            (Some(c), Some(p)) => c.delta(p).quantile_us(0.99),
+            (Some(c), None) => c.quantile_us(0.99),
+            _ => 0,
+        };
+        eprintln!(
+            "stat: {:.0} commits/s, {:.0} aborts/s, phase={}, stash backlog={}, exec p99={}us",
+            rate("commits"),
+            aborts,
+            cur.phase,
+            backlog,
+            p99_us,
+        );
+        prev = cur;
+        prev_at = now;
     }
 }

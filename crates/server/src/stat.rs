@@ -1,0 +1,222 @@
+//! `doppel-stat`: poll a running `doppel-server` for telemetry and render it.
+//!
+//! ```text
+//! doppel-stat --addr 127.0.0.1:7777 --interval 1
+//! ```
+//!
+//! Each poll sends a `GetStats` message and renders the self-describing
+//! [`doppel_service::TelemetrySnapshot`] that comes back: counter *rates*
+//! (deltas between polls divided by the poll gap), latency histograms as
+//! interval percentiles (bucket-wise deltas, so a quiet interval shows the
+//! quiet interval, not history), the current phase, the hot-key table and
+//! per-procedure counters. `--once` prints one cumulative snapshot and
+//! exits, for scripting.
+
+use doppel_common::Table;
+use doppel_service::{RemoteClient, TelemetrySnapshot};
+use std::time::{Duration, Instant};
+
+struct Flags {
+    addr: String,
+    interval: f64,
+    once: bool,
+    /// Exit after this many polls (0 = run until killed). Scripting aid.
+    count: u64,
+}
+
+fn usage() -> ! {
+    println!(
+        "doppel-stat: live telemetry for a running doppel-server\n\n\
+         Usage: doppel-stat [FLAGS]\n\n\
+         Flags:\n\
+           --addr HOST:PORT  server to poll (default 127.0.0.1:7777)\n\
+           --interval S      seconds between polls (default 1)\n\
+           --count N         exit after N polls (default: run until killed)\n\
+           --once            print one cumulative snapshot and exit\n\
+           --help            print this message"
+    );
+    std::process::exit(0);
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags { addr: "127.0.0.1:7777".into(), interval: 1.0, once: false, count: 0 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--addr" => flags.addr = value("addr"),
+            "--interval" => {
+                flags.interval =
+                    value("interval").parse().expect("--interval expects a number")
+            }
+            "--count" => flags.count = value("count").parse().expect("--count expects an integer"),
+            "--once" => flags.once = true,
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+/// Renders a heat-sketch token back to `Table/id` for display (the token is
+/// the lossy [`doppel_common::Key::heat_token`] packing).
+fn render_heat_token(token: u64) -> String {
+    let table = (token >> 56) as u32;
+    let sub = (token >> 48) & 0xFF;
+    let id = token & 0x0000_FFFF_FFFF_FFFF;
+    let name = Table::ALL
+        .iter()
+        .find(|t| **t as u32 == table)
+        .map(|t| format!("{t:?}"))
+        .unwrap_or_else(|| format!("table{table}"));
+    if sub == 0 {
+        format!("{name}/{id}")
+    } else {
+        format!("{name}/{id}.{sub}")
+    }
+}
+
+fn fmt_us(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{}us", ns / 1000)
+    }
+}
+
+/// One cumulative snapshot, fully rendered (the `--once` path).
+fn render_cumulative(snap: &TelemetrySnapshot) {
+    println!("phase: {}", snap.phase);
+    println!("-- scalars");
+    for (name, value) in &snap.scalars {
+        if *value != 0 {
+            println!("  {name:<24} {value}");
+        }
+    }
+    render_hists(snap.hists.iter().map(|(n, h)| (n.as_str(), h.clone())));
+    render_hot_keys(snap);
+    render_procs(snap);
+}
+
+fn render_hists(hists: impl Iterator<Item = (impl AsRef<str>, doppel_telemetry::Histogram)>) {
+    let mut any = false;
+    for (name, h) in hists {
+        if h.count() == 0 {
+            continue;
+        }
+        if !any {
+            println!("-- latency histograms");
+            println!("  {:<16} {:>10} {:>9} {:>9} {:>9} {:>9}", "name", "count", "mean", "p50", "p99", "max");
+            any = true;
+        }
+        println!(
+            "  {:<16} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            name.as_ref(),
+            h.count(),
+            fmt_us(h.mean_ns() as u64),
+            fmt_us(h.quantile_ns(0.50)),
+            fmt_us(h.quantile_ns(0.99)),
+            fmt_us(h.max_ns()),
+        );
+    }
+}
+
+fn render_hot_keys(snap: &TelemetrySnapshot) {
+    if snap.hot_keys.is_empty() {
+        return;
+    }
+    println!("-- hot keys (sampled conflict hits)");
+    for hk in snap.hot_keys.iter().take(8) {
+        println!("  {:<24} {}", render_heat_token(hk.key), hk.hits);
+    }
+}
+
+fn render_procs(snap: &TelemetrySnapshot) {
+    let mut any = false;
+    for p in &snap.procs {
+        if p.invocations == 0 {
+            continue;
+        }
+        if !any {
+            println!("-- procedures");
+            any = true;
+        }
+        println!(
+            "  {:<28} {} invocations, {} commits, {} aborts, {} deferrals",
+            p.name, p.invocations, p.commits, p.aborts, p.deferrals
+        );
+    }
+}
+
+/// One polling step: rates and interval percentiles against the previous
+/// snapshot.
+fn render_interval(cur: &TelemetrySnapshot, prev: &TelemetrySnapshot, secs: f64) {
+    let rate = |name: &str| {
+        cur.scalar(name).unwrap_or(0).saturating_sub(prev.scalar(name).unwrap_or(0)) as f64 / secs
+    };
+    println!(
+        "phase={} | {:.0} commits/s {:.0} aborts/s {:.0} stashes/s | queue depth {} | {} conns",
+        cur.phase,
+        rate("commits"),
+        rate("conflicts") + rate("user_aborts"),
+        rate("stashes"),
+        cur.scalar("queue_depth").unwrap_or(0),
+        cur.scalar("conns_accepted").unwrap_or(0),
+    );
+    render_hists(cur.hists.iter().filter_map(|(name, h)| {
+        let d = match prev.hist(name) {
+            Some(p) => h.delta(p),
+            None => h.clone(),
+        };
+        (d.count() > 0).then_some((name.as_str(), d))
+    }));
+    render_hot_keys(cur);
+}
+
+fn main() {
+    let flags = parse_flags();
+    let mut client = RemoteClient::connect(&flags.addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {}: {e}", flags.addr);
+        std::process::exit(1);
+    });
+    if flags.once {
+        let snap = client.stats().unwrap_or_else(|e| {
+            eprintln!("GetStats failed: {e}");
+            std::process::exit(1);
+        });
+        render_cumulative(&snap);
+        return;
+    }
+    let mut prev = client.stats().unwrap_or_else(|e| {
+        eprintln!("GetStats failed: {e}");
+        std::process::exit(1);
+    });
+    let mut prev_at = Instant::now();
+    let mut polls = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_secs_f64(flags.interval.max(0.05)));
+        let cur = match client.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("server went away: {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = Instant::now();
+        render_interval(&cur, &prev, now.duration_since(prev_at).as_secs_f64().max(1e-9));
+        prev = cur;
+        prev_at = now;
+        polls += 1;
+        if flags.count > 0 && polls >= flags.count {
+            return;
+        }
+    }
+}

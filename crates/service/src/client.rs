@@ -222,6 +222,9 @@ impl RemoteClient {
                 proc_result: None,
                 deferred: false,
             })),
+            // A Stats reply is consumed synchronously by `stats()`; one
+            // reaching the outcome demultiplexer is stale — drop it.
+            ServerMsg::Stats { .. } => None,
         }
     }
 
@@ -295,5 +298,31 @@ impl RemoteClient {
         let id = self.fresh_id();
         self.send(&ClientMsg::Ping { id })?;
         self.wait(id).map(|_| ())
+    }
+
+    /// Polls the server's telemetry: engine counters, latency histograms,
+    /// the current phase, hot keys and per-procedure statistics, as one
+    /// [`crate::TelemetrySnapshot`].
+    ///
+    /// A `Stats` reply is not a transaction outcome, so this runs its own
+    /// read loop: replies for other in-flight requests are buffered exactly
+    /// as [`RemoteClient::wait`] would.
+    pub fn stats(&mut self) -> io::Result<crate::TelemetrySnapshot> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::GetStats { id })?;
+        loop {
+            let msg = self.read_msg()?;
+            if let ServerMsg::Stats { id: got, snapshot } = msg {
+                if got == id {
+                    return Ok(*snapshot);
+                }
+                // A stale Stats reply (ours is still in flight) has no home
+                // in the outcome buffer; drop it.
+                continue;
+            }
+            if let Some((done_id, outcome)) = self.absorb(msg) {
+                self.buffered.insert(done_id, outcome);
+            }
+        }
     }
 }

@@ -31,6 +31,7 @@ pub mod queue;
 pub mod reactor;
 pub mod server;
 pub mod service;
+pub mod snapshot;
 pub mod wire;
 
 pub use client::{RemoteClient, RemoteOutcome, RemoteTxn};
@@ -39,4 +40,5 @@ pub use queue::{PushError, SubmissionQueue};
 pub use reactor::ReactorConfig;
 pub use server::{FrontEnd, NetStatsSnapshot, RemoteProcedure, Server, ServerEngine};
 pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};
+pub use snapshot::TelemetrySnapshot;
 pub use wire::{ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};

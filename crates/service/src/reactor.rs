@@ -647,7 +647,13 @@ impl Poller {
     fn close(&mut self, token: usize, reason: CloseReason) {
         let Some(conn) = self.conns.remove(&token) else { return };
         match reason {
-            CloseReason::Shed => self.shared.net.note_conn_shed(),
+            CloseReason::Shed => {
+                self.shared.net.note_conn_shed();
+                doppel_telemetry::trace::instant(
+                    doppel_telemetry::EventKind::ReactorShed,
+                    token as u64,
+                );
+            }
             CloseReason::Protocol => self.shared.net.note_decode_error(),
             CloseReason::Done => {}
         }

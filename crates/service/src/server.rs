@@ -298,7 +298,40 @@ pub(crate) fn dispatch_client_msg(shared: &ConnShared, msg: ClientMsg, sender: &
         ClientMsg::Ping { id } => {
             sender.send(&ServerMsg::Ack { id });
         }
+        ClientMsg::GetStats { id } => {
+            sender.send(&ServerMsg::Stats {
+                id,
+                snapshot: Box::new(telemetry_snapshot(shared)),
+            });
+        }
     }
+}
+
+/// Assembles the full telemetry bundle: engine counters, engine-side and
+/// service-side metric registries, network counters, the current phase and
+/// the per-procedure table — everything a `GetStats` reply ships.
+pub(crate) fn telemetry_snapshot(shared: &ConnShared) -> crate::TelemetrySnapshot {
+    let mut snap = crate::TelemetrySnapshot::default();
+    snap.absorb_stats(&shared.service.stats());
+    snap.absorb_metrics(shared.service.telemetry().snapshot());
+    if let Some(reg) = shared.service.engine().telemetry() {
+        snap.absorb_metrics(reg.snapshot());
+    }
+    let net = shared.net.snapshot();
+    snap.scalars.push(("accept_errors".into(), net.accept_errors));
+    snap.scalars.push(("conns_accepted".into(), net.conns_accepted));
+    snap.scalars.push(("conns_shed".into(), net.conns_shed));
+    snap.scalars.push(("decode_errors".into(), net.decode_errors));
+    snap.scalars.push(("trace_events".into(), doppel_telemetry::trace::events_recorded()));
+    snap.phase = match &shared.doppel {
+        Some(db) => match db.current_phase() {
+            doppel_db::Phase::Joined => "joined".into(),
+            doppel_db::Phase::Split => "split".into(),
+        },
+        None => "-".into(),
+    };
+    snap.procs = shared.procs.stats();
+    snap
 }
 
 /// How long the accept loop should sleep after `err`, or `None` for errors
@@ -477,6 +510,18 @@ impl Server {
     /// protocol errors).
     pub fn net_stats(&self) -> NetStatsSnapshot {
         self.net.snapshot()
+    }
+
+    /// The same [`crate::TelemetrySnapshot`] a `GetStats` client receives,
+    /// assembled in-process (the `--stats-interval` ticker uses this).
+    pub fn telemetry_snapshot(&self) -> crate::TelemetrySnapshot {
+        let shared = ConnShared {
+            service: Arc::clone(&self.service),
+            doppel: self.doppel.clone(),
+            procs: Arc::clone(&self.procs),
+            net: Arc::clone(&self.net),
+        };
+        telemetry_snapshot(&shared)
     }
 
     /// Stops accepting, closes every connection, drains the service and

@@ -25,6 +25,8 @@ use doppel_common::{
     Engine, EngineStats, Outcome, Procedure, RequestId, ServiceCompletion, ServiceReply,
     StatsSnapshot, SubmitError, Ticket, TxError, TxHandle,
 };
+use doppel_telemetry::trace::{self, EventKind};
+use doppel_telemetry::{Registry, SharedHistogram};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -70,6 +72,7 @@ struct Request {
     id: RequestId,
     proc: Arc<dyn Procedure>,
     reply: ReplySink,
+    enqueued_at: Instant,
 }
 
 /// The thread-agnostic service core: submission queues, dispatch loop and
@@ -82,18 +85,33 @@ pub struct ServiceState {
     /// Combined views come from [`ServiceState::stats_with_queues`].
     qstats: EngineStats,
     next_core: AtomicUsize,
+    /// Service-side latency metrics: time spent queued vs. executing.
+    telemetry: Arc<Registry>,
+    hist_queue_wait: Arc<SharedHistogram>,
+    hist_exec: Arc<SharedHistogram>,
 }
 
 impl ServiceState {
     /// Creates the core for `workers` cores.
     pub fn new(workers: usize, config: ServiceConfig) -> Self {
         assert!(workers > 0, "a service needs at least one worker");
+        let telemetry = Arc::new(Registry::new());
+        let hist_queue_wait = telemetry.histogram("queue_wait");
+        let hist_exec = telemetry.histogram("exec");
         ServiceState {
             queues: (0..workers).map(|_| SubmissionQueue::new(config.queue_depth)).collect(),
             qstats: EngineStats::new(),
             next_core: AtomicUsize::new(0),
             config,
+            telemetry,
+            hist_queue_wait,
+            hist_exec,
         }
+    }
+
+    /// The service-side metrics registry (`queue_wait` / `exec` histograms).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Number of worker cores (= submission queues).
@@ -122,9 +140,10 @@ impl ServiceState {
         // raising first guarantees the increment happens-before that
         // decrement (no transient u64 underflow in concurrent snapshots).
         self.qstats.queue_depth.fetch_add(1, Ordering::Relaxed);
-        match queue.try_push(Request { id, proc, reply }) {
+        match queue.try_push(Request { id, proc, reply, enqueued_at: Instant::now() }) {
             Ok(()) => {
                 EngineStats::bump(&self.qstats.queue_enqueued);
+                trace::instant(EventKind::TxnEnqueue, id.0);
                 Ok(())
             }
             Err(e) => {
@@ -204,11 +223,18 @@ impl ServiceState {
             self.qstats.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
             EngineStats::bump(&self.qstats.queue_batches);
             for req in batch.drain(..) {
-                match handle.execute(Arc::clone(&req.proc)) {
+                let exec_started = Instant::now();
+                self.hist_queue_wait
+                    .record(core, exec_started.saturating_duration_since(req.enqueued_at));
+                let outcome = handle.execute(Arc::clone(&req.proc));
+                self.hist_exec.record(core, exec_started.elapsed());
+                trace::span_since(EventKind::TxnExec, req.id.0, exec_started);
+                match outcome {
                     Outcome::Committed(tid) => {
                         if let Some(s) = req.proc.proc_stats() {
                             s.note_outcome(core, true);
                         }
+                        trace::instant(EventKind::TxnCommit, req.id.0);
                         (req.reply)(ServiceReply::Done(ServiceCompletion {
                             request: req.id,
                             result: Ok(tid),
@@ -219,6 +245,7 @@ impl ServiceState {
                         if let Some(s) = req.proc.proc_stats() {
                             s.note_outcome(core, false);
                         }
+                        trace::instant(EventKind::TxnAbort, req.id.0);
                         (req.reply)(ServiceReply::Done(ServiceCompletion {
                             request: req.id,
                             result: Err(e),
@@ -368,6 +395,11 @@ impl TransactionService {
     /// Engine statistics with the queue counters overlaid.
     pub fn stats(&self) -> StatsSnapshot {
         self.state.stats_with_queues(self.engine.as_ref())
+    }
+
+    /// The service-side metrics registry (`queue_wait` / `exec` histograms).
+    pub fn telemetry(&self) -> &Arc<doppel_telemetry::Registry> {
+        self.state.telemetry()
     }
 
     /// Creates a client with its own completion channel.

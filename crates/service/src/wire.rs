@@ -16,6 +16,7 @@
 //! | 0x02 | `LabelSplit` | `id u64`, `key`, `op` (split label, Doppel only)      |
 //! | 0x03 | `Ping`       | `id u64`                                              |
 //! | 0x04 | `InvokeProc` | `id u64`, `name` (length-prefixed UTF-8), `args`      |
+//! | 0x05 | `GetStats`   | `id u64` (telemetry poll; answered with `Stats`)      |
 //!
 //! A statement is `0x00 Get key` or `0x01 Write key op`. Submitted
 //! statements form one transaction (one [`doppel_common::Procedure`]);
@@ -34,7 +35,9 @@
 //! | 0x82 | `Deferred` | `id u64` (stash-deferred; a `Done` follows)         |
 //! | 0x83 | `Rejected` | `id u64`, `reason u8` (0 = busy, 1 = shutdown)      |
 //! | 0x84 | `Ack`      | `id u64` (answers `LabelSplit` and `Ping`)          |
+//! | 0x85 | `Stats`    | `id u64`, a [`TelemetrySnapshot`] (answers `GetStats`) |
 
+use crate::snapshot::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
 use doppel_common::{Args, Key, Op, ProcResult, TxError, Value};
 use doppel_wal::codec::{
     decode_args, decode_key, decode_op, decode_value, encode_args, encode_key, encode_op,
@@ -51,10 +54,12 @@ const MSG_SUBMIT: u8 = 0x01;
 const MSG_LABEL_SPLIT: u8 = 0x02;
 const MSG_PING: u8 = 0x03;
 const MSG_INVOKE_PROC: u8 = 0x04;
+const MSG_GET_STATS: u8 = 0x05;
 const MSG_DONE: u8 = 0x81;
 const MSG_DEFERRED: u8 = 0x82;
 const MSG_REJECTED: u8 = 0x83;
 const MSG_ACK: u8 = 0x84;
+const MSG_STATS_REPLY: u8 = 0x85;
 
 const STMT_GET: u8 = 0x00;
 const STMT_WRITE: u8 = 0x01;
@@ -174,6 +179,11 @@ pub enum ClientMsg {
         /// The argument vector.
         args: Args,
     },
+    /// Ask the server for a [`TelemetrySnapshot`]; answered with `Stats`.
+    GetStats {
+        /// Client-chosen id echoed in the `Stats` reply.
+        id: u64,
+    },
 }
 
 /// Any server → client message.
@@ -197,6 +207,13 @@ pub enum ServerMsg {
     Ack {
         /// The request this acknowledgment concerns.
         id: u64,
+    },
+    /// Answer to `GetStats`: the server's telemetry bundle.
+    Stats {
+        /// The request this reply concerns.
+        id: u64,
+        /// The snapshot, taken at dispatch time.
+        snapshot: Box<TelemetrySnapshot>,
     },
 }
 
@@ -249,6 +266,10 @@ pub fn encode_client_into(msg: &ClientMsg, buf: &mut Vec<u8>) {
             put_slice(buf, proc.as_bytes());
             encode_args(buf, args);
         }
+        ClientMsg::GetStats { id } => {
+            put_u8(buf, MSG_GET_STATS);
+            put_u64(buf, *id);
+        }
     }
 }
 
@@ -300,6 +321,7 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
             let args = decode_args(&mut d)?;
             ClientMsg::InvokeProc { id, proc, args }
         }
+        MSG_GET_STATS => ClientMsg::GetStats { id: d.u64()? },
         _ => return Err(CodecError("unknown client message kind")),
     };
     if !d.is_done() {
@@ -373,6 +395,11 @@ fn encode_server_body(msg: &ServerMsg, buf: &mut Vec<u8>) {
             put_u8(buf, MSG_ACK);
             put_u64(buf, *id);
         }
+        ServerMsg::Stats { id, snapshot } => {
+            put_u8(buf, MSG_STATS_REPLY);
+            put_u64(buf, *id);
+            encode_snapshot(buf, snapshot);
+        }
     }
 }
 
@@ -443,6 +470,11 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, CodecError> {
             ServerMsg::Rejected { id, busy }
         }
         MSG_ACK => ServerMsg::Ack { id: d.u64()? },
+        MSG_STATS_REPLY => {
+            let id = d.u64()?;
+            let snapshot = Box::new(decode_snapshot(&mut d)?);
+            ServerMsg::Stats { id, snapshot }
+        }
         _ => return Err(CodecError("unknown server message kind")),
     };
     if !d.is_done() {
@@ -688,6 +720,27 @@ mod tests {
                 proc_result: None,
             }));
         }
+    }
+
+    #[test]
+    fn stats_messages_roundtrip() {
+        roundtrip_client(ClientMsg::GetStats { id: 13 });
+        let mut hist = doppel_telemetry::Histogram::new();
+        hist.record(std::time::Duration::from_micros(120));
+        roundtrip_server(ServerMsg::Stats {
+            id: 13,
+            snapshot: Box::new(TelemetrySnapshot {
+                scalars: vec![("commits".into(), 5)],
+                hists: vec![("exec".into(), hist)],
+                hot_keys: vec![doppel_telemetry::HotKey { key: 1, hits: 2 }],
+                phase: "joined".into(),
+                procs: vec![],
+            }),
+        });
+        roundtrip_server(ServerMsg::Stats {
+            id: 0,
+            snapshot: Box::new(TelemetrySnapshot::default()),
+        });
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Observability primitives for the Doppel reproduction.
+//!
+//! The paper's argument is dynamic — throughput and latency depend on *when*
+//! phases change, how long reconciliation stalls workers, and how long
+//! stashed transactions wait — so the repo needs more than end-of-run counter
+//! totals. This crate is the shared observability layer every other crate
+//! instruments against:
+//!
+//! * [`Histogram`] / [`LatencySummary`] — a mergeable log-linear latency
+//!   histogram with a fixed 2 KiB bucket footprint, used by the benchmark
+//!   harness, the service, the engine and the wire snapshot alike.
+//! * [`Registry`] / [`SharedHistogram`] / [`Counter`] / [`Gauge`] — named
+//!   always-on metrics, snapshotted as a self-describing
+//!   [`MetricsSnapshot`].
+//! * [`HeatSketch`] — a lock-free striped sketch of per-key conflict hits,
+//!   exposing a top-K hot-key table.
+//! * [`trace`] — opt-in per-thread event rings (phase transitions, the
+//!   transaction lifecycle, WAL fsyncs, reactor sheds) exported as Chrome
+//!   trace-event JSON for Perfetto; compiled out entirely without the
+//!   `trace` feature.
+//!
+//! This crate is a leaf: it depends only on the `serde` and `parking_lot`
+//! shims, so `doppel_common` (and through it every engine) can depend on it
+//! without cycles.
+
+pub mod heat;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use heat::{HeatSketch, HotKey};
+pub use hist::{Histogram, LatencySummary};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, SharedHistogram};
+pub use trace::EventKind;

@@ -1,0 +1,287 @@
+//! The metrics registry: named counters, gauges and shared histograms plus
+//! the conflict heat sketch, snapshotted as one self-describing bundle.
+//!
+//! A [`Registry`] is cheap enough to exist unconditionally (creating one
+//! allocates; recording into it does not), so instrumented subsystems hold
+//! an `Arc<Registry>` and record without checking any enable flag — unlike
+//! tracing, metrics are always on.
+
+use crate::heat::{HeatSketch, HotKey};
+use crate::hist::Histogram;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stripes in a [`SharedHistogram`]: recording locks only the caller's
+/// stripe, so per-core recorders never contend with each other.
+const HIST_STRIPES: usize = 16;
+
+/// A lock-free monotonic counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free gauge (a value that goes up and down).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Padded to a cache line so adjacent stripes never false-share.
+#[repr(align(64))]
+struct PaddedHist(Mutex<Histogram>);
+
+/// A histogram shared by concurrent recorders, striped per core.
+///
+/// Each `record` locks one stripe's mutex — uncontended when callers pass
+/// distinct core hints (one worker per core is the deployment model here),
+/// and held only for a bucket increment either way.
+pub struct SharedHistogram {
+    stripes: Vec<PaddedHist>,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        SharedHistogram::new()
+    }
+}
+
+impl SharedHistogram {
+    /// Creates an empty shared histogram.
+    pub fn new() -> SharedHistogram {
+        let mut stripes = Vec::with_capacity(HIST_STRIPES);
+        for _ in 0..HIST_STRIPES {
+            stripes.push(PaddedHist(Mutex::new(Histogram::new())));
+        }
+        SharedHistogram { stripes }
+    }
+
+    /// Records `latency`, striping by `core` (any value; wrapped mod the
+    /// stripe count). Never allocates.
+    pub fn record(&self, core: usize, latency: Duration) {
+        self.record_ns(core, latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a nanosecond value, striping by `core`.
+    pub fn record_ns(&self, core: usize, ns: u64) {
+        self.stripes[core % HIST_STRIPES].0.lock().record_ns(ns);
+    }
+
+    /// Merges every stripe into one point-in-time histogram.
+    pub fn snapshot(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for stripe in &self.stripes {
+            out.merge(&stripe.0.lock());
+        }
+        out
+    }
+}
+
+/// A named-metric registry: one per instrumented subsystem.
+#[derive(Default)]
+pub struct Registry {
+    hists: RwLock<Vec<(&'static str, Arc<SharedHistogram>)>>,
+    counters: RwLock<Vec<(&'static str, Arc<Counter>)>>,
+    gauges: RwLock<Vec<(&'static str, Arc<Gauge>)>>,
+    heat: HeatSketch,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The histogram named `name`, created on first request. Callers cache
+    /// the `Arc` at startup; the registry lock is not on any hot path.
+    pub fn histogram(&self, name: &'static str) -> Arc<SharedHistogram> {
+        if let Some((_, h)) = self.hists.read().iter().find(|(n, _)| *n == name) {
+            return Arc::clone(h);
+        }
+        let mut hists = self.hists.write();
+        if let Some((_, h)) = hists.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(SharedHistogram::new());
+        hists.push((name, Arc::clone(&h)));
+        h
+    }
+
+    /// The counter named `name`, created on first request.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some((_, c)) = self.counters.read().iter().find(|(n, _)| *n == name) {
+            return Arc::clone(c);
+        }
+        let mut counters = self.counters.write();
+        if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        counters.push((name, Arc::clone(&c)));
+        c
+    }
+
+    /// The gauge named `name`, created on first request.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some((_, g)) = self.gauges.read().iter().find(|(n, _)| *n == name) {
+            return Arc::clone(g);
+        }
+        let mut gauges = self.gauges.write();
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        gauges.push((name, Arc::clone(&g)));
+        g
+    }
+
+    /// The conflict heat sketch.
+    pub fn heat(&self) -> &HeatSketch {
+        &self.heat
+    }
+
+    /// Snapshots every metric in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hists = self
+            .hists
+            .read()
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.snapshot()))
+            .collect();
+        let mut scalars: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect();
+        scalars.extend(self.gauges.read().iter().map(|(n, g)| (n.to_string(), g.get())));
+        MetricsSnapshot { scalars, hists, hot_keys: self.heat.top_k(16) }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]: named scalar values (counters and
+/// gauges flattened together — self-describing by name), named histograms,
+/// and the hot-key table.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter and gauge.
+    pub scalars: Vec<(String, u64)>,
+    /// `(name, histogram)` for every registered histogram.
+    pub hists: Vec<(String, Histogram)>,
+    /// The hottest keys by recorded conflict hits, descending.
+    pub hot_keys: Vec<HotKey>,
+}
+
+impl MetricsSnapshot {
+    /// The histogram named `name`, when present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The scalar named `name`, when present.
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        self.scalars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Merges `other` into this snapshot: histograms with the same name
+    /// merge, scalars with the same name add, hot keys concatenate and
+    /// re-rank. Used to combine per-subsystem registries into one bundle.
+    pub fn absorb(&mut self, other: MetricsSnapshot) {
+        for (name, value) in other.scalars {
+            match self.scalars.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v += value,
+                None => self.scalars.push((name, value)),
+            }
+        }
+        for (name, hist) in other.hists {
+            match self.hists.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.merge(&hist),
+                None => self.hists.push((name, hist)),
+            }
+        }
+        self.hot_keys.extend(other.hot_keys);
+        self.hot_keys.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.key.cmp(&b.key)));
+        self.hot_keys.truncate(16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_metrics_are_created_once() {
+        let reg = Registry::new();
+        let a = reg.histogram("exec");
+        let b = reg.histogram("exec");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record(0, Duration::from_micros(10));
+        b.record(1, Duration::from_micros(30));
+        let snap = reg.snapshot();
+        let h = snap.hist("exec").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.mean_us() - 20.0).abs() < 1e-9);
+
+        reg.counter("stashes").add(5);
+        reg.counter("stashes").bump();
+        reg.gauge("depth").set(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.scalar("stashes"), Some(6));
+        assert_eq!(snap.scalar("depth"), Some(42));
+        assert_eq!(snap.scalar("missing"), None);
+    }
+
+    #[test]
+    fn shared_histogram_stripes_merge() {
+        let h = SharedHistogram::new();
+        for core in 0..64 {
+            h.record(core, Duration::from_micros(100));
+        }
+        assert_eq!(h.snapshot().count(), 64);
+    }
+
+    #[test]
+    fn absorb_combines_subsystem_snapshots() {
+        let engine = Registry::new();
+        engine.histogram("stash_replay").record(0, Duration::from_micros(500));
+        engine.counter("wal_fsyncs").add(3);
+        engine.heat().record(7);
+        let service = Registry::new();
+        service.histogram("exec").record(0, Duration::from_micros(20));
+        service.counter("wal_fsyncs").add(2);
+
+        let mut all = engine.snapshot();
+        all.absorb(service.snapshot());
+        assert_eq!(all.hist("stash_replay").unwrap().count(), 1);
+        assert_eq!(all.hist("exec").unwrap().count(), 1);
+        assert_eq!(all.scalar("wal_fsyncs"), Some(5));
+        assert_eq!(all.hot_keys[0].key, 7);
+    }
+}

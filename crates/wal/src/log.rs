@@ -232,11 +232,17 @@ impl Wal {
 
         // The happy path: a write failure is treated like a dead disk — the
         // log goes into the crashed state rather than panicking a worker.
+        let started = std::time::Instant::now();
         if inner.file.write_all(&buf).is_err() || inner.file.sync_data().is_err() {
             inner.crashed = true;
             return LogReceipt::default();
         }
         inner.durable += buf.len() as u64;
+        doppel_telemetry::trace::span_since(
+            doppel_telemetry::EventKind::WalFsync,
+            buf.len() as u64,
+            started,
+        );
         LogReceipt { records: 0, bytes: 0, fsyncs: 1, batches: 1 }
     }
 

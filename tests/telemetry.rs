@@ -1,0 +1,165 @@
+//! Telemetry-subsystem integration tests: property tests of the log-linear
+//! histogram's accuracy contract (quantiles within one bucket of the exact
+//! order statistic, merge associativity, cumulative-delta consistency) and a
+//! live `GetStats` roundtrip over TCP against an in-process `doppel-server`
+//! front-end.
+
+use doppel_common::{Key, Value};
+use doppel_service::{RemoteClient, RemoteTxn, Server, ServerEngine, ServiceConfig};
+use doppel_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Largest value that still lands in a bounded bucket (the overflow bucket is
+/// unbounded above and reports the exact maximum instead of a midpoint).
+const IN_RANGE_NS: u64 = (1 << 28) - 1;
+
+/// Strategy: a latency observation in nanoseconds, spanning the linear
+/// region, every octave of the log region, and the sub-256ns floor.
+fn latency_ns() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..8_192,                // linear buckets
+        8_192u64..1_000_000,        // low octaves
+        1_000_000u64..IN_RANGE_NS,  // high octaves (1ms..268ms)
+    ]
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in values {
+        h.record_ns(ns);
+    }
+    h
+}
+
+/// The exact `q`-quantile under the histogram's rank convention:
+/// the `ceil(total * q)`-th smallest observation (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[target.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// The reported quantile stays within one bucket width of the exact
+    /// order statistic: 256 ns in the linear region, value/32 in the
+    /// logarithmic region.
+    #[test]
+    fn quantiles_within_bucket_error_of_exact(
+        values in prop::collection::vec(latency_ns(), 1..300),
+        q_pct in 1u64..100,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let got = h.quantile_ns(q);
+        let tolerance = exact / 32 + 256;
+        prop_assert!(
+            got.abs_diff(exact) <= tolerance,
+            "q={q}: got {got}, exact {exact}, tolerance {tolerance}"
+        );
+    }
+
+    /// Merging is associative and commutative, and the merged histogram is
+    /// exactly the histogram of the concatenated observations.
+    #[test]
+    fn merge_is_associative_and_order_free(
+        a in prop::collection::vec(latency_ns(), 0..100),
+        b in prop::collection::vec(latency_ns(), 0..100),
+        c in prop::collection::vec(latency_ns(), 0..100),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // ⊕ over the parts == one histogram over the whole.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &build(&all));
+    }
+
+    /// Subtracting an earlier cumulative snapshot recovers exactly the
+    /// observations recorded in between (modulo the documented max_ns
+    /// upper-bound carry-over).
+    #[test]
+    fn delta_recovers_the_interval(
+        earlier in prop::collection::vec(latency_ns(), 0..100),
+        interval in prop::collection::vec(latency_ns(), 0..100),
+    ) {
+        let before = build(&earlier);
+        let mut cumulative = before.clone();
+        for &ns in &interval {
+            cumulative.record_ns(ns);
+        }
+        let d = cumulative.delta(&before);
+        let expect = build(&interval);
+        prop_assert_eq!(d.bucket_counts(), expect.bucket_counts());
+        prop_assert_eq!(d.count(), expect.count());
+        prop_assert_eq!(d.sum_ns(), expect.sum_ns());
+        // The interval max is not recoverable; the cumulative max stands in.
+        prop_assert_eq!(d.max_ns(), cumulative.max_ns());
+    }
+}
+
+/// The acceptance path: a live server answers `GetStats` over real sockets
+/// with engine counters, phase-duration histograms and the current phase.
+#[test]
+fn get_stats_over_tcp_reports_live_telemetry() {
+    let engine = ServerEngine::build("doppel", 2, 10, 256).expect("known engine");
+    let server =
+        Server::start(engine, ServiceConfig::default(), "127.0.0.1:0").expect("bind ephemeral");
+    let mut client = RemoteClient::connect(server.local_addr()).unwrap();
+
+    // An idle server still answers, self-describingly.
+    let idle = client.stats().expect("GetStats on idle server");
+    assert!(idle.scalar("commits").is_some(), "commits counter is always present");
+    assert!(idle.hist("exec").is_some(), "exec histogram is always present");
+
+    // Commit some work, then poll again: the counters and the service-layer
+    // histograms must have moved.
+    let put = RemoteTxn::new().put(Key::raw(1), Value::Int(0));
+    assert!(client.execute(&put).unwrap().is_committed());
+    for _ in 0..20 {
+        let incr = RemoteTxn::new().add(Key::raw(1), 1);
+        assert!(client.execute(&incr).unwrap().is_committed());
+    }
+    let busy = client.stats().expect("GetStats on busy server");
+    assert!(busy.scalar("commits").unwrap() >= 21, "commits: {:?}", busy.scalar("commits"));
+    assert!(
+        busy.scalar("commits").unwrap() > idle.scalar("commits").unwrap_or(0),
+        "counters advance between polls"
+    );
+    let exec = busy.hist("exec").expect("exec histogram");
+    assert!(exec.count() >= 21, "every executed txn lands in the exec histogram");
+    assert!(busy.hist("queue_wait").is_some(), "queue-wait histogram present");
+    // The Doppel engine contributes its phase machinery: the phase string and
+    // the phase-duration/stash histograms ride along in the same snapshot.
+    assert!(
+        busy.phase == "joined" || busy.phase == "split",
+        "doppel reports its phase, got {:?}",
+        busy.phase
+    );
+    assert!(busy.hist("phase_joined").is_some(), "phase-duration histograms present");
+    assert!(busy.hist("stash_replay").is_some(), "stash-latency histogram present");
+    // Wire roundtrip sanity: the snapshot is internally consistent.
+    assert_eq!(exec.count(), exec.bucket_counts().iter().map(|&c| c as u64).sum::<u64>());
+
+    server.shutdown();
+}
