@@ -14,13 +14,14 @@ use std::process::Command;
 /// `recovery` durability suite (write-ahead logging + crash recovery), the
 /// `service` suite (open-loop latency vs offered load through the
 /// transaction service), the `rubis_service` suite (the RUBiS bidding mix
-/// over TCP via registered-procedure invocations) and the `connections`
+/// over TCP via registered-procedure invocations), the `connections`
 /// suite (connection scaling of the reactor vs thread-per-connection
-/// front-ends).
+/// front-ends) and the `shards` suite (scale-out throughput through the
+/// shard router: commutative fast path vs forced two-phase commit).
 const EXPERIMENTS: &[&str] = &[
     "fig8", "fig9", "fig10", "fig11", "table1", "table2", "fig12", "table3", "fig13", "fig14",
     "table4", "fig15", "ablation", "scenarios", "recovery", "service", "rubis_service",
-    "connections",
+    "connections", "shards",
 ];
 
 fn main() {

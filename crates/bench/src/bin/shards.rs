@@ -1,0 +1,238 @@
+//! Shards experiment: throughput vs shard count through the shard router.
+//!
+//! A cluster of in-process `Server`s (real TCP, real wire protocol), each
+//! owning a hash-slice of the keyspace and running **synchronous durable
+//! commit** (one fsync per commit record) — the deployment where scale-out
+//! pays even on one machine, because each shard's fsync stalls overlap with
+//! the others'. Three flavors per shard count:
+//!
+//! * `single` — one-statement commutative transactions spread across the
+//!   keyspace; every transaction routes direct to its owning shard. This is
+//!   the pure placement-scaling row: N shards fsync N commit streams
+//!   concurrently.
+//! * `fast`   — two-statement cross-shard transactions whose statements are
+//!   all commutative `Add`s: the router fans per-shard slices out with no
+//!   coordination (the paper's commutativity argument, applied across
+//!   processes instead of cores).
+//! * `2pc`    — the *same* cross-shard mix with the fast path disabled
+//!   (`force_two_phase`), so every transaction pays prepare/vote/decide with
+//!   durable vote logging. The fast-vs-2pc gap is the price of coordination
+//!   the commutative fast path avoids.
+//!
+//! Transactions are pipelined in batches through `ShardRouter::execute_many`;
+//! the latency columns report *batch completion* latency attributed to each
+//! transaction in the batch (a closed-loop client observes exactly that).
+//!
+//! Run with `--help` (`cargo run --release --bin shards -- --help`)
+//! for the full flag list.
+
+use doppel_bench::{emit, Args, ExperimentConfig};
+use doppel_common::{AllocCheckpoint, DurabilityConfig, Key, ShardMap, Value};
+use doppel_service::{RemoteTxn, Server, ServerEngine, ServiceConfig, ShardRouter};
+use doppel_telemetry::Histogram;
+use doppel_wal::{TempWalDir, Wal};
+use doppel_workloads::report::{latency_cells, Cell, Table, LATENCY_COLUMNS};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Cluster {
+    servers: Vec<Server>,
+    addrs: Vec<String>,
+    /// Keys each shard owns, so generators can aim at a specific shard.
+    owned: Vec<Vec<u64>>,
+    /// WAL directories live as long as the cluster, removed on drop.
+    _dirs: Vec<TempWalDir>,
+}
+
+impl Cluster {
+    fn start(shards: usize, keys: u64, workers: usize) -> Cluster {
+        let map = ShardMap::new(shards);
+        let mut owned = vec![Vec::new(); shards];
+        for k in 0..keys {
+            owned[map.shard_of(Key::raw(k))].push(k);
+        }
+        let mut servers = Vec::new();
+        let mut addrs = Vec::new();
+        let mut dirs = Vec::new();
+        for (shard, keys) in owned.iter().enumerate() {
+            let mut engine = ServerEngine::build("occ", workers, 20, 1024).expect("occ engine");
+            let dir = TempWalDir::new(&format!("shards-bench-{shard}"));
+            let wal = Arc::new(
+                Wal::open(dir.path(), DurabilityConfig::synchronous()).expect("open WAL"),
+            );
+            engine.engine.attach_commit_sink(Arc::clone(&wal) as _);
+            engine = engine.with_vote_log(wal);
+            dirs.push(dir);
+            for k in keys {
+                engine.engine.load(Key::raw(*k), Value::Int(0));
+            }
+            let server = Server::start(engine, ServiceConfig::default(), "127.0.0.1:0")
+                .expect("bind shard server");
+            addrs.push(server.local_addr().to_string());
+            servers.push(server);
+        }
+        Cluster { servers, addrs, owned, _dirs: dirs }
+    }
+
+    fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Flavor {
+    Single,
+    Fast,
+    TwoPhase,
+}
+
+impl Flavor {
+    fn label(self) -> &'static str {
+        match self {
+            Flavor::Single => "single",
+            Flavor::Fast => "fast",
+            Flavor::TwoPhase => "2pc",
+        }
+    }
+}
+
+/// Deterministic key choice: the `i`-th key of `shard`, scrambled so
+/// successive transactions don't touch neighbouring records.
+fn owned_key(cluster: &Cluster, shard: usize, i: u64) -> Key {
+    let keys = &cluster.owned[shard];
+    Key::raw(keys[(i.wrapping_mul(2654435761) % keys.len() as u64) as usize])
+}
+
+/// The `seq`-th transaction of a flavor. `single` writes one key on a
+/// rotating shard; `fast`/`2pc` write one key each on two rotating shards
+/// (the same cross-shard mix — only the routing differs).
+fn make_txn(flavor: Flavor, cluster: &Cluster, seq: u64) -> RemoteTxn {
+    let shards = cluster.owned.len();
+    let a = (seq % shards as u64) as usize;
+    match flavor {
+        Flavor::Single => RemoteTxn::new().add(owned_key(cluster, a, seq), 1),
+        Flavor::Fast | Flavor::TwoPhase => {
+            let b = (a + 1) % shards;
+            RemoteTxn::new()
+                .add(owned_key(cluster, a, seq), 1)
+                .add(owned_key(cluster, b, seq.wrapping_add(7)), 1)
+        }
+    }
+}
+
+struct Point {
+    throughput: f64,
+    latency: doppel_telemetry::LatencySummary,
+    allocs_per_txn: f64,
+}
+
+fn run_point(cluster: &Cluster, flavor: Flavor, seconds: f64, batch: usize) -> Point {
+    let mut router = ShardRouter::connect(&cluster.addrs).expect("router connects");
+    router.force_two_phase(flavor == Flavor::TwoPhase);
+    // Workload generation is not the system under test: pre-build a pool of
+    // batches and cycle through it inside the timed loop.
+    let pool: Vec<Vec<RemoteTxn>> = (0..16u64)
+        .map(|b| {
+            (0..batch as u64).map(|i| make_txn(flavor, cluster, b * batch as u64 + i)).collect()
+        })
+        .collect();
+    let mut hist = Histogram::new();
+    let mut committed = 0u64;
+    let mut round = 0usize;
+    let cp = AllocCheckpoint::now();
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(seconds);
+    while Instant::now() < deadline {
+        let txns = &pool[round % pool.len()];
+        round += 1;
+        let t0 = Instant::now();
+        let outcomes = router.execute_many(txns).expect("routing io");
+        let dt = t0.elapsed();
+        committed += outcomes.iter().filter(|o| o.is_committed()).count() as u64;
+        for _ in 0..txns.len() {
+            hist.record(dt);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let (allocs, _) = cp.delta();
+    Point {
+        throughput: committed as f64 / elapsed,
+        latency: hist.summary(),
+        allocs_per_txn: if committed == 0 { 0.0 } else { allocs as f64 / committed as f64 },
+    }
+}
+
+fn main() {
+    let args = Args::from_env_or_usage_excluding(
+        "Shards: throughput vs shard count through the shard router (fast path vs forced 2PC)",
+        &["shards"],
+        &[
+            "  --counts LIST    comma-separated shard counts (default 1,2,4)",
+            "  --batch N        pipelined transactions per execute_many batch (default 64)",
+            "  --workers N      worker threads per shard server (default 1)",
+        ],
+    );
+    let config = ExperimentConfig::from_args(&args);
+    let counts: Vec<usize> = args
+        .get("counts")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|n| n.trim().parse().expect("--counts expects integers"))
+        .collect();
+    let batch = args.get_usize("batch", 64);
+    let workers = args.get_usize("workers", 1);
+
+    let mut table = Table::new(
+        format!(
+            "Shards: pipelined throughput vs shard count, synchronous durable commit \
+             ({} keys, {:.1}s per point, batch {batch}, {workers} worker(s)/shard)",
+            config.keys, config.seconds,
+        ),
+        &[&["engine", "shards", "txn/s"][..], LATENCY_COLUMNS, &["allocs/txn"]].concat(),
+    );
+
+    // (flavor, shard count) → throughput, for the summary ratios below.
+    let mut measured: Vec<(Flavor, usize, f64)> = Vec::new();
+    for &shards in &counts {
+        let cluster = Cluster::start(shards, config.keys, workers);
+        for flavor in [Flavor::Single, Flavor::Fast, Flavor::TwoPhase] {
+            let point = run_point(&cluster, flavor, config.seconds, batch);
+            let mut row = vec![
+                Cell::Text(format!("{} x{shards}", flavor.label())),
+                Cell::Int(shards as i64),
+                Cell::Mtps(point.throughput),
+            ];
+            row.extend(latency_cells(&point.latency));
+            row.push(Cell::Float(point.allocs_per_txn));
+            table.push_row(row);
+            measured.push((flavor, shards, point.throughput));
+        }
+        cluster.shutdown();
+    }
+
+    emit(&table, "shards", &args);
+
+    // The two claims this experiment exists to check, as explicit ratios.
+    let tput = |flavor: Flavor, shards: usize| {
+        measured
+            .iter()
+            .find(|(f, s, _)| *f == flavor && *s == shards)
+            .map(|(_, _, t)| *t)
+            .unwrap_or(0.0)
+    };
+    let (lo, hi) = (*counts.iter().min().unwrap_or(&1), *counts.iter().max().unwrap_or(&1));
+    if lo != hi && tput(Flavor::Single, lo) > 0.0 {
+        println!(
+            "scaling: single-shard-routed commutative ops at x{hi} vs x{lo}: {:.2}x",
+            tput(Flavor::Single, hi) / tput(Flavor::Single, lo)
+        );
+    }
+    if tput(Flavor::TwoPhase, hi) > 0.0 {
+        println!(
+            "fast path vs forced 2PC on the same cross-shard mix at x{hi}: {:.2}x",
+            tput(Flavor::Fast, hi) / tput(Flavor::TwoPhase, hi)
+        );
+    }
+}

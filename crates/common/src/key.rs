@@ -34,6 +34,11 @@ pub enum Table {
     Audience = 7,
     /// VISITORS benchmark: per-page view counters.
     PageViews = 8,
+    /// Cross-shard two-phase-commit markers: `Key::new(TxnMarker, txid, 0)`
+    /// is written (atomically, inside the decide-apply transaction) when a
+    /// prepared distributed transaction's writes land on a shard. A
+    /// re-delivered `Decide` checks the marker to stay exactly-once.
+    TxnMarker = 9,
     /// RUBiS: users table.
     RubisUser = 16,
     /// RUBiS: items table.
@@ -80,6 +85,7 @@ impl Table {
         Table::FlagEvent,
         Table::Audience,
         Table::PageViews,
+        Table::TxnMarker,
         Table::RubisUser,
         Table::RubisItem,
         Table::RubisCategory,

@@ -28,6 +28,7 @@ pub mod key;
 pub mod ops;
 pub mod proc;
 pub mod service;
+pub mod shard;
 pub mod split_op;
 pub mod stats;
 pub mod tid;
@@ -48,6 +49,7 @@ pub use proc::{
     RegisteredCall, TxCtx,
 };
 pub use service::{RequestId, ServiceCompletion, ServiceReply, SubmitError};
+pub use shard::{fast_path_op, ShardMap};
 pub use split_op::{split_ops, SplitOp, SplitOpRegistry};
 pub use stats::{EngineStats, StatsSnapshot};
 pub use tid::{Tid, TidGenerator};

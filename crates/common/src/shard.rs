@@ -1,0 +1,116 @@
+//! Keyspace partitioning for scale-out serving.
+//!
+//! A cluster of `doppel-server` processes jointly serves one logical store
+//! by hash-partitioning [`Key`]s: key `k` lives on shard
+//! `k.stable_hash() % n`. The mapping is a pure function of the key and the
+//! shard count — every router, client and test derives the same placement
+//! with no coordination or metadata service. (`stable_hash` is a fixed
+//! mixing function, so placement is also stable across processes and runs.)
+//!
+//! The same module classifies statements for the cross-shard *fast path*:
+//! a transaction whose every statement is a splittable commutative write
+//! (§4's `SplitOp`s — Add/Max/BitOr/BoundedAdd/SetUnion/TopKInsert/…) can be
+//! fanned out as independent per-shard sub-transactions with no coordination
+//! round, exactly like the engine applies such operations as per-core slices
+//! and reconciles later. Anything else (a read, a `Put`, a `Mult`) needs the
+//! two-phase-commit slow path.
+
+use crate::{Key, Op};
+use serde::{Deserialize, Serialize};
+
+/// The hash partitioning of the keyspace across `n` shards.
+///
+/// # Examples
+///
+/// ```
+/// use doppel_common::{Key, ShardMap};
+///
+/// let map = ShardMap::new(4);
+/// let k = Key::raw(7);
+/// assert!(map.shard_of(k) < 4);
+/// // Deterministic: every participant computes the same placement.
+/// assert_eq!(map.shard_of(k), ShardMap::new(4).shard_of(k));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` partitions (`shards` is clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardMap { shards: shards.max(1) }
+    }
+
+    /// Number of shards in the map.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `key`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        (key.stable_hash() % self.shards as u64) as usize
+    }
+}
+
+/// Whether a write operation is eligible for the coordination-free
+/// cross-shard fast path: exactly the splittable commutative operations.
+///
+/// The classification is the registry-backed [`crate::OpKind::splittable`],
+/// so an operation added to the split-op registry becomes fast-path eligible
+/// everywhere at once.
+#[inline]
+pub fn fast_path_op(op: &Op) -> bool {
+    op.kind().splittable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let map = ShardMap::new(4);
+        for id in 0..1000u64 {
+            let s = map.shard_of(Key::raw(id));
+            assert!(s < 4);
+            assert_eq!(s, ShardMap::new(4).shard_of(Key::raw(id)));
+        }
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let map = ShardMap::new(1);
+        for id in 0..100u64 {
+            assert_eq!(map.shard_of(Key::raw(id)), 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardMap::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn all_shards_reachable() {
+        let map = ShardMap::new(4);
+        let mut hit = [false; 4];
+        for id in 0..256u64 {
+            hit[map.shard_of(Key::raw(id))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 keys must hit all 4 shards");
+    }
+
+    #[test]
+    fn fast_path_classification_follows_split_registry() {
+        assert!(fast_path_op(&Op::Add(1)));
+        assert!(fast_path_op(&Op::Max(9)));
+        assert!(fast_path_op(&Op::BitOr(0x4)));
+        assert!(fast_path_op(&Op::BoundedAdd { n: 1, bound: 10 }));
+        assert!(fast_path_op(&Op::Mult(2)));
+        assert!(!fast_path_op(&Op::Put(Value::Int(1))));
+    }
+}

@@ -260,7 +260,7 @@ fn main() {
         doppel_telemetry::trace::set_enabled(true);
     }
     let registry = build_registry(&flags);
-    let engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
+    let mut engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
         .unwrap_or_else(|| {
             let known: Vec<&str> = ENGINES.iter().map(|(n, _)| *n).collect();
             eprintln!("unknown engine {:?} (available: {})", flags.engine, known.join(" | "));
@@ -269,11 +269,19 @@ fn main() {
         .with_procs(Arc::clone(&registry));
 
     // Durability: recover the directory into the fresh store, then attach
-    // the log so every commit (and Doppel merged delta) is logged.
+    // the log so every commit (and Doppel merged delta) is logged. The same
+    // log is the two-phase-commit vote log: prepared-but-undecided
+    // transactions surface as in-doubt and keep their keys locked until the
+    // shard router re-delivers the decision.
     if let Some(dir) = &flags.durable_dir {
-        let report = doppel_wal::recover_into(engine.engine.as_ref(), dir)
+        let recovered = doppel_wal::recover(dir).unwrap_or_else(|e| {
+            eprintln!("recovery of {dir} failed: {e}");
+            std::process::exit(1);
+        });
+        let in_doubt = recovered.in_doubt();
+        let report = doppel_wal::replay_recovered(engine.engine.as_ref(), &recovered)
             .unwrap_or_else(|e| {
-                eprintln!("recovery of {dir} failed: {e}");
+                eprintln!("replay of {dir} failed: {e}");
                 std::process::exit(1);
             });
         if report.log_records() > 0 || report.checkpoint_records > 0 {
@@ -283,12 +291,22 @@ fn main() {
                 report.log_records()
             );
         }
-        let wal = doppel_wal::Wal::open(dir, doppel_common::DurabilityConfig::default().from_env())
-            .unwrap_or_else(|e| {
-                eprintln!("cannot open WAL in {dir}: {e}");
-                std::process::exit(1);
-            });
-        engine.engine.attach_commit_sink(Arc::new(wal));
+        if !in_doubt.is_empty() {
+            eprintln!(
+                "{} in-doubt prepared transaction(s): their keys stay locked until the \
+                 coordinator re-delivers the decision",
+                in_doubt.len()
+            );
+        }
+        let wal = Arc::new(
+            doppel_wal::Wal::open(dir, doppel_common::DurabilityConfig::default().from_env())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open WAL in {dir}: {e}");
+                    std::process::exit(1);
+                }),
+        );
+        engine.engine.attach_commit_sink(Arc::clone(&wal) as _);
+        engine = engine.with_vote_log(wal).with_in_doubt(in_doubt);
     }
 
     // Preload RUBiS data when asked (a networked client cannot call

@@ -1,0 +1,258 @@
+//! `doppel-router`: a wire-compatible proxy in front of a sharded cluster.
+//!
+//! ```text
+//! doppel-router --port 7700 --shards 127.0.0.1:7001,127.0.0.1:7002
+//! ```
+//!
+//! Clients connect to the router exactly as they would to a single
+//! `doppel-server` — same framed protocol — and the router spreads their
+//! transactions across the cluster with a [`doppel_service::ShardRouter`]:
+//! single-shard transactions forward directly, all-commutative cross-shard
+//! transactions fan out coordination-free, everything else runs two-phase
+//! commit with the shards' WALs as vote logs.
+//!
+//! Each client connection gets its own `ShardRouter` (its own set of shard
+//! connections), so one slow client never holds another's transactions
+//! behind a shared coordinator. `GetStats` answers with the *merged* cluster
+//! snapshot.
+//!
+//! Limitations, by design of a thin proxy: `InvokeProc` is forwarded
+//! round-robin to one shard, which is only correct for procedures whose
+//! keys all live on that shard — cross-shard procedures must be expressed
+//! as statement lists. Replies to one client are delivered in the order its
+//! routed transactions complete.
+
+use doppel_service::wire::{
+    decode_client, read_frame_into, server_frame_into, ClientMsg, ServerMsg, WireDone,
+};
+use doppel_service::{RemoteClient, RemoteOutcome, ShardOutcome, ShardRouter};
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Flags {
+    host: String,
+    port: u16,
+    shards: Vec<String>,
+    connect_secs: f64,
+    force_two_phase: bool,
+}
+
+fn usage() -> ! {
+    println!(
+        "doppel-router: route the doppel wire protocol across a sharded cluster\n\n\
+         Usage: doppel-router --shards ADDR,ADDR,... [FLAGS]\n\n\
+         Flags:\n\
+           --shards LIST     comma-separated shard addresses, in shard order\n\
+                             (the list *is* the shard map: every router must\n\
+                             use the same order)\n\
+           --host ADDR       bind address (default 127.0.0.1)\n\
+           --port N          TCP port; 0 picks an ephemeral port (default 7700)\n\
+           --connect-secs S  per-shard connect deadline with backoff (default 10)\n\
+           --force-2pc       route every cross-shard write through two-phase\n\
+                             commit, commutative or not (baseline/testing)\n\
+           --help            print this message"
+    );
+    std::process::exit(0);
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        host: "127.0.0.1".into(),
+        port: 7700,
+        shards: Vec::new(),
+        connect_secs: 10.0,
+        force_two_phase: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("--{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--host" => flags.host = value("host"),
+            "--port" => flags.port = value("port").parse().expect("--port expects a port number"),
+            "--shards" => {
+                flags.shards = value("shards")
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect()
+            }
+            "--connect-secs" => {
+                flags.connect_secs =
+                    value("connect-secs").parse().expect("--connect-secs expects a number")
+            }
+            "--force-2pc" => flags.force_two_phase = true,
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if flags.shards.is_empty() {
+        eprintln!("--shards is required (try --help)");
+        std::process::exit(2);
+    }
+    flags
+}
+
+fn main() {
+    let flags = Arc::new(parse_flags());
+    let listener = TcpListener::bind((flags.host.as_str(), flags.port)).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}:{}: {e}", flags.host, flags.port);
+        std::process::exit(1);
+    });
+    // Fail fast if the cluster is unreachable, before advertising readiness.
+    let probe =
+        ShardRouter::connect_retry(&flags.shards, Duration::from_secs_f64(flags.connect_secs));
+    if let Err(e) = probe {
+        eprintln!("cannot reach cluster: {e}");
+        std::process::exit(1);
+    }
+    drop(probe);
+
+    let addr = listener.local_addr().expect("bound listener has an address");
+    println!("listening on {addr} (routing {} shards)", flags.shards.len());
+    std::io::stdout().flush().ok();
+
+    let rr = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let flags = Arc::clone(&flags);
+        let rr = Arc::clone(&rr);
+        let spawned = std::thread::Builder::new()
+            .name("router-conn".into())
+            .spawn(move || serve_connection(stream, &flags, &rr));
+        if spawned.is_err() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, flags: &Flags, rr: &AtomicUsize) {
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut router = match ShardRouter::connect_retry(
+        &flags.shards,
+        Duration::from_secs_f64(flags.connect_secs),
+    ) {
+        Ok(mut r) => {
+            r.force_two_phase(flags.force_two_phase);
+            r
+        }
+        Err(e) => {
+            eprintln!("shard connections for a client failed: {e}");
+            return;
+        }
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    while let Ok(true) = read_frame_into(&mut reader, &mut payload) {
+        let Ok(msg) = decode_client(&payload) else { break };
+        let reply = match handle(&mut router, flags, rr, msg) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("routing failed: {e}");
+                break;
+            }
+        };
+        if server_frame_into(&reply, &mut frame).is_err()
+            || writer.write_all(&frame).is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Routes one client message, returning the reply to frame back.
+fn handle(
+    router: &mut ShardRouter,
+    flags: &Flags,
+    rr: &AtomicUsize,
+    msg: ClientMsg,
+) -> std::io::Result<ServerMsg> {
+    Ok(match msg {
+        ClientMsg::Submit { id, stmts } => {
+            let txn = stmts.iter().fold(doppel_service::RemoteTxn::new(), |t, s| match s {
+                doppel_service::WireStmt::Get(k) => t.get(*k),
+                doppel_service::WireStmt::Write(k, op) => t.write(*k, op.clone()),
+            });
+            outcome_to_msg(id, router.execute(&txn)?)
+        }
+        ClientMsg::InvokeProc { id, proc, args } => {
+            // Round-robin a whole-procedure forward (see the module docs for
+            // why this is single-shard only).
+            let shard = rr.fetch_add(1, Ordering::Relaxed) % flags.shards.len();
+            let mut conn = RemoteClient::connect_retry(
+                flags.shards[shard].as_str(),
+                Duration::from_secs_f64(flags.connect_secs),
+            )?;
+            remote_to_msg(id, conn.call(&proc, args)?)
+        }
+        ClientMsg::LabelSplit { id, key, op } => {
+            router.label_split(key, op)?;
+            ServerMsg::Ack { id }
+        }
+        ClientMsg::Ping { id } => {
+            router.ping_all()?;
+            ServerMsg::Ack { id }
+        }
+        ClientMsg::GetStats { id } => {
+            ServerMsg::Stats { id, snapshot: Box::new(router.stats_merged()?) }
+        }
+        // 2PC is between a router and its shards; a router is not a shard.
+        ClientMsg::Prepare { id, .. } | ClientMsg::Decide { id, .. } => {
+            ServerMsg::Rejected { id, busy: false }
+        }
+    })
+}
+
+fn outcome_to_msg(id: u64, out: ShardOutcome) -> ServerMsg {
+    match out {
+        ShardOutcome::Committed { values, deferred } => ServerMsg::Done(WireDone {
+            id,
+            result: Ok(0),
+            deferred,
+            values,
+            proc_result: None,
+        }),
+        ShardOutcome::Aborted { code } => ServerMsg::Done(WireDone {
+            id,
+            result: Err(code),
+            deferred: false,
+            values: Vec::new(),
+            proc_result: None,
+        }),
+        ShardOutcome::Rejected => ServerMsg::Rejected { id, busy: true },
+    }
+}
+
+fn remote_to_msg(id: u64, out: RemoteOutcome) -> ServerMsg {
+    match out {
+        RemoteOutcome::Committed { tid, values, proc_result, deferred } => {
+            ServerMsg::Done(WireDone { id, result: Ok(tid), deferred, values, proc_result })
+        }
+        RemoteOutcome::Aborted { code, deferred } => ServerMsg::Done(WireDone {
+            id,
+            result: Err(code),
+            deferred,
+            values: Vec::new(),
+            proc_result: None,
+        }),
+        RemoteOutcome::Rejected { busy } => ServerMsg::Rejected { id, busy },
+    }
+}

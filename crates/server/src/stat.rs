@@ -1,7 +1,8 @@
-//! `doppel-stat`: poll a running `doppel-server` for telemetry and render it.
+//! `doppel-stat`: poll running `doppel-server`s for telemetry and render it.
 //!
 //! ```text
 //! doppel-stat --addr 127.0.0.1:7777 --interval 1
+//! doppel-stat --addr 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 //! ```
 //!
 //! Each poll sends a `GetStats` message and renders the self-describing
@@ -11,13 +12,19 @@
 //! quiet interval, not history), the current phase, the hot-key table and
 //! per-procedure counters. `--once` prints one cumulative snapshot and
 //! exits, for scripting.
+//!
+//! With several addresses (comma-separated or a repeated `--addr`), every
+//! server is polled each interval and the view is the **merged cluster
+//! snapshot** — scalars summed, histograms merged bucket-wise
+//! ([`TelemetrySnapshot::merge`]) — plus a per-shard commits/s column line,
+//! the first place a placement imbalance shows up.
 
 use doppel_common::Table;
 use doppel_service::{RemoteClient, TelemetrySnapshot};
 use std::time::{Duration, Instant};
 
 struct Flags {
-    addr: String,
+    addrs: Vec<String>,
     interval: f64,
     once: bool,
     /// Exit after this many polls (0 = run until killed). Scripting aid.
@@ -26,10 +33,13 @@ struct Flags {
 
 fn usage() -> ! {
     println!(
-        "doppel-stat: live telemetry for a running doppel-server\n\n\
+        "doppel-stat: live telemetry for running doppel-servers\n\n\
          Usage: doppel-stat [FLAGS]\n\n\
          Flags:\n\
-           --addr HOST:PORT  server to poll (default 127.0.0.1:7777)\n\
+           --addr HOST:PORT[,HOST:PORT...]  server(s) to poll (default\n\
+                             127.0.0.1:7777; repeatable). Several addresses\n\
+                             render the merged cluster view plus per-shard\n\
+                             commits/s columns\n\
            --interval S      seconds between polls (default 1)\n\
            --count N         exit after N polls (default: run until killed)\n\
            --once            print one cumulative snapshot and exit\n\
@@ -39,7 +49,7 @@ fn usage() -> ! {
 }
 
 fn parse_flags() -> Flags {
-    let mut flags = Flags { addr: "127.0.0.1:7777".into(), interval: 1.0, once: false, count: 0 };
+    let mut flags = Flags { addrs: Vec::new(), interval: 1.0, once: false, count: 0 };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -50,7 +60,9 @@ fn parse_flags() -> Flags {
         };
         match arg.as_str() {
             "--help" | "-h" => usage(),
-            "--addr" => flags.addr = value("addr"),
+            "--addr" => flags
+                .addrs
+                .extend(value("addr").split(',').map(str::trim).filter(|a| !a.is_empty()).map(String::from)),
             "--interval" => {
                 flags.interval =
                     value("interval").parse().expect("--interval expects a number")
@@ -62,6 +74,9 @@ fn parse_flags() -> Flags {
                 std::process::exit(2);
             }
         }
+    }
+    if flags.addrs.is_empty() {
+        flags.addrs.push("127.0.0.1:7777".into());
     }
     flags
 }
@@ -181,29 +196,73 @@ fn render_interval(cur: &TelemetrySnapshot, prev: &TelemetrySnapshot, secs: f64)
     render_hot_keys(cur);
 }
 
+/// Polls every server; per-shard snapshots in address order.
+fn poll_all(clients: &mut [RemoteClient]) -> std::io::Result<Vec<TelemetrySnapshot>> {
+    clients.iter_mut().map(|c| c.stats()).collect()
+}
+
+/// Folds per-shard snapshots into the cluster view.
+fn merged(shards: &[TelemetrySnapshot]) -> TelemetrySnapshot {
+    let mut all = TelemetrySnapshot::default();
+    for s in shards {
+        all.merge(s);
+    }
+    all
+}
+
+/// The per-shard commits/s column line (cluster mode only): one column per
+/// polled server, in address order — placement imbalance at a glance.
+fn render_shard_columns(cur: &[TelemetrySnapshot], prev: &[TelemetrySnapshot], secs: f64) {
+    let cols: Vec<String> = cur
+        .iter()
+        .zip(prev)
+        .enumerate()
+        .map(|(i, (c, p))| {
+            let rate = c.scalar("commits").unwrap_or(0).saturating_sub(p.scalar("commits").unwrap_or(0))
+                as f64
+                / secs;
+            format!("[{i}] {rate:.0}")
+        })
+        .collect();
+    println!("  shard commits/s: {}", cols.join("  "));
+}
+
 fn main() {
     let flags = parse_flags();
-    let mut client = RemoteClient::connect(&flags.addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {}: {e}", flags.addr);
-        std::process::exit(1);
-    });
+    let mut clients: Vec<RemoteClient> = flags
+        .addrs
+        .iter()
+        .map(|addr| {
+            RemoteClient::connect(addr).unwrap_or_else(|e| {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let cluster = clients.len() > 1;
     if flags.once {
-        let snap = client.stats().unwrap_or_else(|e| {
+        let shards = poll_all(&mut clients).unwrap_or_else(|e| {
             eprintln!("GetStats failed: {e}");
             std::process::exit(1);
         });
-        render_cumulative(&snap);
+        render_cumulative(&merged(&shards));
+        if cluster {
+            let zero = vec![TelemetrySnapshot::default(); shards.len()];
+            println!("-- per shard (cumulative)");
+            render_shard_columns(&shards, &zero, 1.0);
+        }
         return;
     }
-    let mut prev = client.stats().unwrap_or_else(|e| {
+    let mut prev = poll_all(&mut clients).unwrap_or_else(|e| {
         eprintln!("GetStats failed: {e}");
         std::process::exit(1);
     });
+    let mut prev_merged = merged(&prev);
     let mut prev_at = Instant::now();
     let mut polls = 0u64;
     loop {
         std::thread::sleep(Duration::from_secs_f64(flags.interval.max(0.05)));
-        let cur = match client.stats() {
+        let cur = match poll_all(&mut clients) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("server went away: {e}");
@@ -211,8 +270,14 @@ fn main() {
             }
         };
         let now = Instant::now();
-        render_interval(&cur, &prev, now.duration_since(prev_at).as_secs_f64().max(1e-9));
+        let secs = now.duration_since(prev_at).as_secs_f64().max(1e-9);
+        let cur_merged = merged(&cur);
+        render_interval(&cur_merged, &prev_merged, secs);
+        if cluster {
+            render_shard_columns(&cur, &prev, secs);
+        }
         prev = cur;
+        prev_merged = cur_merged;
         prev_at = now;
         polls += 1;
         if flags.count > 0 && polls >= flags.count {

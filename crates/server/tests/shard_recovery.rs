@@ -1,0 +1,162 @@
+//! Cross-process 2PC crash recovery: kill a shard in the in-doubt window —
+//! after it voted yes, before it processed the decision — restart it on the
+//! same WAL directory and port, and verify the router's re-delivered
+//! decision completes the transaction exactly once: the writes land, the
+//! recovered locks release, and no torn partial state survives.
+//!
+//! The crash uses the server's own test hook: with
+//! `DOPPEL_TWOPC_CRASH=before-decide` in the environment, a `doppel-server`
+//! exits with code 86 the moment a `Decide` frame arrives.
+
+use doppel_common::{Key, ShardMap, Value};
+use doppel_service::{RemoteClient, RemoteTxn, ShardOutcome, ShardRouter};
+use doppel_wal::TempWalDir;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Kills the child on panic so a failed assertion doesn't leak a process.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a durable occ `doppel-server` shard; `port` 0 picks an ephemeral
+/// one. Returns the child and the address from its `listening on` line.
+fn spawn_shard(port: u16, dir: &std::path::Path, crash_before_decide: bool) -> (ChildGuard, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_doppel-server"));
+    cmd.args(["--engine", "occ", "--workers", "2", "--port", &port.to_string()])
+        .args(["--durable", dir.to_str().expect("utf-8 temp path")])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if crash_before_decide {
+        cmd.env("DOPPEL_TWOPC_CRASH", "before-decide");
+    }
+    let mut child = cmd.spawn().expect("spawn doppel-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.split_whitespace().next().expect("addr token").to_string();
+        }
+    };
+    std::thread::spawn(move || for _ in lines {});
+    (ChildGuard(child), addr)
+}
+
+/// One key owned by each of the two shards, under the router's map.
+fn keys_per_shard() -> (Key, Key) {
+    let map = ShardMap::new(2);
+    let find = |shard| (0..64).map(Key::raw).find(|k| map.shard_of(*k) == shard).unwrap();
+    (find(0), find(1))
+}
+
+fn get_via(addr: &str, key: Key) -> Option<Value> {
+    let mut client = RemoteClient::connect(addr).expect("connect");
+    match client.execute(&RemoteTxn::new().get(key)).expect("get") {
+        out if out.is_committed() => {
+            let doppel_service::RemoteOutcome::Committed { values, .. } = out else {
+                unreachable!()
+            };
+            values.into_iter().next().flatten()
+        }
+        other => panic!("read did not commit: {other:?}"),
+    }
+}
+
+#[test]
+fn shard_killed_between_prepare_and_decide_recovers_the_decision() {
+    let dir0 = TempWalDir::new("2pc-crash-shard0");
+    let dir1 = TempWalDir::new("2pc-crash-shard1");
+    // Shard 0 is armed to die when the decision arrives; shard 1 is normal.
+    let (mut guard0, addr0) = spawn_shard(0, dir0.path(), true);
+    let (_guard1, addr1) = spawn_shard(0, dir1.path(), false);
+    let port0: u16 = addr0.rsplit(':').next().unwrap().parse().expect("port");
+    let (key0, key1) = keys_per_shard();
+
+    // A cross-shard transaction with non-commutative writes: `Put`s force
+    // the two-phase slow path (the fast path is commutative-only).
+    let addrs = vec![addr0.clone(), addr1.clone()];
+    let txn = RemoteTxn::new().put(key0, Value::Int(7)).put(key1, Value::Int(9));
+    let coordinator = std::thread::spawn(move || {
+        let mut router = ShardRouter::connect(&addrs).expect("router connects");
+        router.execute(&txn).expect("routing io")
+    });
+
+    // The decide frame kills shard 0 in the in-doubt window: vote durable,
+    // decision unprocessed.
+    let status = guard0.0.wait().expect("wait crashed shard");
+    assert_eq!(status.code(), Some(86), "shard died on the crash hook, not something else");
+
+    // Restart on the same WAL directory and port (no crash hook this time).
+    // Recovery surfaces the prepared-but-undecided transaction as in-doubt
+    // and the router's decide re-delivery loop completes it.
+    let (_guard0b, addr0b) = spawn_shard(port0, dir0.path(), false);
+    assert_eq!(addr0b, addr0, "restarted shard serves the original address");
+
+    let outcome = coordinator.join().expect("coordinator thread");
+    assert!(
+        matches!(outcome, ShardOutcome::Committed { .. }),
+        "the distributed commit survived the crash: {outcome:?}"
+    );
+
+    // Both slices landed exactly once; nothing torn.
+    assert_eq!(get_via(&addr0, key0), Some(Value::Int(7)), "crashed shard's write recovered");
+    assert_eq!(get_via(&addr1, key1), Some(Value::Int(9)), "healthy shard's write landed");
+
+    // The restarted shard accounted the recovery, and the decision released
+    // the recovered locks: no transaction is left in doubt.
+    let mut client = RemoteClient::connect(&addr0).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = client.stats().expect("stats");
+        let recovered = snap.scalar("twopc_recovered").unwrap_or(0);
+        let in_doubt = snap.scalar("twopc_in_doubt").unwrap_or(0);
+        if recovered >= 1 && in_doubt == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "in-doubt never drained: recovered={recovered} in_doubt={in_doubt}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The released keys accept new transactions — the cluster is fully live.
+    let mut router = ShardRouter::connect(&[addr0, addr1]).expect("router reconnects");
+    let follow_up = RemoteTxn::new().add(key0, 1).add(key1, 1);
+    assert!(router.execute(&follow_up).expect("io").is_committed());
+}
+
+#[test]
+fn decide_record_neutralizes_prepare_across_restart() {
+    // A transaction that prepared *and* received its decision must leave no
+    // in-doubt residue after a restart: the decide record in the WAL
+    // neutralizes the prepare record during recovery.
+    let dir = TempWalDir::new("2pc-decided-restart");
+    let (guard, addr) = spawn_shard(0, dir.path(), false);
+    let port: u16 = addr.rsplit(':').next().unwrap().parse().expect("port");
+    let (key0, key1) = keys_per_shard();
+
+    // Force the slow path so a prepare/decide pair is actually logged.
+    let mut router = ShardRouter::connect(std::slice::from_ref(&addr)).expect("router connects");
+    router.force_two_phase(true);
+    let txn = RemoteTxn::new().put(key0, Value::Int(1)).put(key1, Value::Int(2));
+    assert!(router.execute(&txn).expect("io").is_committed());
+
+    drop(guard);
+    let (_guard2, addr2) = spawn_shard(port, dir.path(), false);
+    // Committed state recovered; nothing in doubt.
+    assert_eq!(get_via(&addr2, key0), Some(Value::Int(1)));
+    let mut client = RemoteClient::connect(&addr2).expect("connect");
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.scalar("twopc_in_doubt").unwrap_or(0), 0, "no in-doubt after clean decide");
+}

@@ -13,6 +13,7 @@ use doppel_common::{Args, Key, Op, OrderKey, ProcResult, Value};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Builder for one wire transaction: a sequence of reads and write
 /// operations executed as a single procedure on the server.
@@ -137,6 +138,9 @@ pub struct RemoteClient {
     next_id: u64,
     /// Outcomes that arrived while waiting for a different request.
     buffered: HashMap<u64, RemoteOutcome>,
+    /// Two-phase-commit votes that arrived while waiting for something else,
+    /// keyed by request id: `(ok, prepare-read values)`.
+    votes: HashMap<u64, (bool, Vec<Option<Value>>)>,
     deferred_seen: HashSet<u64>,
     /// Reused encode scratch: one buffer for every outgoing frame.
     wbuf: Vec<u8>,
@@ -156,10 +160,45 @@ impl RemoteClient {
             writer,
             next_id: 0,
             buffered: HashMap::new(),
+            votes: HashMap::new(),
             deferred_seen: HashSet::new(),
             wbuf: Vec::new(),
             rbuf: Vec::new(),
         })
+    }
+
+    /// [`RemoteClient::connect`] with retries until `deadline` elapses,
+    /// backing off 1 ms → 2 ms → … → 128 ms (capped) between attempts.
+    ///
+    /// Connecting to a cluster races server start-up (and, for a shard
+    /// router re-delivering a commit decision, server *restart*), so refusal
+    /// is expected and transient. Errors carry the address they were dialing:
+    /// in a multi-shard deployment "connection refused" without the address
+    /// is undebuggable.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        deadline: Duration,
+    ) -> io::Result<RemoteClient> {
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            match RemoteClient::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if start.elapsed() >= deadline {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!(
+                                "connect to {addr} failed after {:?}: {e}",
+                                start.elapsed()
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(backoff.min(deadline.saturating_sub(start.elapsed())));
+                    backoff = (backoff * 2).min(Duration::from_millis(128));
+                }
+            }
+        }
     }
 
     fn write_msg(&mut self, msg: &ClientMsg) -> io::Result<()> {
@@ -182,6 +221,27 @@ impl RemoteClient {
         let id = self.fresh_id();
         self.send(&ClientMsg::Submit { id, stmts: txn.stmts.clone() })?;
         Ok(id)
+    }
+
+    /// Submits a raw statement list without waiting; returns its request id.
+    pub fn submit_stmts(&mut self, stmts: Vec<WireStmt>) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::Submit { id, stmts })?;
+        Ok(id)
+    }
+
+    /// Writes a submission without flushing, for cross-connection
+    /// pipelining (the shard router queues every shard's frames before any
+    /// flush). Pair with [`RemoteClient::flush`].
+    pub fn queue_stmts(&mut self, stmts: Vec<WireStmt>) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.write_msg(&ClientMsg::Submit { id, stmts })?;
+        Ok(id)
+    }
+
+    /// Flushes every queued frame to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
     }
 
     /// True once a `Deferred` notice for `id` has been observed.
@@ -222,6 +282,10 @@ impl RemoteClient {
                 proc_result: None,
                 deferred: false,
             })),
+            ServerMsg::Vote { id, ok, values, .. } => {
+                self.votes.insert(id, (ok, values));
+                None
+            }
             // A Stats reply is consumed synchronously by `stats()`; one
             // reaching the outcome demultiplexer is stale — drop it.
             ServerMsg::Stats { .. } => None,
@@ -248,6 +312,56 @@ impl RemoteClient {
     pub fn execute(&mut self, txn: &RemoteTxn) -> io::Result<RemoteOutcome> {
         let id = self.submit(txn)?;
         self.wait(id)
+    }
+
+    /// Pipelines a batch of transactions: every frame is written before the
+    /// single flush, so the batch costs one network round trip. Returns the
+    /// request ids in submission order; collect with [`RemoteClient::wait`].
+    pub fn submit_many(&mut self, txns: &[RemoteTxn]) -> io::Result<Vec<u64>> {
+        let mut ids = Vec::with_capacity(txns.len());
+        for txn in txns {
+            let id = self.fresh_id();
+            self.write_msg(&ClientMsg::Submit { id, stmts: txn.stmts.clone() })?;
+            ids.push(id);
+        }
+        self.writer.flush()?;
+        Ok(ids)
+    }
+
+    /// Sends a two-phase-commit `Prepare` for this shard's slice of
+    /// distributed transaction `txid`; returns the request id to pass to
+    /// [`RemoteClient::wait_vote`].
+    pub fn send_prepare(&mut self, txid: u64, stmts: Vec<WireStmt>) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::Prepare { id, txid, stmts })?;
+        Ok(id)
+    }
+
+    /// Blocks until the shard's vote for prepare-request `id` arrives:
+    /// `(ok, values)` where `values` are the slice's `Get` results read
+    /// under the prepare locks (yes-votes only). Other replies are buffered
+    /// exactly as [`RemoteClient::wait`] would.
+    pub fn wait_vote(&mut self, id: u64) -> io::Result<(bool, Vec<Option<Value>>)> {
+        loop {
+            if let Some(vote) = self.votes.remove(&id) {
+                return Ok(vote);
+            }
+            let msg = self.read_msg()?;
+            if let Some((done_id, outcome)) = self.absorb(msg) {
+                self.buffered.insert(done_id, outcome);
+            }
+        }
+    }
+
+    /// Sends the coordinator's decision for `txid`; returns the request id.
+    /// The shard acknowledges an abort immediately; a commit completes once
+    /// the prepared writes are applied (wait with [`RemoteClient::wait`] —
+    /// a retryable [`RemoteOutcome::Aborted`] or [`RemoteOutcome::Rejected`]
+    /// means re-deliver the decision).
+    pub fn send_decide(&mut self, txid: u64, commit: bool) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&ClientMsg::Decide { id, txid, commit })?;
+        Ok(id)
     }
 
     /// Submits a registered-procedure invocation without waiting; returns

@@ -31,7 +31,9 @@ pub mod queue;
 pub mod reactor;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
+pub mod twopc;
 pub mod wire;
 
 pub use client::{RemoteClient, RemoteOutcome, RemoteTxn};
@@ -40,5 +42,7 @@ pub use queue::{PushError, SubmissionQueue};
 pub use reactor::ReactorConfig;
 pub use server::{FrontEnd, NetStatsSnapshot, RemoteProcedure, Server, ServerEngine};
 pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};
+pub use shard::{ShardOutcome, ShardRouter};
 pub use snapshot::TelemetrySnapshot;
+pub use twopc::Participant;
 pub use wire::{ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};

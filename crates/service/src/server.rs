@@ -17,6 +17,7 @@
 
 use crate::reactor::{self, Outbox, OutboxSender, Reactor, ReactorConfig, Recv};
 use crate::service::{ReplySink, ServiceConfig, TransactionService};
+use crate::twopc::Participant;
 use crate::wire::{decode_client, read_frame_into, ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};
 use doppel_common::{
     DoppelConfig, Engine, Op, Procedure, ProcRegistry, RegisteredCall, RequestId, ServiceReply,
@@ -106,22 +107,50 @@ pub struct ServerEngine {
     /// default: such a server answers every invocation with `UnknownProc`
     /// but still serves raw statement lists).
     pub procs: Arc<ProcRegistry>,
+    /// Durable vote log for cross-shard two-phase commit (normally the same
+    /// [`doppel_wal::Wal`] attached as the engine's commit sink, so prepare
+    /// and decide records interleave with ordinary commit records). `None`
+    /// disables durable voting: 2PC still works but forgets prepared
+    /// transactions on restart.
+    pub vote_log: Option<Arc<doppel_wal::Wal>>,
+    /// In-doubt transactions recovered from the vote log: prepared (voted
+    /// yes) but with no decision on record. Their keys are re-locked at
+    /// startup until the coordinator re-delivers the decision.
+    pub in_doubt: Vec<doppel_wal::InDoubtTxn>,
 }
 
 impl ServerEngine {
     /// Wraps a started Doppel database.
     pub fn doppel(db: Arc<DoppelDb>) -> Self {
-        ServerEngine { engine: db.clone(), doppel: Some(db), procs: Arc::default() }
+        ServerEngine {
+            engine: db.clone(),
+            doppel: Some(db),
+            procs: Arc::default(),
+            vote_log: None,
+            in_doubt: Vec::new(),
+        }
     }
 
     /// Wraps any other engine.
     pub fn other(engine: Arc<dyn Engine>) -> Self {
-        ServerEngine { engine, doppel: None, procs: Arc::default() }
+        ServerEngine { engine, doppel: None, procs: Arc::default(), vote_log: None, in_doubt: Vec::new() }
     }
 
     /// Attaches a procedure registry (built by registering procedure packs).
     pub fn with_procs(mut self, procs: Arc<ProcRegistry>) -> Self {
         self.procs = procs;
+        self
+    }
+
+    /// Attaches the durable two-phase-commit vote log.
+    pub fn with_vote_log(mut self, wal: Arc<doppel_wal::Wal>) -> Self {
+        self.vote_log = Some(wal);
+        self
+    }
+
+    /// Seeds recovered in-doubt transactions (see [`doppel_wal::Recovered::in_doubt`]).
+    pub fn with_in_doubt(mut self, in_doubt: Vec<doppel_wal::InDoubtTxn>) -> Self {
+        self.in_doubt = in_doubt;
         self
     }
 
@@ -241,6 +270,7 @@ pub(crate) struct ConnShared {
     pub(crate) doppel: Option<Arc<DoppelDb>>,
     pub(crate) procs: Arc<ProcRegistry>,
     pub(crate) net: Arc<NetStats>,
+    pub(crate) twopc: Arc<Participant>,
 }
 
 /// Dispatches one decoded client message: submits to the service with a
@@ -304,6 +334,24 @@ pub(crate) fn dispatch_client_msg(shared: &ConnShared, msg: ClientMsg, sender: &
                 snapshot: Box::new(telemetry_snapshot(shared)),
             });
         }
+        ClientMsg::Prepare { id, txid, stmts } => match shared.twopc.prepare(txid, &stmts) {
+            Some(values) => sender.send(&ServerMsg::Vote { id, txid, ok: true, values }),
+            None => sender.send(&ServerMsg::Vote { id, txid, ok: false, values: Vec::new() }),
+        },
+        ClientMsg::Decide { id, txid, commit } => {
+            if shared.twopc.crash_before_decide() {
+                // Test instrumentation: die in the in-doubt window — after
+                // the durable yes-vote, before the decision lands.
+                std::process::exit(86);
+            }
+            if commit {
+                let out = sender.clone();
+                shared.twopc.decide_commit(&shared.service, id, txid, move |msg| out.send(msg));
+            } else {
+                shared.twopc.decide_abort(txid);
+                sender.send(&ServerMsg::Ack { id });
+            }
+        }
     }
 }
 
@@ -323,6 +371,7 @@ pub(crate) fn telemetry_snapshot(shared: &ConnShared) -> crate::TelemetrySnapsho
     snap.scalars.push(("conns_shed".into(), net.conns_shed));
     snap.scalars.push(("decode_errors".into(), net.decode_errors));
     snap.scalars.push(("trace_events".into(), doppel_telemetry::trace::events_recorded()));
+    snap.scalars.extend(shared.twopc.scalars());
     snap.phase = match &shared.doppel {
         Some(db) => match db.current_phase() {
             doppel_db::Phase::Joined => "joined".into(),
@@ -364,6 +413,7 @@ pub struct Server {
     doppel: Option<Arc<DoppelDb>>,
     procs: Arc<ProcRegistry>,
     net: Arc<NetStats>,
+    twopc: Arc<Participant>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
@@ -433,11 +483,17 @@ impl Server {
             }
         }
 
+        let twopc = Arc::new(Participant::new(
+            Arc::clone(&engine.engine),
+            engine.vote_log.clone(),
+            engine.in_doubt,
+        ));
         let shared = Arc::new(ConnShared {
             service: Arc::clone(&service),
             doppel: engine.doppel.clone(),
             procs: Arc::clone(&engine.procs),
             net: Arc::clone(&net),
+            twopc: Arc::clone(&twopc),
         });
 
         let runtime = match &front_end {
@@ -479,6 +535,7 @@ impl Server {
             doppel: engine.doppel,
             procs: engine.procs,
             net,
+            twopc,
             addr,
             stop,
             accept: parking_lot::Mutex::new(Some(accept)),
@@ -520,6 +577,7 @@ impl Server {
             doppel: self.doppel.clone(),
             procs: Arc::clone(&self.procs),
             net: Arc::clone(&self.net),
+            twopc: Arc::clone(&self.twopc),
         };
         telemetry_snapshot(&shared)
     }

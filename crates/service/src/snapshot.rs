@@ -68,6 +68,34 @@ impl TelemetrySnapshot {
             self.scalars.push((name.to_string(), value));
         }
     }
+
+    /// Folds another server's snapshot into this one, producing a cluster
+    /// view: scalars sum by name, histograms merge bucket-wise, hot keys
+    /// re-rank, per-procedure counters sum by procedure. Phases that differ
+    /// across shards render as `"mixed"`.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.absorb_metrics(MetricsSnapshot {
+            scalars: other.scalars.clone(),
+            hists: other.hists.clone(),
+            hot_keys: other.hot_keys.clone(),
+        });
+        for p in &other.procs {
+            match self.procs.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.invocations += p.invocations;
+                    q.commits += p.commits;
+                    q.aborts += p.aborts;
+                    q.deferrals += p.deferrals;
+                }
+                None => self.procs.push(p.clone()),
+            }
+        }
+        if self.phase.is_empty() {
+            self.phase = other.phase.clone();
+        } else if self.phase != other.phase {
+            self.phase = "mixed".into();
+        }
+    }
 }
 
 // ------------------------------------------------------------------ encoding

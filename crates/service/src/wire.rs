@@ -17,6 +17,8 @@
 //! | 0x03 | `Ping`       | `id u64`                                              |
 //! | 0x04 | `InvokeProc` | `id u64`, `name` (length-prefixed UTF-8), `args`      |
 //! | 0x05 | `GetStats`   | `id u64` (telemetry poll; answered with `Stats`)      |
+//! | 0x06 | `Prepare`    | `id u64`, `txid u64`, `n u32`, then `n` statements    |
+//! | 0x07 | `Decide`     | `id u64`, `txid u64`, `commit u8`                     |
 //!
 //! A statement is `0x00 Get key` or `0x01 Write key op`. Submitted
 //! statements form one transaction (one [`doppel_common::Procedure`]);
@@ -36,6 +38,16 @@
 //! | 0x83 | `Rejected` | `id u64`, `reason u8` (0 = busy, 1 = shutdown)      |
 //! | 0x84 | `Ack`      | `id u64` (answers `LabelSplit` and `Ping`)          |
 //! | 0x85 | `Stats`    | `id u64`, a [`TelemetrySnapshot`] (answers `GetStats`) |
+//! | 0x86 | `Vote`     | `id u64`, `txid u64`, `ok u8`, `n u32` values (answers `Prepare`) |
+//!
+//! `Prepare`/`Vote`/`Decide` are the two-phase-commit half of cross-shard
+//! transactions (see [`crate::shard`]): `Prepare` ships a shard's slice of
+//! the transaction, the shard locks the touched keys, force-logs the write
+//! set as its durable vote, and answers `Vote` (with the `Get` results, read
+//! under the locks). `Decide` delivers the coordinator's verdict and is
+//! answered with `Done` (commit applied / already applied) or `Ack` (abort
+//! recorded); it is idempotent, so a coordinator may re-deliver it across
+//! shard restarts until acknowledged.
 
 use crate::snapshot::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
 use doppel_common::{Args, Key, Op, ProcResult, TxError, Value};
@@ -55,11 +67,14 @@ const MSG_LABEL_SPLIT: u8 = 0x02;
 const MSG_PING: u8 = 0x03;
 const MSG_INVOKE_PROC: u8 = 0x04;
 const MSG_GET_STATS: u8 = 0x05;
+const MSG_PREPARE: u8 = 0x06;
+const MSG_DECIDE: u8 = 0x07;
 const MSG_DONE: u8 = 0x81;
 const MSG_DEFERRED: u8 = 0x82;
 const MSG_REJECTED: u8 = 0x83;
 const MSG_ACK: u8 = 0x84;
 const MSG_STATS_REPLY: u8 = 0x85;
+const MSG_VOTE: u8 = 0x86;
 
 const STMT_GET: u8 = 0x00;
 const STMT_WRITE: u8 = 0x01;
@@ -184,6 +199,28 @@ pub enum ClientMsg {
         /// Client-chosen id echoed in the `Stats` reply.
         id: u64,
     },
+    /// Two-phase commit, phase one: this shard's slice of a cross-shard
+    /// transaction. The shard locks every touched key, force-logs the write
+    /// set as its durable yes-vote, and answers `Vote`.
+    Prepare {
+        /// Client-chosen id echoed in the `Vote`.
+        id: u64,
+        /// Coordinator-assigned distributed transaction id.
+        txid: u64,
+        /// This shard's statements, in the original transaction's order.
+        stmts: Vec<WireStmt>,
+    },
+    /// Two-phase commit, phase two: the coordinator's verdict for a
+    /// previously prepared `txid`. Idempotent; answered with `Done` (commit)
+    /// or `Ack` (abort).
+    Decide {
+        /// Client-chosen id echoed in the reply.
+        id: u64,
+        /// The distributed transaction this decision concerns.
+        txid: u64,
+        /// True to commit the prepared writes, false to discard them.
+        commit: bool,
+    },
 }
 
 /// Any server → client message.
@@ -215,6 +252,19 @@ pub enum ServerMsg {
         /// The snapshot, taken at dispatch time.
         snapshot: Box<TelemetrySnapshot>,
     },
+    /// Answer to `Prepare`: this shard's two-phase-commit vote.
+    Vote {
+        /// The request this vote concerns.
+        id: u64,
+        /// The distributed transaction voted on.
+        txid: u64,
+        /// True for a yes-vote (writes locked and force-logged), false when
+        /// the shard could not prepare (lock conflict, type mismatch).
+        ok: bool,
+        /// Results of the prepared slice's `Get` statements in slice order,
+        /// read under the prepare locks (empty on a no-vote).
+        values: Vec<Option<Value>>,
+    },
 }
 
 // ------------------------------------------------------------------ encoding
@@ -235,20 +285,7 @@ pub fn encode_client_into(msg: &ClientMsg, buf: &mut Vec<u8>) {
         ClientMsg::Submit { id, stmts } => {
             put_u8(buf, MSG_SUBMIT);
             put_u64(buf, *id);
-            put_u32(buf, stmts.len() as u32);
-            for stmt in stmts {
-                match stmt {
-                    WireStmt::Get(k) => {
-                        put_u8(buf, STMT_GET);
-                        encode_key(buf, *k);
-                    }
-                    WireStmt::Write(k, op) => {
-                        put_u8(buf, STMT_WRITE);
-                        encode_key(buf, *k);
-                        encode_op(buf, op);
-                    }
-                }
-            }
+            encode_stmts(buf, stmts);
         }
         ClientMsg::LabelSplit { id, key, op } => {
             put_u8(buf, MSG_LABEL_SPLIT);
@@ -270,7 +307,60 @@ pub fn encode_client_into(msg: &ClientMsg, buf: &mut Vec<u8>) {
             put_u8(buf, MSG_GET_STATS);
             put_u64(buf, *id);
         }
+        ClientMsg::Prepare { id, txid, stmts } => {
+            put_u8(buf, MSG_PREPARE);
+            put_u64(buf, *id);
+            put_u64(buf, *txid);
+            encode_stmts(buf, stmts);
+        }
+        ClientMsg::Decide { id, txid, commit } => {
+            put_u8(buf, MSG_DECIDE);
+            put_u64(buf, *id);
+            put_u64(buf, *txid);
+            put_u8(buf, *commit as u8);
+        }
     }
+}
+
+fn encode_stmts(buf: &mut Vec<u8>, stmts: &[WireStmt]) {
+    put_u32(buf, stmts.len() as u32);
+    for stmt in stmts {
+        match stmt {
+            WireStmt::Get(k) => {
+                put_u8(buf, STMT_GET);
+                encode_key(buf, *k);
+            }
+            WireStmt::Write(k, op) => {
+                put_u8(buf, STMT_WRITE);
+                encode_key(buf, *k);
+                encode_op(buf, op);
+            }
+        }
+    }
+}
+
+/// Decodes a statement list with the hostile-count guards shared by `Submit`
+/// and `Prepare`: the smallest statement (`Get`) encodes to 17 bytes, so a
+/// count the payload cannot possibly hold is corrupt, and the speculative
+/// reservation is capped so a hostile header cannot reserve gigabytes.
+fn decode_stmts(d: &mut Dec<'_>, payload_len: usize) -> Result<Vec<WireStmt>, CodecError> {
+    let n = d.u32()? as usize;
+    if n > payload_len / 17 {
+        return Err(CodecError("statement count longer than message"));
+    }
+    let mut stmts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match d.u8()? {
+            STMT_GET => stmts.push(WireStmt::Get(decode_key(d)?)),
+            STMT_WRITE => {
+                let k = decode_key(d)?;
+                let op = decode_op(d)?;
+                stmts.push(WireStmt::Write(k, op));
+            }
+            _ => return Err(CodecError("unknown statement tag")),
+        }
+    }
+    Ok(stmts)
 }
 
 /// Decodes a client message payload.
@@ -279,31 +369,7 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
     let msg = match d.u8()? {
         MSG_SUBMIT => {
             let id = d.u64()?;
-            let n = d.u32()? as usize;
-            // The smallest statement (`Get`) encodes to 17 bytes, so a count
-            // the payload cannot possibly hold is corrupt — and capping the
-            // speculative allocation at what the payload could hold keeps a
-            // hostile header from reserving gigabytes before the first
-            // statement fails to decode.
-            if n > payload.len() / 17 {
-                return Err(CodecError("statement count longer than message"));
-            }
-            // Belt and braces: even a count the payload *could* hold is
-            // untrusted, so cap the speculative reservation the same way the
-            // `values` decode path does and let the vector grow organically
-            // past it.
-            let mut stmts = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                match d.u8()? {
-                    STMT_GET => stmts.push(WireStmt::Get(decode_key(&mut d)?)),
-                    STMT_WRITE => {
-                        let k = decode_key(&mut d)?;
-                        let op = decode_op(&mut d)?;
-                        stmts.push(WireStmt::Write(k, op));
-                    }
-                    _ => return Err(CodecError("unknown statement tag")),
-                }
-            }
+            let stmts = decode_stmts(&mut d, payload.len())?;
             ClientMsg::Submit { id, stmts }
         }
         MSG_LABEL_SPLIT => {
@@ -322,6 +388,22 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, CodecError> {
             ClientMsg::InvokeProc { id, proc, args }
         }
         MSG_GET_STATS => ClientMsg::GetStats { id: d.u64()? },
+        MSG_PREPARE => {
+            let id = d.u64()?;
+            let txid = d.u64()?;
+            let stmts = decode_stmts(&mut d, payload.len())?;
+            ClientMsg::Prepare { id, txid, stmts }
+        }
+        MSG_DECIDE => {
+            let id = d.u64()?;
+            let txid = d.u64()?;
+            let commit = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError("unknown decide flag")),
+            };
+            ClientMsg::Decide { id, txid, commit }
+        }
         _ => return Err(CodecError("unknown client message kind")),
     };
     if !d.is_done() {
@@ -400,6 +482,22 @@ fn encode_server_body(msg: &ServerMsg, buf: &mut Vec<u8>) {
             put_u64(buf, *id);
             encode_snapshot(buf, snapshot);
         }
+        ServerMsg::Vote { id, txid, ok, values } => {
+            put_u8(buf, MSG_VOTE);
+            put_u64(buf, *id);
+            put_u64(buf, *txid);
+            put_u8(buf, *ok as u8);
+            put_u32(buf, values.len() as u32);
+            for v in values {
+                match v {
+                    None => put_u8(buf, 0),
+                    Some(v) => {
+                        put_u8(buf, 1);
+                        encode_value(buf, v);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -474,6 +572,30 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, CodecError> {
             let id = d.u64()?;
             let snapshot = Box::new(decode_snapshot(&mut d)?);
             ServerMsg::Stats { id, snapshot }
+        }
+        MSG_VOTE => {
+            let id = d.u64()?;
+            let txid = d.u64()?;
+            let ok = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError("unknown vote flag")),
+            };
+            let n = d.u32()? as usize;
+            // Same hostile-count cap as the Done value list: each entry is
+            // at least its 1-byte option tag.
+            if n > payload.len() {
+                return Err(CodecError("value count longer than message"));
+            }
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                values.push(match d.u8()? {
+                    0 => None,
+                    1 => Some(decode_value(&mut d)?),
+                    _ => return Err(CodecError("unknown option tag")),
+                });
+            }
+            ServerMsg::Vote { id, txid, ok, values }
         }
         _ => return Err(CodecError("unknown server message kind")),
     };
@@ -720,6 +842,55 @@ mod tests {
                 proc_result: None,
             }));
         }
+    }
+
+    #[test]
+    fn twopc_messages_roundtrip() {
+        roundtrip_client(ClientMsg::Prepare {
+            id: 21,
+            txid: 0xDEAD_BEEF,
+            stmts: vec![
+                WireStmt::Write(Key::raw(1), Op::Put(Value::Int(7))),
+                WireStmt::Get(Key::raw(2)),
+                WireStmt::Write(Key::raw(3), Op::Add(-4)),
+            ],
+        });
+        roundtrip_client(ClientMsg::Prepare { id: 22, txid: 0, stmts: vec![] });
+        roundtrip_client(ClientMsg::Decide { id: 23, txid: 99, commit: true });
+        roundtrip_client(ClientMsg::Decide { id: 24, txid: 99, commit: false });
+        roundtrip_server(ServerMsg::Vote {
+            id: 21,
+            txid: 0xDEAD_BEEF,
+            ok: true,
+            values: vec![None, Some(Value::Int(12))],
+        });
+        roundtrip_server(ServerMsg::Vote { id: 25, txid: 1, ok: false, values: vec![] });
+    }
+
+    #[test]
+    fn hostile_prepare_and_vote_counts_are_rejected() {
+        // Prepare claiming u32::MAX statements without carrying them.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x06);
+        put_u64(&mut buf, 1); // id
+        put_u64(&mut buf, 2); // txid
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_client(&buf).is_err());
+        // Vote claiming u32::MAX values.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x86);
+        put_u64(&mut buf, 1); // id
+        put_u64(&mut buf, 2); // txid
+        put_u8(&mut buf, 1); // ok
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_server(&buf).is_err());
+        // A decide flag outside {0, 1} is corrupt.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0x07);
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 2);
+        put_u8(&mut buf, 9);
+        assert!(decode_client(&buf).is_err());
     }
 
     #[test]

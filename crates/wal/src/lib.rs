@@ -56,7 +56,9 @@ mod tempdir;
 pub use codec::CodecError;
 pub use crc::crc32;
 pub use log::{Wal, WalError, LOG_FILE, LOG_MAGIC};
-pub use recover::{recover, recover_into, LogRecord, Recovered, RecoveryReport};
+pub use recover::{
+    recover, recover_into, replay_recovered, InDoubtTxn, LogRecord, Recovered, RecoveryReport,
+};
 pub use tempdir::TempWalDir;
 
 use doppel_common::{CommitSink, Engine};

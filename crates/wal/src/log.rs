@@ -16,6 +16,15 @@
 //!   one split key's per-worker merged delta, emitted at reconciliation.
 //!   This is the paper-faithful fast path: O(split keys) records per phase
 //!   instead of O(operations).
+//! * `0x03` **prepare** — `txid: u64`, `n: u32`, then `n × (key, op)`: a
+//!   cross-shard transaction's local write set, logged *before* this shard
+//!   votes yes in two-phase commit. A prepare without a matching decide is
+//!   an *in-doubt* transaction after a crash.
+//! * `0x04` **decide** — `txid: u64`, `commit: u8`: the coordinator's
+//!   decision for a previously prepared transaction. The decided writes are
+//!   applied through the engine (and therefore appear as an ordinary commit
+//!   record with a `Table::TxnMarker` marker key); the decide record only
+//!   closes the in-doubt window.
 //!
 //! **Group commit**: appends are buffered; the batch is flushed and fsynced
 //! once [`DurabilityConfig::group_commit_batch`] records have accumulated or
@@ -48,6 +57,8 @@ pub const LOG_FILE: &str = "wal.log";
 
 pub(crate) const REC_COMMIT: u8 = 0x01;
 pub(crate) const REC_DELTA: u8 = 0x02;
+pub(crate) const REC_PREPARE: u8 = 0x03;
+pub(crate) const REC_DECIDE: u8 = 0x04;
 
 /// Errors surfaced by the durability subsystem.
 #[derive(Debug)]
@@ -259,6 +270,34 @@ impl Wal {
             encode_op(&mut payload, op);
         }
         payload
+    }
+
+    /// Logs a two-phase-commit *prepare* record — `txid` plus this shard's
+    /// local write set — and fsyncs immediately, regardless of the
+    /// group-commit policy: the vote must not reach the coordinator before
+    /// the prepare is durable.
+    pub fn log_prepare(&self, txid: u64, writes: &[(Key, Op)]) -> LogReceipt {
+        let mut payload = Vec::with_capacity(16 + writes.len() * 32);
+        put_u8(&mut payload, REC_PREPARE);
+        put_u64(&mut payload, txid);
+        put_u32(&mut payload, writes.len() as u32);
+        for (k, op) in writes {
+            encode_key(&mut payload, *k);
+            encode_op(&mut payload, op);
+        }
+        let receipt = self.append(payload);
+        receipt.merge(self.sync())
+    }
+
+    /// Logs a two-phase-commit *decide* record and fsyncs immediately, so a
+    /// restart after this call never re-reports the transaction as in-doubt.
+    pub fn log_decide(&self, txid: u64, commit: bool) -> LogReceipt {
+        let mut payload = Vec::with_capacity(10);
+        put_u8(&mut payload, REC_DECIDE);
+        put_u64(&mut payload, txid);
+        put_u8(&mut payload, commit as u8);
+        let receipt = self.append(payload);
+        receipt.merge(self.sync())
     }
 
     fn encode_delta(tid: Tid, key: Key, ops: &[Op]) -> Vec<u8> {

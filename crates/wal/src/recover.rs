@@ -4,7 +4,7 @@
 use crate::checkpoint;
 use crate::codec::{decode_key, decode_op, Dec};
 use crate::crc::crc32;
-use crate::log::{WalError, LOG_FILE, LOG_MAGIC, REC_COMMIT, REC_DELTA};
+use crate::log::{WalError, LOG_FILE, LOG_MAGIC, REC_COMMIT, REC_DECIDE, REC_DELTA, REC_PREPARE};
 use doppel_common::{Engine, Key, Op, Tid};
 use std::fs::OpenOptions;
 use std::io::Read;
@@ -29,18 +29,51 @@ pub enum LogRecord {
         /// The merge operations produced by the per-core slice.
         ops: Vec<Op>,
     },
+    /// A two-phase-commit prepare: this shard voted yes for `txid` with this
+    /// local write set. Not replayed — the writes apply only on decide.
+    Prepare {
+        /// Distributed transaction id (coordinator-assigned).
+        txid: u64,
+        /// The shard-local write set the vote covers.
+        writes: Vec<(Key, Op)>,
+    },
+    /// A two-phase-commit decision for a previously prepared `txid`. Not
+    /// replayed — a commit's effects are applied through the engine and land
+    /// in an ordinary commit record.
+    Decide {
+        /// Distributed transaction id.
+        txid: u64,
+        /// True for commit, false for abort.
+        commit: bool,
+    },
 }
 
 impl LogRecord {
     /// The `(key, op)` pairs this record replays, in order.
+    ///
+    /// Prepare and decide records replay nothing: prepared writes are
+    /// applied only when the decision arrives, and a decided commit's
+    /// effects were logged as an ordinary commit record by the engine.
     pub fn replay_ops(&self) -> Vec<(Key, Op)> {
         match self {
             LogRecord::Commit { writes, .. } => writes.clone(),
             LogRecord::MergedDelta { key, ops, .. } => {
                 ops.iter().map(|op| (*key, op.clone())).collect()
             }
+            LogRecord::Prepare { .. } | LogRecord::Decide { .. } => Vec::new(),
         }
     }
+}
+
+/// A prepared-but-undecided distributed transaction surfaced by recovery:
+/// this shard voted yes and must hold the transaction's writes (and locks)
+/// until the coordinator re-delivers the decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InDoubtTxn {
+    /// Distributed transaction id.
+    pub txid: u64,
+    /// The shard-local write set from the prepare record.
+    pub writes: Vec<(Key, Op)>,
 }
 
 /// Scans framed records in `bytes` starting at `from`, returning the decoded
@@ -100,6 +133,22 @@ fn decode_record(payload: &[u8]) -> Result<LogRecord, WalError> {
             }
             LogRecord::MergedDelta { tid, key, ops }
         }
+        REC_PREPARE => {
+            let txid = d.u64().map_err(|_| WalError::Corrupt("prepare txid"))?;
+            let n = d.u32().map_err(|_| WalError::Corrupt("prepare count"))?;
+            let mut writes = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let key = decode_key(&mut d).map_err(|_| WalError::Corrupt("prepare key"))?;
+                let op = decode_op(&mut d).map_err(|_| WalError::Corrupt("prepare op"))?;
+                writes.push((key, op));
+            }
+            LogRecord::Prepare { txid, writes }
+        }
+        REC_DECIDE => {
+            let txid = d.u64().map_err(|_| WalError::Corrupt("decide txid"))?;
+            let commit = d.u8().map_err(|_| WalError::Corrupt("decide flag"))?;
+            LogRecord::Decide { txid, commit: commit != 0 }
+        }
         _ => return Err(WalError::Corrupt("unknown record kind")),
     };
     if !d.is_done() {
@@ -124,6 +173,30 @@ pub struct Recovered {
     pub truncated_at: Option<u64>,
 }
 
+impl Recovered {
+    /// The in-doubt distributed transactions: prepare records in the log
+    /// tail with no matching decide record, in prepare order. These voted
+    /// yes before the crash, so the shard must re-acquire their locks and
+    /// wait for the coordinator to re-deliver the decision.
+    pub fn in_doubt(&self) -> Vec<InDoubtTxn> {
+        let mut decided = std::collections::HashSet::new();
+        for rec in &self.records {
+            if let LogRecord::Decide { txid, .. } = rec {
+                decided.insert(*txid);
+            }
+        }
+        self.records
+            .iter()
+            .filter_map(|rec| match rec {
+                LogRecord::Prepare { txid, writes } if !decided.contains(txid) => {
+                    Some(InDoubtTxn { txid: *txid, writes: writes.clone() })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
 /// Statistics of a [`recover_into`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -133,12 +206,19 @@ pub struct RecoveryReport {
     pub commit_records: u64,
     /// Merged-delta records replayed from the log.
     pub delta_records: u64,
+    /// Two-phase-commit prepare records seen (not replayed).
+    pub prepare_records: u64,
+    /// Two-phase-commit decide records seen (not replayed).
+    pub decide_records: u64,
+    /// Prepared-but-undecided transactions left in-doubt by the crash.
+    pub in_doubt: u64,
     /// `Some(end)` when the log had a torn tail that was truncated.
     pub truncated_at: Option<u64>,
 }
 
 impl RecoveryReport {
-    /// Total log records replayed.
+    /// Total log records replayed (prepare/decide records carry no replayable
+    /// writes and are not counted).
     pub fn log_records(&self) -> u64 {
         self.commit_records + self.delta_records
     }
@@ -189,18 +269,30 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
 /// engine's `recovered_txns` statistic reflects the replayed record count.
 pub fn recover_into(engine: &dyn Engine, dir: impl AsRef<Path>) -> Result<RecoveryReport, WalError> {
     let recovered = recover(dir)?;
+    replay_recovered(engine, &recovered)
+}
+
+/// The replay half of [`recover_into`], split out so callers that also need
+/// the in-doubt transactions ([`Recovered::in_doubt`]) can [`recover`] once
+/// and replay from the same scan.
+pub fn replay_recovered(
+    engine: &dyn Engine,
+    recovered: &Recovered,
+) -> Result<RecoveryReport, WalError> {
     let mut report = RecoveryReport {
         checkpoint_records: recovered.checkpoint.len() as u64,
         truncated_at: recovered.truncated_at,
         ..Default::default()
     };
-    for (k, v) in recovered.checkpoint {
-        engine.load(k, v);
+    for (k, v) in &recovered.checkpoint {
+        engine.load(*k, v.clone());
     }
     for record in &recovered.records {
         match record {
             LogRecord::Commit { .. } => report.commit_records += 1,
             LogRecord::MergedDelta { .. } => report.delta_records += 1,
+            LogRecord::Prepare { .. } => report.prepare_records += 1,
+            LogRecord::Decide { .. } => report.decide_records += 1,
         }
         for (k, op) in record.replay_ops() {
             let current = engine.global_get(k);
@@ -210,6 +302,7 @@ pub fn recover_into(engine: &dyn Engine, dir: impl AsRef<Path>) -> Result<Recove
             engine.load(k, new);
         }
     }
+    report.in_doubt = recovered.in_doubt().len() as u64;
     engine.note_recovered(report.log_records());
     Ok(report)
 }
@@ -300,6 +393,72 @@ mod tests {
         let r = recover(dir.path()).unwrap();
         assert_eq!(r.records.len(), 1, "only the intact first record survives");
         assert!(r.truncated_at.is_some());
+    }
+
+    #[test]
+    fn prepare_and_decide_records_roundtrip() {
+        let dir = TempWalDir::new("twopc-roundtrip");
+        {
+            let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+            wal.log_prepare(77, &[(Key::raw(1), Op::Add(5)), (Key::raw(2), Op::Max(9))]);
+            wal.log_decide(77, true);
+            wal.log_prepare(78, &[(Key::raw(3), Op::Add(1))]);
+            wal.log_decide(78, false);
+        }
+        let r = recover(dir.path()).unwrap();
+        assert_eq!(r.records.len(), 4);
+        assert_eq!(
+            r.records[0],
+            LogRecord::Prepare {
+                txid: 77,
+                writes: vec![(Key::raw(1), Op::Add(5)), (Key::raw(2), Op::Max(9))],
+            }
+        );
+        assert_eq!(r.records[1], LogRecord::Decide { txid: 77, commit: true });
+        assert_eq!(r.records[3], LogRecord::Decide { txid: 78, commit: false });
+        assert!(r.in_doubt().is_empty(), "decided txns are not in doubt");
+    }
+
+    #[test]
+    fn undecided_prepare_is_in_doubt_and_not_replayed() {
+        let dir = TempWalDir::new("twopc-in-doubt");
+        {
+            let wal = Wal::open(dir.path(), DurabilityConfig::synchronous()).unwrap();
+            wal.log_commit_slice(tid(1), &[(Key::raw(1), Op::Add(5))]);
+            wal.log_prepare(42, &[(Key::raw(1), Op::Add(100))]);
+        }
+        let engine = doppel_occ::OccEngine::new(1, 16);
+        let recovered = recover(dir.path()).unwrap();
+        let report = replay_recovered(&engine, &recovered).unwrap();
+        assert_eq!(report.prepare_records, 1);
+        assert_eq!(report.decide_records, 0);
+        assert_eq!(report.in_doubt, 1);
+        // The prepared (undecided) write must NOT be applied.
+        assert_eq!(engine.global_get(Key::raw(1)), Some(Value::Int(5)));
+        let in_doubt = recovered.in_doubt();
+        assert_eq!(in_doubt.len(), 1);
+        assert_eq!(in_doubt[0].txid, 42);
+        assert_eq!(in_doubt[0].writes, vec![(Key::raw(1), Op::Add(100))]);
+    }
+
+    #[test]
+    fn prepare_is_durable_before_the_call_returns() {
+        // The vote must not be sendable before the prepare record is on
+        // disk: log_prepare/log_decide fsync immediately even under a
+        // large group-commit batch.
+        let dir = TempWalDir::new("twopc-durable");
+        let cfg = DurabilityConfig {
+            group_commit_batch: 1000,
+            group_commit_interval: std::time::Duration::from_secs(3600),
+            crash_at_byte: None,
+        };
+        let wal = Wal::open(dir.path(), cfg).unwrap();
+        let r = wal.log_prepare(7, &[(Key::raw(1), Op::Add(1))]);
+        assert_eq!(r.fsyncs, 1);
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
+        let r = wal.log_decide(7, true);
+        assert_eq!(r.fsyncs, 1);
+        assert_eq!(wal.durable_lsn(), wal.end_lsn());
     }
 
     #[test]

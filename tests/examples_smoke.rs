@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "durable_counter",
     "remote_counter",
     "rubis_remote",
+    "sharded_counter",
 ];
 
 fn examples_dir() -> PathBuf {

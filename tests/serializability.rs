@@ -36,16 +36,24 @@ fn concurrent_adds_sum_to_committed_count() {
     // is exercised deterministically even when the time-sliced workers happen
     // not to conflict; the other keys are left to automatic classification.
     db.label_split(Key::raw(0), doppel_common::OpKind::Add);
+    // A fixed iteration count alone is not enough to see phase cycling: on a
+    // fast (or lightly loaded) machine all the commits can land inside the
+    // first joined phase. Each worker therefore also keeps committing for a
+    // multiple of the phase length, so the coordinator provably flips phases
+    // under the workload; the exactly-once bookkeeping covers every commit
+    // either way.
     let per_thread = 4_000;
+    let min_run = Duration::from_millis(30);
     let mut handles = Vec::new();
     for core in 0..workers {
         let db = Arc::clone(&db);
         handles.push(std::thread::spawn(move || {
+            let start = std::time::Instant::now();
             let mut worker = db.handle(core);
             let mut per_key = vec![0i64; keys as usize];
             let mut committed = 0;
             let mut i = 0u64;
-            while committed < per_thread {
+            while committed < per_thread || start.elapsed() < min_run {
                 i += 1;
                 let key = i % keys;
                 let amount = (i % 7) as i64 + 1;
