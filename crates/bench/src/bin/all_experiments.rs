@@ -16,12 +16,14 @@ use std::process::Command;
 /// transaction service), the `rubis_service` suite (the RUBiS bidding mix
 /// over TCP via registered-procedure invocations), the `connections`
 /// suite (connection scaling of the reactor vs thread-per-connection
-/// front-ends) and the `shards` suite (scale-out throughput through the
-/// shard router: commutative fast path vs forced two-phase commit).
+/// front-ends), the `shards` suite (scale-out throughput through the
+/// shard router: commutative fast path vs forced two-phase commit) and the
+/// `adaptive` suite (tuner-learned split labels vs an oracle labelling on
+/// a migrating hot set).
 const EXPERIMENTS: &[&str] = &[
     "fig8", "fig9", "fig10", "fig11", "table1", "table2", "fig12", "table3", "fig13", "fig14",
     "table4", "fig15", "ablation", "scenarios", "recovery", "service", "rubis_service",
-    "connections", "shards",
+    "connections", "shards", "adaptive",
 ];
 
 fn main() {

@@ -93,6 +93,78 @@ impl DurabilityConfig {
     }
 }
 
+/// Bounds and targets for the adaptive contention controller (the
+/// `doppel_tuner` crate).
+///
+/// The tuner runs as a closed loop beside the coordinator: each `epoch` it
+/// samples conflict heat, split-phase write activity and stash-replay
+/// latency, then promotes/demotes split labels and steers the phase length
+/// within `[min_phase_len, max_phase_len]` toward `stash_replay_target`.
+/// These knobs bound how far it may steer; the decisions themselves are
+/// taken from live signals.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Control-loop period: how often the tuner samples and decides.
+    pub epoch: Duration,
+    /// Lower bound for the tuned phase length.
+    pub min_phase_len: Duration,
+    /// Upper bound for the tuned phase length.
+    pub max_phase_len: Duration,
+    /// Target p95 stash-to-replay latency. Above it the tuner shortens
+    /// phases (stashed transactions wait for the next joined phase, so
+    /// shorter phases bound their wait); far below it the tuner lengthens
+    /// phases to amortise transition barriers.
+    pub stash_replay_target: Duration,
+    /// Conflict-heat delta (sampled conflicts per epoch on one key) at which
+    /// the tuner promotes the key to split.
+    pub promote_min_hits: u64,
+    /// Consecutive epochs a split key must stay idle — cold conflict heat
+    /// *and* cold split-write activity — before the tuner demotes it. This
+    /// is the hysteresis that prevents promote/demote oscillation.
+    pub demote_idle_epochs: u32,
+    /// How many recent decisions are kept for `GetStats` / `doppel-stat`.
+    pub decision_history: usize,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            epoch: Duration::from_millis(50),
+            min_phase_len: Duration::from_millis(5),
+            max_phase_len: Duration::from_millis(80),
+            stash_replay_target: Duration::from_millis(30),
+            promote_min_hits: 48,
+            demote_idle_epochs: 3,
+            decision_history: 16,
+        }
+    }
+}
+
+impl TunerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch.is_zero() {
+            return Err("tuner.epoch must be non-zero".into());
+        }
+        if self.min_phase_len.is_zero() {
+            return Err("tuner.min_phase_len must be non-zero".into());
+        }
+        if self.min_phase_len > self.max_phase_len {
+            return Err("tuner phase_len bounds are empty (min > max)".into());
+        }
+        if self.promote_min_hits == 0 {
+            return Err("tuner.promote_min_hits must be at least 1".into());
+        }
+        if self.demote_idle_epochs == 0 {
+            return Err("tuner.demote_idle_epochs must be at least 1".into());
+        }
+        if self.decision_history == 0 {
+            return Err("tuner.decision_history must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Tunable parameters of a Doppel database instance.
 ///
 /// The defaults reproduce the values used throughout the paper's evaluation:
@@ -135,6 +207,8 @@ pub struct DoppelConfig {
     pub enable_splitting: bool,
     /// Coordinator feedback parameters.
     pub feedback: PhaseFeedback,
+    /// Bounds for the adaptive contention controller, when one is attached.
+    pub tuner: TunerConfig,
 }
 
 impl Default for DoppelConfig {
@@ -151,6 +225,7 @@ impl Default for DoppelConfig {
             max_split_records: 1024,
             enable_splitting: true,
             feedback: PhaseFeedback::default(),
+            tuner: TunerConfig::default(),
         }
     }
 }
@@ -194,6 +269,7 @@ impl DoppelConfig {
         if self.phase_len.is_zero() {
             return Err("phase_len must be non-zero".into());
         }
+        self.tuner.validate()?;
         Ok(())
     }
 }
@@ -234,6 +310,29 @@ mod tests {
             .validate()
             .is_err());
         assert!(DoppelConfig { workers: 5000, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn tuner_validation_catches_bad_knobs() {
+        let ok = TunerConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(TunerConfig { epoch: Duration::ZERO, ..ok.clone() }.validate().is_err());
+        assert!(TunerConfig { min_phase_len: Duration::ZERO, ..ok.clone() }.validate().is_err());
+        // Empty bounds: min > max.
+        assert!(TunerConfig {
+            min_phase_len: Duration::from_millis(50),
+            max_phase_len: Duration::from_millis(10),
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(TunerConfig { promote_min_hits: 0, ..ok.clone() }.validate().is_err());
+        assert!(TunerConfig { demote_idle_epochs: 0, ..ok.clone() }.validate().is_err());
+        assert!(TunerConfig { decision_history: 0, ..ok.clone() }.validate().is_err());
+        // DoppelConfig::validate covers the nested tuner knobs.
+        let mut cfg = DoppelConfig::default();
+        cfg.tuner.epoch = Duration::ZERO;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -32,10 +32,11 @@ pub mod shard;
 pub mod split_op;
 pub mod stats;
 pub mod tid;
+pub mod tune;
 pub mod value;
 
 pub use alloc::{AllocCheckpoint, CountingAlloc, ThreadAllocCheckpoint};
-pub use config::{DoppelConfig, DurabilityConfig, PhaseFeedback};
+pub use config::{DoppelConfig, DurabilityConfig, PhaseFeedback, TunerConfig};
 pub use engine::{
     Completion, CommitSink, CommitSinkExt, Engine, LogReceipt, Outcome, Procedure, ProcedureFn,
     Ticket, Tx,
@@ -53,6 +54,7 @@ pub use shard::{fast_path_op, ShardMap};
 pub use split_op::{split_ops, SplitOp, SplitOpRegistry};
 pub use stats::{EngineStats, StatsSnapshot};
 pub use tid::{Tid, TidGenerator};
+pub use tune::{TuneDecision, TuneObservation, TuneSink, TuneThresholds};
 pub use value::{IntSet, OrderedTuple, TopKSet, Value, ValueKind};
 
 /// Identifier of the logical core / worker a transaction executes on.

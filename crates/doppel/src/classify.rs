@@ -18,7 +18,7 @@
 //! maintains the persistent per-key split decisions.
 
 use crate::split_registry::SplitSet;
-use doppel_common::{split_ops, DoppelConfig, Key, OpKind};
+use doppel_common::{split_ops, DoppelConfig, Key, OpKind, TuneThresholds};
 use std::collections::HashMap;
 
 /// Per-worker contention sample, reset at every phase transition.
@@ -121,6 +121,17 @@ pub struct Classifier {
     /// Current decisions: key → selected operation. Persists across phases
     /// until the key is explicitly un-split.
     current: HashMap<Key, OpKind>,
+    /// Decayed per-key conflict memory for *splittable* operations, kept
+    /// beyond the per-phase thresholds so the adaptive tuner can resolve a
+    /// heat-sketch token (a lossy [`Key::heat_token`] packing) back to the
+    /// full key and its dominant splittable operation. Counts halve at every
+    /// joined-phase end, so stale entries age out.
+    hot_ops: HashMap<Key, (OpKind, u64)>,
+    /// Cumulative split-phase writes per currently-split key — the write
+    /// sampling signal the tuner uses for demotion (split keys stop
+    /// conflicting, so conflict heat alone cannot tell hot from cold).
+    /// Entries are dropped when the key is un-split.
+    activity: HashMap<Key, u64>,
 }
 
 impl Classifier {
@@ -129,7 +140,12 @@ impl Classifier {
     /// the slices and every engine's apply path resolve semantics from, so
     /// classification and execution can never disagree about an operation.
     pub fn new(config: DoppelConfig) -> Self {
-        Classifier { config, current: HashMap::new() }
+        Classifier {
+            config,
+            current: HashMap::new(),
+            hot_ops: HashMap::new(),
+            activity: HashMap::new(),
+        }
     }
 
     /// Current number of split records.
@@ -155,6 +171,24 @@ impl Classifier {
     /// `split_conflict_fraction` of the phase's committed transactions.
     pub fn end_joined_phase(&mut self, sample: &PhaseSample) -> ClassifyOutcome {
         let mut outcome = ClassifyOutcome::default();
+        // Age the conflict memory, then absorb this phase's splittable
+        // conflicts (sub-threshold ones too — the tuner promotes from heat
+        // accumulated across phases, which a per-phase threshold misses).
+        self.hot_ops.retain(|_, (_, count)| {
+            *count /= 2;
+            *count > 0
+        });
+        for ((key, op), count) in &sample.conflicts {
+            if !split_ops().is_splittable(*op) {
+                continue;
+            }
+            let entry = self.hot_ops.entry(*key).or_insert((*op, 0));
+            if *op == entry.0 {
+                entry.1 += count;
+            } else if *count > entry.1 {
+                *entry = (*op, *count);
+            }
+        }
         if !self.config.enable_splitting {
             outcome.currently_split = self.current.len();
             return outcome;
@@ -195,6 +229,12 @@ impl Classifier {
         let committed = sample.committed.max(1);
         let keep_floor = (self.config.unsplit_write_fraction * committed as f64).ceil() as u64;
 
+        // Accumulate the write-sampling signal for the tuner before any
+        // unsplit decision drops the key.
+        for (key, writes) in &sample.split_writes {
+            *self.activity.entry(*key).or_insert(0) += writes;
+        }
+
         let keys: Vec<Key> = self.current.keys().copied().collect();
         for key in keys {
             let writes = sample.split_writes.get(&key).copied().unwrap_or(0);
@@ -217,6 +257,7 @@ impl Classifier {
 
             if too_cold || too_many_stashes {
                 self.current.remove(&key);
+                self.activity.remove(&key);
                 outcome.unsplit.push(key);
                 continue;
             }
@@ -253,6 +294,45 @@ impl Classifier {
     /// Removes a manual or automatic split decision.
     pub fn label_reconciled(&mut self, key: &Key) {
         self.current.remove(key);
+        self.activity.remove(key);
+    }
+
+    // ---- Adaptive-tuner hooks -------------------------------------------
+
+    /// Resolves a heat-sketch token back to the full key and its dominant
+    /// splittable operation, from the decayed conflict memory. Returns
+    /// `None` when no remembered key packs to `token` (e.g. the conflicts
+    /// aged out, or the token came from an unsplittable-only key).
+    pub fn resolve_token(&self, token: u64) -> Option<(Key, OpKind)> {
+        self.hot_ops
+            .iter()
+            .filter(|(key, _)| key.heat_token() == token)
+            .max_by_key(|(_, (_, count))| *count)
+            .map(|(key, (op, _))| (*key, *op))
+    }
+
+    /// Cumulative split-phase writes for every currently-split key (0 for a
+    /// key split so recently that no split phase has sampled it yet).
+    pub fn split_activity(&self) -> Vec<(Key, u64)> {
+        self.current
+            .keys()
+            .map(|k| (*k, self.activity.get(k).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// The thresholds currently in effect.
+    pub fn thresholds(&self) -> TuneThresholds {
+        TuneThresholds {
+            split_min_conflicts: self.config.split_min_conflicts,
+            unsplit_stash_ratio: self.config.unsplit_stash_ratio,
+        }
+    }
+
+    /// Installs tuned thresholds (the classifier owns a private config
+    /// clone, so this does not affect other engine components).
+    pub fn set_thresholds(&mut self, t: TuneThresholds) {
+        self.config.split_min_conflicts = t.split_min_conflicts;
+        self.config.unsplit_stash_ratio = t.unsplit_stash_ratio;
     }
 }
 
@@ -411,6 +491,62 @@ mod tests {
     fn manual_label_rejects_unsplittable() {
         let mut c = Classifier::new(config());
         c.label_split(Key::raw(9), OpKind::Get);
+    }
+
+    #[test]
+    fn conflict_memory_resolves_tokens_and_decays() {
+        let mut c = Classifier::new(config());
+        let key = Key::raw(77);
+        // 4 conflicts: splittable but below the split threshold of 10.
+        let sample = joined_sample(&[(77, OpKind::Add, 4)], 1_000);
+        c.end_joined_phase(&sample);
+        assert_eq!(c.split_count(), 0, "below threshold, not split");
+        // The memory still resolves the heat token for the tuner.
+        assert_eq!(c.resolve_token(key.heat_token()), Some((key, OpKind::Add)));
+        assert_eq!(c.resolve_token(Key::raw(99).heat_token()), None);
+        // Unsplittable conflicts never enter the memory.
+        let sample = joined_sample(&[(88, OpKind::Put, 1_000)], 1_000);
+        c.end_joined_phase(&sample);
+        assert_eq!(c.resolve_token(Key::raw(88).heat_token()), None);
+        // Quiet phases halve the count each time; the entry ages out.
+        for _ in 0..4 {
+            c.end_joined_phase(&joined_sample(&[], 1_000));
+        }
+        assert_eq!(c.resolve_token(key.heat_token()), None, "memory decayed");
+    }
+
+    #[test]
+    fn split_activity_accumulates_and_clears_on_unsplit() {
+        let mut c = Classifier::new(config());
+        c.label_split(Key::raw(1), OpKind::Add);
+        assert_eq!(c.split_activity(), vec![(Key::raw(1), 0)]);
+        let sample = PhaseSample {
+            committed: 1_000,
+            split_writes: [(Key::raw(1), 400)].into_iter().collect(),
+            ..Default::default()
+        };
+        c.end_split_phase(&sample);
+        c.end_split_phase(&sample);
+        assert_eq!(c.split_activity(), vec![(Key::raw(1), 800)]);
+        c.label_reconciled(&Key::raw(1));
+        assert!(c.split_activity().is_empty());
+        // Re-splitting starts the cumulative count over.
+        c.label_split(Key::raw(1), OpKind::Add);
+        assert_eq!(c.split_activity(), vec![(Key::raw(1), 0)]);
+    }
+
+    #[test]
+    fn tuned_thresholds_take_effect() {
+        let mut c = Classifier::new(config());
+        assert_eq!(c.thresholds().split_min_conflicts, 10);
+        // 5 conflicts: below the default threshold.
+        c.end_joined_phase(&joined_sample(&[(1, OpKind::Add, 5)], 100));
+        assert_eq!(c.split_count(), 0);
+        c.set_thresholds(TuneThresholds { split_min_conflicts: 3, unsplit_stash_ratio: 2.0 });
+        assert_eq!(c.thresholds().split_min_conflicts, 3);
+        assert_eq!(c.thresholds().unsplit_stash_ratio, 2.0);
+        c.end_joined_phase(&joined_sample(&[(1, OpKind::Add, 5)], 100));
+        assert_eq!(c.split_count(), 1, "lowered threshold admits the key");
     }
 
     #[test]

@@ -23,8 +23,10 @@ const POLL_INTERVAL: Duration = Duration::from_micros(500);
 /// Runs the coordinator loop until shutdown is requested. Intended to be the
 /// body of a dedicated thread spawned by [`crate::DoppelDb::spawn_coordinator`].
 pub fn run(shared: Arc<DoppelShared>) {
-    let phase_len = shared.config.phase_len;
     while !shared.is_shutdown() {
+        // Re-read every cycle: the adaptive tuner may steer the phase length
+        // between its configured bounds while the engine runs.
+        let phase_len = shared.phase_len();
         // ---- Joined phase ----
         sleep_observing_shutdown(&shared, phase_len);
         if shared.is_shutdown() {
@@ -72,7 +74,9 @@ fn should_start_split(shared: &DoppelShared) -> bool {
     if shared.classifier.lock().split_count() > 0 {
         return true;
     }
-    shared.splittable_conflicts.load(Ordering::Relaxed) >= shared.config.split_min_conflicts
+    // The live (possibly tuned) threshold, not the configured one.
+    shared.splittable_conflicts.load(Ordering::Relaxed)
+        >= shared.split_gate_conflicts.load(Ordering::Relaxed)
 }
 
 /// Lets the split phase run for `phase_len`, ending it early when the stash

@@ -5,8 +5,8 @@ use crate::phase::Phase;
 use crate::shared::DoppelShared;
 use crate::worker::DoppelWorker;
 use doppel_common::{
-    CommitSink, CoreId, DoppelConfig, Engine, EngineStats, Key, OpKind, StatsSnapshot, TxHandle,
-    Value,
+    CommitSink, CoreId, DoppelConfig, Engine, EngineStats, Key, OpKind, StatsSnapshot,
+    TuneObservation, TuneSink, TuneThresholds, TxHandle, Value,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -161,6 +161,56 @@ impl DoppelDb {
     #[doc(hidden)]
     pub fn shared(&self) -> &Arc<DoppelShared> {
         &self.shared
+    }
+}
+
+/// The adaptive tuner's view of a Doppel database: sampling and the apply
+/// path for its decisions. Split-label changes go through the classifier
+/// (same path as manual labels, §5.5) and take effect at the next
+/// transition; phase length and thresholds take effect immediately.
+impl TuneSink for DoppelDb {
+    fn observe(&self) -> TuneObservation {
+        let classifier = self.shared.classifier.lock();
+        TuneObservation {
+            stats: self.shared.stats.snapshot(),
+            split_keys: classifier.split_set().iter().map(|(k, op)| (*k, *op)).collect(),
+            split_activity: classifier.split_activity(),
+            phase_len: self.shared.phase_len(),
+            thresholds: classifier.thresholds(),
+        }
+    }
+
+    fn promote(&self, token: u64) -> Option<(Key, OpKind)> {
+        let mut classifier = self.shared.classifier.lock();
+        if classifier.split_count() >= self.shared.config.max_split_records {
+            return None;
+        }
+        let (key, op) = classifier.resolve_token(token)?;
+        if classifier.is_split(&key) {
+            return None;
+        }
+        classifier.label_split(key, op);
+        Some((key, op))
+    }
+
+    fn demote(&self, key: Key) -> bool {
+        let mut classifier = self.shared.classifier.lock();
+        if !classifier.is_split(&key) {
+            return false;
+        }
+        classifier.label_reconciled(&key);
+        true
+    }
+
+    fn set_phase_len(&self, len: std::time::Duration) {
+        self.shared.set_phase_len(len);
+    }
+
+    fn set_thresholds(&self, thresholds: TuneThresholds) {
+        self.shared.classifier.lock().set_thresholds(thresholds);
+        self.shared
+            .split_gate_conflicts
+            .store(thresholds.split_min_conflicts, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -503,6 +553,52 @@ mod tests {
         assert!(w.execute(incr(5, 1)).is_committed());
         assert_eq!(sink.commits.lock().len(), 1);
         assert_eq!(db.global_get(Key::raw(5)), Some(Value::Int(51)));
+    }
+
+    #[test]
+    fn tune_sink_hooks_drive_the_engine() {
+        let db = DoppelDb::new(manual_config());
+        let sink: &dyn TuneSink = &db;
+
+        // Phase length: applied immediately, zero ignored.
+        sink.set_phase_len(Duration::from_millis(7));
+        assert_eq!(sink.observe().phase_len, Duration::from_millis(7));
+        sink.set_phase_len(Duration::ZERO);
+        assert_eq!(sink.observe().phase_len, Duration::from_millis(7));
+
+        // Thresholds: classifier and coordinator gate move together.
+        sink.set_thresholds(TuneThresholds { split_min_conflicts: 3, unsplit_stash_ratio: 2.0 });
+        let obs = sink.observe();
+        assert_eq!(obs.thresholds.split_min_conflicts, 3);
+        assert_eq!(
+            db.shared().split_gate_conflicts.load(std::sync::atomic::Ordering::Relaxed),
+            3
+        );
+
+        // Promotion resolves a heat token through the conflict memory.
+        let key = Key::raw(42);
+        {
+            let shared = db.shared();
+            let mut sample = shared.samplers[0].lock();
+            sample.record_conflict(key, OpKind::Add);
+        }
+        let mut w = db.handle(0);
+        db.request_phase(Phase::Split);
+        w.safepoint();
+        db.request_phase(Phase::Joined);
+        w.safepoint();
+        // One conflict was below even the tuned threshold, so the classifier
+        // did not split it — but the memory resolves it for the tuner.
+        assert_eq!(sink.promote(key.heat_token()), Some((key, OpKind::Add)));
+        assert!(sink.promote(key.heat_token()).is_none(), "already split");
+        assert_eq!(sink.observe().split_keys, vec![(key, OpKind::Add)]);
+        assert_eq!(sink.observe().split_activity, vec![(key, 0)]);
+
+        // Unknown tokens cannot be promoted; demotion round-trips.
+        assert!(sink.promote(Key::raw(9_999).heat_token()).is_none());
+        assert!(sink.demote(key));
+        assert!(!sink.demote(key), "already reconciled");
+        assert!(sink.observe().split_keys.is_empty());
     }
 
     #[test]

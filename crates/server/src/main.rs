@@ -47,6 +47,11 @@ struct Flags {
     procs: Vec<String>,
     rubis_scale: Option<String>,
     hint_items: u64,
+    /// `None` means "default": adaptive on for the Doppel engine, off for
+    /// baselines (which have no split sets or phases to tune).
+    adaptive: Option<bool>,
+    tuner_epoch_ms: Option<u64>,
+    promote_hits: Option<u64>,
     threaded: bool,
     pollers: usize,
     write_queue_kb: usize,
@@ -97,7 +102,17 @@ fn usage() -> ! {
                              slow client is shed (default 4096)\n\
            --procs LIST      comma-separated procedure packs (default kv)\n\
            --rubis-scale SZ  preload RUBiS data: small | paper\n\
-           --hint-items N    label the N most popular RUBiS items' auction\n\
+           --adaptive        run the adaptive contention controller (the\n\
+                             default for the doppel engine): learns split\n\
+                             labels and phase length from live telemetry\n\
+           --no-adaptive     disable the adaptive controller\n\
+           --tuner-epoch-ms MS  adaptive control-loop period (default 50)\n\
+           --promote-hits N  conflict-heat delta per epoch at which the\n\
+                             tuner promotes a key to split (default 48;\n\
+                             lower it on small hosts with low conflict\n\
+                             rates)\n\
+           --hint-items N    [deprecated: --adaptive learns labels online]\n\
+                             label the N most popular RUBiS items' auction\n\
                              aggregates split at startup (needs rubis pack)\n\
            --trace-out PATH  enable event tracing and write a Chrome\n\
                              trace-event JSON (Perfetto-loadable) on exit\n\
@@ -132,6 +147,9 @@ fn parse_flags() -> Flags {
         procs: vec!["kv".into()],
         rubis_scale: None,
         hint_items: 0,
+        adaptive: None,
+        tuner_epoch_ms: None,
+        promote_hits: None,
         threaded: false,
         pollers: 2,
         write_queue_kb: 4096,
@@ -191,6 +209,17 @@ fn parse_flags() -> Flags {
                     value("stats-interval").parse().expect("--stats-interval expects a number"),
                 )
             }
+            "--adaptive" => flags.adaptive = Some(true),
+            "--no-adaptive" => flags.adaptive = Some(false),
+            "--tuner-epoch-ms" => {
+                flags.tuner_epoch_ms = Some(
+                    value("tuner-epoch-ms").parse().expect("--tuner-epoch-ms expects an integer"),
+                )
+            }
+            "--promote-hits" => {
+                flags.promote_hits =
+                    Some(value("promote-hits").parse().expect("--promote-hits expects an integer"))
+            }
             "--hint-items" => {
                 flags.hint_items =
                     value("hint-items").parse().expect("--hint-items expects an integer")
@@ -234,6 +263,10 @@ fn build_registry(flags: &Flags) -> Arc<ProcRegistry> {
             eprintln!("--hint-items requires the rubis pack (add rubis to --procs)");
             std::process::exit(2);
         }
+        eprintln!(
+            "note: --hint-items is deprecated; the adaptive controller (--adaptive, on by \
+             default for doppel) learns split labels online without manual hints"
+        );
         // Zipf popularity maps rank to item id, so the hottest items are the
         // lowest ids.
         doppel_rubis::hint_hot_items(&mut reg, 0..flags.hint_items);
@@ -260,13 +293,35 @@ fn main() {
         doppel_telemetry::trace::set_enabled(true);
     }
     let registry = build_registry(&flags);
-    let mut engine = ServerEngine::build(&flags.engine, flags.workers, flags.phase_ms, flags.shards)
+    let mut tuner = doppel_common::TunerConfig::default();
+    if let Some(ms) = flags.tuner_epoch_ms {
+        tuner.epoch = Duration::from_millis(ms);
+    }
+    if let Some(hits) = flags.promote_hits {
+        tuner.promote_min_hits = hits;
+    }
+    if let Err(e) = tuner.validate() {
+        eprintln!("invalid tuner configuration: {e}");
+        std::process::exit(2);
+    }
+    let mut engine = ServerEngine::build_with_tuner(
+        &flags.engine,
+        flags.workers,
+        flags.phase_ms,
+        flags.shards,
+        tuner,
+    )
         .unwrap_or_else(|| {
             let known: Vec<&str> = ENGINES.iter().map(|(n, _)| *n).collect();
             eprintln!("unknown engine {:?} (available: {})", flags.engine, known.join(" | "));
             std::process::exit(2);
         })
         .with_procs(Arc::clone(&registry));
+
+    // Adaptive contention management defaults on for Doppel: the tuner
+    // replaces manual `--hint-items` labelling with an online control loop.
+    let adaptive = flags.adaptive.unwrap_or(true) && engine.doppel.is_some();
+    engine = engine.with_adaptive(adaptive);
 
     // Durability: recover the directory into the fresh store, then attach
     // the log so every commit (and Doppel merged delta) is logged. The same
@@ -336,9 +391,11 @@ fn main() {
 
     // The one line scripts parse; flush so a piped parent sees it promptly.
     println!(
-        "listening on {} (engine={engine_name}, workers={}, front-end={front_end_name}, procs=[{}])",
+        "listening on {} (engine={engine_name}, workers={}, front-end={front_end_name}, \
+         adaptive={}, procs=[{}])",
         server.local_addr(),
         flags.workers,
+        if adaptive { "on" } else { "off" },
         flags.procs.join(",")
     );
     use std::io::Write;

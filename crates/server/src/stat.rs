@@ -119,6 +119,36 @@ fn render_cumulative(snap: &TelemetrySnapshot) {
     render_hists(snap.hists.iter().map(|(n, h)| (n.as_str(), h.clone())));
     render_hot_keys(snap);
     render_procs(snap);
+    render_tuner(snap, usize::MAX);
+}
+
+/// The adaptive controller's section: where the control loop has steered the
+/// engine and the trail of decisions (with reasons) that got it there. A
+/// `phase_len_us` of zero marks a merged cluster view whose shards disagree.
+fn render_tuner(snap: &TelemetrySnapshot, max_decisions: usize) {
+    let Some(t) = &snap.tuner else { return };
+    let phase_len = if t.phase_len_us == 0 {
+        "mixed".to_string()
+    } else {
+        format!("{:.1}ms", t.phase_len_us as f64 / 1000.0)
+    };
+    println!(
+        "-- tuner (adaptive): {} epochs, phase_len {}, {} split key(s)",
+        t.epochs,
+        phase_len,
+        t.split_keys.len()
+    );
+    if !t.split_keys.is_empty() {
+        let rendered: Vec<String> =
+            t.split_keys.iter().take(8).map(|k| render_heat_token(*k)).collect();
+        let more = t.split_keys.len().saturating_sub(8);
+        let suffix = if more > 0 { format!(" (+{more} more)") } else { String::new() };
+        println!("  split set: {}{suffix}", rendered.join(", "));
+    }
+    let skip = t.decisions.len().saturating_sub(max_decisions);
+    for d in t.decisions.iter().skip(skip) {
+        println!("  {d}");
+    }
 }
 
 fn render_hists(hists: impl Iterator<Item = (impl AsRef<str>, doppel_telemetry::Histogram)>) {
@@ -194,6 +224,25 @@ fn render_interval(cur: &TelemetrySnapshot, prev: &TelemetrySnapshot, secs: f64)
         (d.count() > 0).then_some((name.as_str(), d))
     }));
     render_hot_keys(cur);
+    // Only the decisions new since the previous poll, so a steady state is
+    // quiet and a label migration stands out.
+    let prev_last = prev
+        .tuner
+        .as_ref()
+        .and_then(|t| t.decisions.last())
+        .map(|d| (d.epoch, d.action.clone()));
+    if let Some(t) = &cur.tuner {
+        let fresh = match &prev_last {
+            Some((epoch, action)) => t
+                .decisions
+                .iter()
+                .rposition(|d| d.epoch == *epoch && d.action == *action)
+                .map(|i| t.decisions.len() - i - 1)
+                .unwrap_or(t.decisions.len()),
+            None => t.decisions.len(),
+        };
+        render_tuner(cur, fresh);
+    }
 }
 
 /// Polls every server; per-shard snapshots in address order.

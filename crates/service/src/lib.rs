@@ -43,6 +43,6 @@ pub use reactor::ReactorConfig;
 pub use server::{FrontEnd, NetStatsSnapshot, RemoteProcedure, Server, ServerEngine};
 pub use service::{ReplySink, ServiceClient, ServiceConfig, ServiceState, TransactionService};
 pub use shard::{ShardOutcome, ShardRouter};
-pub use snapshot::TelemetrySnapshot;
+pub use snapshot::{TelemetrySnapshot, TunerSnapshot};
 pub use twopc::Participant;
 pub use wire::{ClientMsg, ServerMsg, WireAbort, WireDone, WireStmt};

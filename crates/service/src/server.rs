@@ -117,6 +117,11 @@ pub struct ServerEngine {
     /// yes) but with no decision on record. Their keys are re-locked at
     /// startup until the coordinator re-delivers the decision.
     pub in_doubt: Vec<doppel_wal::InDoubtTxn>,
+    /// Run the adaptive contention controller alongside the coordinator
+    /// (Doppel engines only): a [`doppel_tuner::Tuner`] thread that learns
+    /// split labels and phase length from live telemetry, replacing manual
+    /// `--hint-items` labelling.
+    pub adaptive: bool,
 }
 
 impl ServerEngine {
@@ -128,12 +133,27 @@ impl ServerEngine {
             procs: Arc::default(),
             vote_log: None,
             in_doubt: Vec::new(),
+            adaptive: false,
         }
     }
 
     /// Wraps any other engine.
     pub fn other(engine: Arc<dyn Engine>) -> Self {
-        ServerEngine { engine, doppel: None, procs: Arc::default(), vote_log: None, in_doubt: Vec::new() }
+        ServerEngine {
+            engine,
+            doppel: None,
+            procs: Arc::default(),
+            vote_log: None,
+            in_doubt: Vec::new(),
+            adaptive: false,
+        }
+    }
+
+    /// Enables (or disables) the adaptive contention controller. Only
+    /// meaningful for Doppel engines; ignored otherwise.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
     }
 
     /// Attaches a procedure registry (built by registering procedure packs).
@@ -158,12 +178,25 @@ impl ServerEngine {
     /// the benchmark crate's engine table but constructed here because the
     /// server cannot depend on the benchmark crate.
     pub fn build(name: &str, workers: usize, phase_ms: u64, shards: usize) -> Option<ServerEngine> {
+        Self::build_with_tuner(name, workers, phase_ms, shards, doppel_common::TunerConfig::default())
+    }
+
+    /// [`ServerEngine::build`] with an explicit adaptive-tuner configuration
+    /// for the Doppel engine (baselines have nothing to tune and ignore it).
+    pub fn build_with_tuner(
+        name: &str,
+        workers: usize,
+        phase_ms: u64,
+        shards: usize,
+        tuner: doppel_common::TunerConfig,
+    ) -> Option<ServerEngine> {
         match name.to_ascii_lowercase().as_str() {
             "doppel" => {
                 let config = DoppelConfig {
                     workers,
                     store_shards: shards,
                     phase_len: Duration::from_millis(phase_ms.max(1)),
+                    tuner,
                     ..DoppelConfig::default()
                 };
                 Some(ServerEngine::doppel(Arc::new(DoppelDb::start(config))))
@@ -271,6 +304,7 @@ pub(crate) struct ConnShared {
     pub(crate) procs: Arc<ProcRegistry>,
     pub(crate) net: Arc<NetStats>,
     pub(crate) twopc: Arc<Participant>,
+    pub(crate) tuner: Option<doppel_tuner::TunerWatch>,
 }
 
 /// Dispatches one decoded client message: submits to the service with a
@@ -380,6 +414,15 @@ pub(crate) fn telemetry_snapshot(shared: &ConnShared) -> crate::TelemetrySnapsho
         None => "-".into(),
     };
     snap.procs = shared.procs.stats();
+    if let Some(watch) = &shared.tuner {
+        let status = watch.status();
+        snap.tuner = Some(crate::TunerSnapshot {
+            epochs: status.epochs,
+            phase_len_us: status.phase_len.as_micros().min(u64::MAX as u128) as u64,
+            split_keys: status.split_keys,
+            decisions: status.decisions,
+        });
+    }
     snap
 }
 
@@ -418,6 +461,8 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept: parking_lot::Mutex<Option<JoinHandle<()>>>,
     runtime: Runtime,
+    tuner: parking_lot::Mutex<Option<doppel_tuner::TunerHandle>>,
+    tuner_watch: Option<doppel_tuner::TunerWatch>,
 }
 
 /// Live-connection registry (threaded front-end only): each connection's
@@ -488,12 +533,32 @@ impl Server {
             engine.vote_log.clone(),
             engine.in_doubt,
         ));
+
+        // Close the loop: the tuner thread samples the engine's telemetry
+        // each epoch and drives split labels / phase length / classifier
+        // thresholds through the database's `TuneSink` hooks.
+        let tuner = match (&engine.doppel, engine.adaptive) {
+            (Some(db), true) => {
+                let registry = db
+                    .telemetry()
+                    .unwrap_or_else(|| Arc::new(doppel_telemetry::Registry::new()));
+                Some(doppel_tuner::TunerHandle::spawn(
+                    db.config().tuner.clone(),
+                    Arc::clone(db) as Arc<dyn doppel_common::TuneSink>,
+                    registry,
+                ))
+            }
+            _ => None,
+        };
+        let tuner_watch = tuner.as_ref().map(|t| t.watch());
+
         let shared = Arc::new(ConnShared {
             service: Arc::clone(&service),
             doppel: engine.doppel.clone(),
             procs: Arc::clone(&engine.procs),
             net: Arc::clone(&net),
             twopc: Arc::clone(&twopc),
+            tuner: tuner_watch.clone(),
         });
 
         let runtime = match &front_end {
@@ -540,6 +605,8 @@ impl Server {
             stop,
             accept: parking_lot::Mutex::new(Some(accept)),
             runtime,
+            tuner: parking_lot::Mutex::new(tuner),
+            tuner_watch,
         })
     }
 
@@ -578,8 +645,15 @@ impl Server {
             procs: Arc::clone(&self.procs),
             net: Arc::clone(&self.net),
             twopc: Arc::clone(&self.twopc),
+            tuner: self.tuner_watch.clone(),
         };
         telemetry_snapshot(&shared)
+    }
+
+    /// A live view of the adaptive tuner's state, when running with
+    /// [`ServerEngine::with_adaptive`].
+    pub fn tuner_watch(&self) -> Option<&doppel_tuner::TunerWatch> {
+        self.tuner_watch.as_ref()
     }
 
     /// Stops accepting, closes every connection, drains the service and
@@ -587,6 +661,10 @@ impl Server {
     pub fn shutdown(&self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
+        }
+        // Stop the tuner first so it never pokes a draining engine.
+        if let Some(mut handle) = self.tuner.lock().take() {
+            handle.stop();
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);

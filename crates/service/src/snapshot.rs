@@ -12,7 +12,7 @@
 //! *delta* two polls bucket-wise for interval percentiles, which a
 //! pre-digested `p99` figure would not allow.
 
-use doppel_common::{ProcStatsSnapshot, StatsSnapshot};
+use doppel_common::{ProcStatsSnapshot, StatsSnapshot, TuneDecision};
 use doppel_telemetry::{Histogram, HotKey, MetricsSnapshot};
 use doppel_wal::codec::{put_slice, put_u32, put_u64, Dec};
 use doppel_wal::CodecError;
@@ -35,6 +35,28 @@ pub struct TelemetrySnapshot {
     pub phase: String,
     /// Per-procedure counters from the server's procedure registry.
     pub procs: Vec<ProcStatsSnapshot>,
+    /// The adaptive contention controller's live state, when the server runs
+    /// with `--adaptive`. `None` on non-Doppel engines, servers started
+    /// without the tuner, and snapshots from older servers (the section is
+    /// a trailing extension of the wire format).
+    pub tuner: Option<TunerSnapshot>,
+}
+
+/// What the adaptive tuner reports about itself: where the control loop has
+/// steered the engine and the recent decisions that got it there.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TunerSnapshot {
+    /// Control-loop epochs completed since the server started.
+    pub epochs: u64,
+    /// The phase length the tuner currently has the coordinator running at,
+    /// in microseconds. Zero in a merged multi-shard view whose shards
+    /// disagree (rendered as `"mixed"`).
+    pub phase_len_us: u64,
+    /// The current split set as lossy [`doppel_common::Key::heat_token`]
+    /// packings, matching the encoding of `hot_keys`.
+    pub split_keys: Vec<u64>,
+    /// The most recent decisions, oldest first, each with a reason string.
+    pub decisions: Vec<TuneDecision>,
 }
 
 impl TelemetrySnapshot {
@@ -95,8 +117,31 @@ impl TelemetrySnapshot {
         } else if self.phase != other.phase {
             self.phase = "mixed".into();
         }
+        match (&mut self.tuner, &other.tuner) {
+            (Some(mine), Some(theirs)) => {
+                mine.epochs = mine.epochs.max(theirs.epochs);
+                if mine.phase_len_us != theirs.phase_len_us {
+                    mine.phase_len_us = 0; // shards disagree; render as "mixed"
+                }
+                for k in &theirs.split_keys {
+                    if !mine.split_keys.contains(k) {
+                        mine.split_keys.push(*k);
+                    }
+                }
+                mine.decisions.extend(theirs.decisions.iter().cloned());
+                mine.decisions.sort_by_key(|d| d.epoch);
+                let excess = mine.decisions.len().saturating_sub(MERGED_DECISION_CAP);
+                mine.decisions.drain(..excess);
+            }
+            (None, Some(theirs)) => self.tuner = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
+
+/// How many decisions a merged multi-shard view keeps (per-server history is
+/// already bounded by `TunerConfig::decision_history`).
+const MERGED_DECISION_CAP: usize = 16;
 
 // ------------------------------------------------------------------ encoding
 
@@ -141,6 +186,25 @@ pub(crate) fn encode_snapshot(buf: &mut Vec<u8>, s: &TelemetrySnapshot) {
         put_u64(buf, p.commits);
         put_u64(buf, p.aborts);
         put_u64(buf, p.deferrals);
+    }
+    // Trailing tuner section: old decoders stop before it, and this decoder
+    // treats a missing tail as `None`, so the extension is two-way compatible.
+    if let Some(t) = &s.tuner {
+        put_u32(buf, 1);
+        put_u64(buf, t.epochs);
+        put_u64(buf, t.phase_len_us);
+        put_u32(buf, t.split_keys.len() as u32);
+        for k in &t.split_keys {
+            put_u64(buf, *k);
+        }
+        put_u32(buf, t.decisions.len() as u32);
+        for dec in &t.decisions {
+            put_u64(buf, dec.epoch);
+            put_slice(buf, dec.action.as_bytes());
+            put_slice(buf, dec.reason.as_bytes());
+        }
+    } else {
+        put_u32(buf, 0);
     }
 }
 
@@ -210,7 +274,32 @@ pub(crate) fn decode_snapshot(d: &mut Dec<'_>) -> Result<TelemetrySnapshot, Code
             deferrals: d.u64()?,
         });
     }
-    Ok(TelemetrySnapshot { scalars, hists, hot_keys, phase, procs })
+    // Snapshots from servers predating the tuner end here.
+    let tuner = if d.remaining() > 0 && d.u32()? != 0 {
+        let epochs = d.u64()?;
+        let phase_len_us = d.u64()?;
+        let raw = d.u32()?;
+        let n = checked_count(d, raw, 8)?;
+        let mut split_keys = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            split_keys.push(d.u64()?);
+        }
+        // Smallest decision: epoch + two slice length prefixes.
+        let raw = d.u32()?;
+        let n = checked_count(d, raw, 16)?;
+        let mut decisions = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            decisions.push(TuneDecision {
+                epoch: d.u64()?,
+                action: decode_utf8(d)?,
+                reason: decode_utf8(d)?,
+            });
+        }
+        Some(TunerSnapshot { epochs, phase_len_us, split_keys, decisions })
+    } else {
+        None
+    };
+    Ok(TelemetrySnapshot { scalars, hists, hot_keys, phase, procs, tuner })
 }
 
 #[cfg(test)]
@@ -235,6 +324,16 @@ mod tests {
                 aborts: 1,
                 deferrals: 2,
             }],
+            tuner: Some(TunerSnapshot {
+                epochs: 12,
+                phase_len_us: 20_000,
+                split_keys: vec![7, 9],
+                decisions: vec![TuneDecision {
+                    epoch: 11,
+                    action: "promote key 7".into(),
+                    reason: "48 conflicts in epoch".into(),
+                }],
+            }),
         }
     }
 
@@ -271,6 +370,55 @@ mod tests {
         put_u32(&mut buf, 100_000); // out-of-range index
         put_u32(&mut buf, 1);
         assert!(decode_snapshot(&mut Dec::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn tuner_section_is_a_back_compatible_tail() {
+        // A server without the tuner encodes an explicit empty section.
+        let mut snap = sample();
+        snap.tuner = None;
+        let mut buf = Vec::new();
+        encode_snapshot(&mut buf, &snap);
+        let mut d = Dec::new(&buf);
+        let back = decode_snapshot(&mut d).unwrap();
+        assert!(d.is_done());
+        assert_eq!(back.tuner, None);
+
+        // A snapshot from a server predating the section decodes to `None`
+        // rather than erroring: strip the trailing section marker.
+        let mut buf = Vec::new();
+        encode_snapshot(&mut buf, &snap);
+        buf.truncate(buf.len() - 4);
+        let back = decode_snapshot(&mut Dec::new(&buf)).unwrap();
+        assert_eq!(back.tuner, None);
+    }
+
+    #[test]
+    fn merge_unions_tuner_state_across_shards() {
+        let mut a = sample();
+        let mut b = sample();
+        let bt = b.tuner.as_mut().unwrap();
+        bt.epochs = 30;
+        bt.phase_len_us = 10_000;
+        bt.split_keys = vec![9, 13];
+        bt.decisions = vec![TuneDecision {
+            epoch: 29,
+            action: "demote key 9".into(),
+            reason: "idle 3 epochs".into(),
+        }];
+        a.merge(&b);
+        let t = a.tuner.unwrap();
+        assert_eq!(t.epochs, 30);
+        assert_eq!(t.phase_len_us, 0, "disagreeing shards render as mixed");
+        assert_eq!(t.split_keys, vec![7, 9, 13]);
+        assert_eq!(t.decisions.len(), 2);
+        assert!(t.decisions.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+
+        // Merging into a shard without a tuner adopts the other's view.
+        let mut plain = sample();
+        plain.tuner = None;
+        plain.merge(&b);
+        assert_eq!(plain.tuner, b.tuner);
     }
 
     #[test]

@@ -906,6 +906,16 @@ mod tests {
                 hot_keys: vec![doppel_telemetry::HotKey { key: 1, hits: 2 }],
                 phase: "joined".into(),
                 procs: vec![],
+                tuner: Some(crate::TunerSnapshot {
+                    epochs: 4,
+                    phase_len_us: 20_000,
+                    split_keys: vec![1],
+                    decisions: vec![doppel_common::TuneDecision {
+                        epoch: 3,
+                        action: "promote key 1".into(),
+                        reason: "hot".into(),
+                    }],
+                }),
             }),
         });
         roundtrip_server(ServerMsg::Stats {

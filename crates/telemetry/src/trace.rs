@@ -52,6 +52,10 @@ pub enum EventKind {
     WalFsync = 9,
     /// The reactor shed a connection (instant; arg = connection token).
     ReactorShed = 10,
+    /// The adaptive tuner took a decision — promote/demote a split label,
+    /// adjust the phase length, retune thresholds (instant; arg = tuner
+    /// epoch). Correlate with the decision history in `doppel-stat`.
+    TunerDecision = 11,
 }
 
 impl EventKind {
@@ -69,6 +73,7 @@ impl EventKind {
             EventKind::TxnStash => "txn.stash",
             EventKind::WalFsync => "wal.fsync",
             EventKind::ReactorShed => "reactor.shed",
+            EventKind::TunerDecision => "tuner.decision",
         }
     }
 
@@ -93,6 +98,7 @@ impl EventKind {
             EventKind::Reconcile | EventKind::StashReplay => "reconcile",
             EventKind::WalFsync => "wal",
             EventKind::ReactorShed => "net",
+            EventKind::TunerDecision => "tuner",
             _ => "txn",
         }
     }

@@ -4,6 +4,9 @@
 //!
 //! * [`zipf`] — the Zipfian key-popularity distribution used throughout §8
 //!   (and the exact probabilities behind Table 1);
+//! * [`adaptive`] — the ADAPTIVE benchmark: a migrating hot set of auction
+//!   items, built to exercise the adaptive contention controller against an
+//!   oracle labelling (beyond the paper);
 //! * [`incr`] — the INCR1 and INCRZ microbenchmarks (Figures 8–11);
 //! * [`like`] — the LIKE social-network benchmark (Figures 12–14, Table 3);
 //! * [`flags`] — the FLAGS fraud-flagging benchmark exercising the `BitOr`
@@ -24,6 +27,7 @@
 //! * [`report`] — typed results and plain-text / JSON rendering of the
 //!   tables and series the paper reports.
 
+pub mod adaptive;
 pub mod driver;
 pub mod flags;
 pub mod hist;
@@ -34,6 +38,7 @@ pub mod report;
 pub mod visitors;
 pub mod zipf;
 
+pub use adaptive::AdaptiveWorkload;
 pub use driver::{BenchOptions, BenchResult, Driver, GeneratedTxn, TxnGenerator, Workload};
 pub use flags::FlagsWorkload;
 pub use hist::{Histogram, LatencySummary};

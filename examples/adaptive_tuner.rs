@@ -1,0 +1,194 @@
+//! Adaptive tuner: watch the contention controller migrate split labels as
+//! the hot set moves — with zero manual hints.
+//!
+//! The flow:
+//!
+//! 1. connect to a Doppel server running with `--adaptive` — the address in
+//!    `DOPPEL_SERVER_ADDR` if set, otherwise an in-process
+//!    [`doppel_service::Server`] on an ephemeral localhost port;
+//! 2. hammer a first hot set of keys with splittable increments from two
+//!    client connections (conflicts need concurrent execution, and each
+//!    connection feeds one submission queue) until the tuner's wire status
+//!    (`GetStats`) shows the keys in the split set — no `label_split` call
+//!    is ever made;
+//! 3. rotate: abandon the first hot set and hammer a second one, and wait
+//!    for the split set to migrate — the new keys promoted, the stale ones
+//!    dropped, all recorded in the tuner's decision history.
+//!
+//! Run with: `cargo run --release --example adaptive_tuner`
+//! Or against a live server started with knobs scaled for the host, e.g.:
+//! `doppel-server --adaptive --tuner-epoch-ms 300 --promote-hits 2`
+//! `DOPPEL_SERVER_ADDR=127.0.0.1:7777 cargo run --release --example adaptive_tuner`
+
+use doppel_common::{Key, TunerConfig};
+use doppel_service::{RemoteClient, RemoteTxn, Server, ServerEngine, ServiceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FIRST: [u64; 2] = [100, 101];
+const SECOND: [u64; 2] = [9000, 9001];
+
+/// Load generator: pipelined bursts of increments over the hot set the
+/// `phase` flag currently selects (0 = FIRST, 1 = SECOND, anything else =
+/// stop). Two of these run concurrently so increments to the same key
+/// overlap and conflict — the signal the tuner promotes from.
+fn hammer(addr: String, phase: Arc<AtomicUsize>) {
+    let mut client = RemoteClient::connect(&*addr).expect("connect load generator");
+    loop {
+        let keys = match phase.load(Ordering::Relaxed) {
+            0 => FIRST,
+            1 => SECOND,
+            _ => return,
+        };
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            let key = Key::raw(keys[i % keys.len()]);
+            ids.push(client.submit(&RemoteTxn::new().add(key, 1)).expect("submit increment"));
+        }
+        for id in ids {
+            // Aborted retries are fine — every conflict feeds the heat
+            // sketch either way.
+            let _ = client.wait(id).expect("increment completes");
+        }
+    }
+}
+
+/// Polls the server until `pred` holds for the tuner's wire status, or the
+/// deadline passes.
+fn poll_until(
+    client: &mut RemoteClient,
+    deadline: Instant,
+    mut pred: impl FnMut(&doppel_service::TunerSnapshot) -> bool,
+) -> Option<doppel_service::TunerSnapshot> {
+    let mut last_report = Instant::now();
+    loop {
+        let snap = client.stats().expect("GetStats");
+        if let Some(t) = &snap.tuner {
+            if pred(t) {
+                return Some(t.clone());
+            }
+        }
+        if last_report.elapsed() > Duration::from_secs(5) {
+            last_report = Instant::now();
+            println!(
+                "  ... commits={} conflicts={} split_keys={:?} epochs={}",
+                snap.scalar("commits").unwrap_or(0),
+                snap.scalar("conflicts").unwrap_or(0),
+                snap.tuner.as_ref().map(|t| t.split_keys.clone()).unwrap_or_default(),
+                snap.tuner.as_ref().map(|t| t.epochs).unwrap_or(0),
+            );
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn main() {
+    let external = std::env::var("DOPPEL_SERVER_ADDR").ok();
+    let local_server = if external.is_none() {
+        // Knobs scaled for a small host: long epochs accumulate enough
+        // conflict heat per decision even at modest conflict rates.
+        let tuner = TunerConfig {
+            epoch: Duration::from_millis(250),
+            promote_min_hits: 2,
+            demote_idle_epochs: 2,
+            ..TunerConfig::default()
+        };
+        let engine = ServerEngine::build_with_tuner("doppel", 2, 10, 256, tuner)
+            .expect("doppel engine")
+            .with_adaptive(true);
+        Some(Server::start(engine, ServiceConfig::default(), "127.0.0.1:0").expect("bind"))
+    } else {
+        None
+    };
+    let addr = external
+        .clone()
+        .unwrap_or_else(|| local_server.as_ref().unwrap().local_addr().to_string());
+    println!("connecting to {addr}");
+    let mut client = RemoteClient::connect(&*addr).expect("connect to doppel-server");
+    client.ping().expect("server answers ping");
+
+    // Against an external server we only *require* adaptive behaviour when
+    // the caller vouches for the flag (CI sets this after starting
+    // `doppel-server --adaptive`).
+    let must_adapt = external.is_none()
+        || std::env::var("DOPPEL_EXPECT_ADAPTIVE").as_deref() == Ok("1");
+    let snap = client.stats().expect("GetStats");
+    match &snap.tuner {
+        Some(t) => println!("tuner live: {} epoch(s) completed so far", t.epochs),
+        None if must_adapt => panic!("server is not running the adaptive tuner"),
+        None => {
+            println!("server has no tuner (started with --no-adaptive?); nothing to watch");
+            return;
+        }
+    }
+
+    // `Key::raw(n)` has heat token `n`, so wire split keys match ids 1:1.
+    let in_first = |t: &doppel_service::TunerSnapshot| {
+        t.split_keys.iter().any(|k| FIRST.contains(k))
+    };
+    let in_second = |t: &doppel_service::TunerSnapshot| {
+        t.split_keys.iter().any(|k| SECOND.contains(k))
+    };
+
+    let phase = Arc::new(AtomicUsize::new(0));
+    let generators: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let phase = Arc::clone(&phase);
+            std::thread::spawn(move || hammer(addr, phase))
+        })
+        .collect();
+
+    println!("phase 1: hammering keys {FIRST:?}, waiting for promotion...");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let promoted = poll_until(&mut client, deadline, &in_first);
+    match &promoted {
+        Some(t) => {
+            println!("  first hot set split after {} epoch(s); decisions:", t.epochs);
+            for d in &t.decisions {
+                println!("    {d}");
+            }
+        }
+        None if must_adapt => panic!("tuner never promoted the first hot set"),
+        None => println!("  no promotion observed (low conflict rate on this host?)"),
+    }
+
+    println!("phase 2: rotating to keys {SECOND:?}, waiting for the labels to migrate...");
+    phase.store(1, Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let migrated = poll_until(&mut client, deadline, &in_second);
+    match &migrated {
+        Some(t) => {
+            println!("  labels migrated: split set now {:?}; decisions:", t.split_keys);
+            for d in &t.decisions {
+                println!("    {d}");
+            }
+            assert!(!t.decisions.is_empty(), "a migration must leave a decision trail");
+        }
+        None if must_adapt && promoted.is_some() => {
+            panic!("tuner never followed the hot set to the second key group")
+        }
+        None => println!("  no migration observed"),
+    }
+
+    // The old hot set sees no traffic now, so its labels go cold and are
+    // demoted (tuner hysteresis) or unsplit (classifier write-fraction
+    // rule) — either way they leave the split set.
+    if migrated.is_some() && must_adapt {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        match poll_until(&mut client, deadline, |t| !in_first(t)) {
+            Some(t) => println!("  stale labels dropped; final split set {:?}", t.split_keys),
+            None => panic!("stale split labels were never demoted"),
+        }
+    }
+
+    phase.store(2, Ordering::Relaxed);
+    for g in generators {
+        let _ = g.join();
+    }
+    println!("adaptive tuner example finished");
+}

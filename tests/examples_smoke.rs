@@ -17,6 +17,7 @@ const EXAMPLES: &[&str] = &[
     "remote_counter",
     "rubis_remote",
     "sharded_counter",
+    "adaptive_tuner",
 ];
 
 fn examples_dir() -> PathBuf {
